@@ -1,0 +1,89 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+* k sweep (Section 4.2.6: "plans output by ASALQA are similar for
+  k in [5, 100]") — sampler-type decisions should be stable across k;
+* max-probability sweep — the 0.1 cap trades coverage for gain;
+* degree-of-parallelism reduction (Appendix A) — disabling the broadcast
+  threshold (all joins shuffle) raises the sampling gains.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.asalqa import Asalqa, AsalqaOptions
+from repro.core.costing import CostingOptions
+from repro.engine.metrics import ClusterConfig
+from repro.experiments.report import format_table
+from repro.workloads.tpcds import query_by_name
+
+PROBE_QUERIES = ("q02", "q07", "q12", "q15", "q19", "q22")
+
+
+def _plan_kinds(db, options):
+    from repro.stats.catalog import Catalog
+
+    optimizer = Asalqa(Catalog(db), options)
+    kinds = {}
+    for name in PROBE_QUERIES:
+        result = optimizer.optimize(query_by_name(db, name))
+        kinds[name] = tuple(sorted(result.sampler_kinds()))
+    return kinds
+
+
+def test_ablation_k_sweep(benchmark, tpcds_db):
+    """Paper: plan choices are stable for k in [5, 100]."""
+
+    def run():
+        return {
+            k: _plan_kinds(tpcds_db, AsalqaOptions(costing=CostingOptions(k=k)))
+            for k in (5, 30, 100)
+        }
+
+    by_k = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: sampler kinds per query across k ===")
+    rows = [{"k": k, **{q: "/".join(kinds[q]) or "-" for q in PROBE_QUERIES}} for k, kinds in by_k.items()]
+    print(format_table(rows))
+
+    # Most probe queries keep the same sampler family across k.
+    stable = sum(
+        1 for q in PROBE_QUERIES if len({by_k[k][q] for k in (5, 30, 100)}) == 1
+    )
+    assert stable >= len(PROBE_QUERIES) // 2
+
+
+def test_ablation_max_probability(benchmark, tpcds_db):
+    """A tighter probability cap declares more queries unapproximable."""
+
+    def run():
+        out = {}
+        for cap in (0.02, 0.1, 0.5):
+            kinds = _plan_kinds(
+                tpcds_db, AsalqaOptions(costing=CostingOptions(max_probability=cap))
+            )
+            out[cap] = sum(1 for v in kinds.values() if v)
+        return out
+
+    approximable = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: approximable probe queries vs max sampling probability ===")
+    print(format_table([{f"cap {c}": n for c, n in approximable.items()}]))
+    assert approximable[0.5] >= approximable[0.02]
+
+
+def test_ablation_broadcast_threshold(benchmark, tpcds_db):
+    """With all joins as shuffle joins (threshold 0), plans make more
+    passes over data, so sampling saves more — Appendix A's argument."""
+    from repro.experiments.runner import ExperimentRunner
+
+    def gains_with(threshold):
+        cluster = ClusterConfig(broadcast_threshold=threshold)
+        runner = ExperimentRunner(tpcds_db, cluster=cluster)
+        outcomes = [runner.run_query(query_by_name(tpcds_db, n)) for n in ("q02", "q07")]
+        return float(np.mean([o.machine_hours_gain for o in outcomes]))
+
+    def run():
+        return {"broadcast": gains_with(1_000), "all_shuffle": gains_with(0)}
+
+    gains = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: mean gain with vs without broadcast joins ===")
+    print(format_table([{k: f"{v:.2f}x" for k, v in gains.items()}]))
+    assert gains["all_shuffle"] >= gains["broadcast"] * 0.9

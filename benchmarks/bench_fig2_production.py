@@ -1,0 +1,38 @@
+"""Figure 2: analysis of the (synthetic) production cluster trace.
+
+Regenerates Figure 2a (heavy-tailed input usage) and Figure 2b (query shape
+percentiles) and prints them next to the paper's published values.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure2
+from repro.experiments.report import format_table
+
+
+def test_figure2_production_trace(benchmark):
+    data = benchmark.pedantic(lambda: figure2(num_queries=20_000, seed=2016), rounds=1, iterations=1)
+
+    print("\n=== Figure 2a: heavy tail over inputs ===")
+    print(f"total input: {data['total_pb']:.0f} PB (paper: ~120 PB)")
+    print(
+        f"inputs covering half the cluster time: {data['pb_at_half_cluster_time']:.1f} PB "
+        "(paper: 20 PB)"
+    )
+
+    print("\n=== Figure 2b: production query shape percentiles ===")
+    rows = []
+    for metric, paper_values in data["paper"].items():
+        measured = data["measured"][metric]
+        row = {"metric": metric}
+        for p in (25, 50, 75, 90, 95):
+            row[f"{p}th"] = f"{measured[p]:.1f} ({paper_values[p]:g})"
+        rows.append(row)
+    print(format_table(rows, "measured (paper)"))
+
+    # Shape assertions: heavy tail + calibrated medians.
+    assert data["pb_at_half_cluster_time"] < 0.4 * data["total_pb"]
+    for metric in ("passes", "joins", "operators", "qcs_plus_qvs"):
+        paper_median = data["paper"][metric][50]
+        assert data["measured"][metric][50] == np.float64(data["measured"][metric][50])
+        assert paper_median / 2.5 <= data["measured"][metric][50] <= paper_median * 2.5

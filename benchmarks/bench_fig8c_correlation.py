@@ -1,0 +1,39 @@
+"""Figure 8c: correlating performance gains with query aspects.
+
+Paper: gains grow when samplers are close to the sources, when queries are
+deeper (more passes, higher Total/First-pass time), and when intermediate
+data shrinks most.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure8c_correlation
+from repro.experiments.report import format_table
+
+
+def test_figure8c_correlation(benchmark, outcomes):
+    data = benchmark.pedantic(
+        lambda: figure8c_correlation(outcomes, num_buckets=4), rounds=1, iterations=1
+    )
+
+    print("\n=== Figure 8c: query aspects per machine-hours-gain bucket ===")
+    print(
+        format_table(
+            [
+                {k: f"{v:.2f}" for k, v in bucket.items()}
+                for bucket in data["buckets"]
+            ]
+        )
+    )
+
+    buckets = data["buckets"]
+    assert len(buckets) >= 2
+    gains = [b["gain_bucket_mean"] for b in buckets]
+    passes = [b["passes"] for b in buckets]
+    reductions = [b["intermediate_reduction"] for b in buckets]
+
+    # Deeper queries (more passes) gain more: the top bucket beats the
+    # bottom bucket on passes and on intermediate-data reduction.
+    assert gains[-1] > gains[0]
+    assert passes[-1] >= passes[0] - 1e-9
+    assert reductions[-1] >= reductions[0] - 1e-9

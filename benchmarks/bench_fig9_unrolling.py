@@ -1,0 +1,28 @@
+"""Figure 9: unrolling the Figure 1 plan via the dominance rules.
+
+The accuracy analysis replaces the motivating query's multi-sampler plan
+(universe samplers across the fact tables) with a single equivalent
+universe sampler just below the aggregation, applying V3a/V3b/U2-style
+steps along the way.
+"""
+
+from repro.experiments.figures import figure9_unrolling
+from repro.workloads.tpcds import query_by_name
+
+
+def test_figure9_dominance_unrolling(benchmark, tpcds_db):
+    data = benchmark.pedantic(
+        lambda: figure9_unrolling(tpcds_db, query_by_name(tpcds_db, "q12")), rounds=1, iterations=1
+    )
+
+    print("\n=== Figure 9: unrolling the Figure 1 query ===")
+    print(f"approximable: {data['approximable']}, samplers: {data['samplers']}")
+    print(f"equivalent at-root sampler: {data['unrolled_kind']} (p={data['unrolled_p']})")
+    for rule, operator, detail in data["steps"]:
+        print(f"  [{rule}] across {operator}: {detail}")
+
+    assert data["approximable"]
+    assert data["samplers"].count("universe") >= 2
+    assert data["unrolled_kind"] == "universe"
+    rules_used = {rule for rule, _op, _detail in data["steps"]}
+    assert "V3a" in rules_used  # paired universe samplers collapse at the join

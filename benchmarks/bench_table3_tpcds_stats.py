@@ -1,0 +1,29 @@
+"""Table 3: characteristics of the TPC-DS queries used in evaluation."""
+
+from repro.experiments.figures import table3_shape_stats
+from repro.experiments.report import format_table, percentile_row
+
+
+def test_table3_query_characteristics(benchmark, tpcds_db, tpcds_queries):
+    data = benchmark.pedantic(
+        lambda: table3_shape_stats(tpcds_db, tpcds_queries), rounds=1, iterations=1
+    )
+    measured, paper = data["measured"], data["paper"]
+
+    print("\n=== Table 3: TPC-DS query characteristics, measured (paper) ===")
+    rows = []
+    for metric, values in measured.items():
+        pct = percentile_row(values, (10, 25, 50, 75, 90, 95))
+        row = {"metric": metric}
+        for p, v in pct.items():
+            paper_v = paper.get(metric, {}).get(p, "-")
+            row[f"{p}th"] = f"{v:.1f} ({paper_v})"
+        rows.append(row)
+    print(format_table(rows))
+
+    # Shape: queries make >= 1 pass, have joins, and modest QCS sizes —
+    # simpler than the production trace, as the paper observes.
+    med = percentile_row(measured["passes"], (50,))[50]
+    assert med >= 1.0
+    assert percentile_row(measured["joins"], (50,))[50] >= 2
+    assert percentile_row(measured["qcs"], (50,))[50] <= 12

@@ -1,0 +1,25 @@
+"""Table 5: number of samplers per query and their plan locations.
+
+Paper: 51% of queries have exactly one sampler, 25% are unapproximable,
+and 60% of samplers sit on the first pass over data.
+"""
+
+from repro.experiments.figures import table5_sampler_placement
+from repro.experiments.report import format_table
+
+
+def test_table5_sampler_placement(benchmark, outcomes):
+    data = benchmark.pedantic(lambda: table5_sampler_placement(outcomes), rounds=1, iterations=1)
+
+    print("\n=== Table 5: samplers per query (paper: 0:25% 1:51% 2:9% 3:11% ...) ===")
+    print(format_table([{str(k): f"{v:.0%}" for k, v in data["samplers_per_query"].items()}]))
+    print("=== sampler-source distance (paper: 0:60% 1:12% 2:10% 3:17%) ===")
+    print(format_table([{str(k): f"{v:.0%}" for k, v in data["sampler_source_distance"].items()}]))
+    print(f"unapproximable: {data['unapproximable_fraction']:.0%} (paper: ~25%)")
+    print(f"samplers on first pass: {data['first_pass_sampler_fraction']:.0%} (paper: 60%)")
+
+    # Shape assertions.
+    assert 0.1 <= data["unapproximable_fraction"] <= 0.55
+    one_sampler = data["samplers_per_query"].get(1, 0.0)
+    assert one_sampler >= 0.3  # a majority-ish of queries use exactly one
+    assert data["first_pass_sampler_fraction"] >= 0.5  # most samplers early

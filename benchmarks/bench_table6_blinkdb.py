@@ -1,0 +1,50 @@
+"""Table 6: BlinkDB-style apriori sampling under storage budgets.
+
+Paper: with default parameters, coverage is 0/64 at 0.5x-1x storage and at
+most 14/64 even at 10x; median gain over all queries is 0%. The structural
+causes (large and diverse QCSes, fact-fact joins) are workload properties,
+so the shape must reproduce here: poor coverage at small budgets, modest
+improvement with budget, never a majority of queries.
+"""
+
+import pytest
+
+from repro.baselines.blinkdb import BlinkDB
+from repro.experiments.report import format_table
+
+BUDGETS = (0.5, 1.0, 4.0, 10.0)
+
+
+@pytest.fixture(scope="module")
+def shared_system(tpcds_db):
+    """One BlinkDB instance per cap so exact answers are computed once."""
+    return {}
+
+
+@pytest.mark.parametrize("params", ["default", "small_groups"])
+def test_table6_blinkdb(benchmark, tpcds_db, tpcds_queries, params, shared_system):
+    # Paper: "Default parameters (K=M=1e5)" vs "Tuned for small group size
+    # (K=M=1e1)": the cap per stratum.
+    cap = 100_000 if params == "default" else 10
+
+    def run():
+        system = shared_system.setdefault(cap, BlinkDB(tpcds_db, cap_per_stratum=cap))
+        if shared_system.get("exact_cache") is None and len(shared_system) > 1:
+            # Share the exact-answer cache across parameterizations.
+            first = next(v for k, v in shared_system.items() if k != cap and k != "exact_cache")
+            system._exact_cache = first._exact_cache
+        return [system.evaluate(tpcds_queries, budget) for budget in BUDGETS]
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print(f"\n=== Table 6: BlinkDB on TPC-DS ({params}, cap={cap}) ===")
+    print(format_table([r.as_row() for r in reports]))
+
+    # The paper's headline: at realistic storage budgets (up to the input's
+    # own size) coverage is poor and the median query gains nothing.
+    realistic = [r for r in reports if r.budget_multiplier <= 1.0]
+    assert all(r.coverage / r.total_queries <= 0.35 for r in realistic)
+    assert all(r.median_gain_all <= 1.2 for r in realistic)
+    # Even with 10x the input's size in samples, most queries see no gain
+    # from their median experience (gains concentrate in the covered few).
+    assert reports[-1].median_gain_all <= 2.0

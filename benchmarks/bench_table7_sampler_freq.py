@@ -1,0 +1,27 @@
+"""Table 7: frequency of use of the three samplers.
+
+Paper: uniform 54%, distinct 26%, universe 20% of all sampler instances;
+uniform is used roughly twice as often as each of the others, and universe
+appears only for queries joining large relations.
+"""
+
+from repro.experiments.figures import table7_sampler_frequency
+from repro.experiments.report import format_table
+
+
+def test_table7_sampler_frequency(benchmark, outcomes):
+    data = benchmark.pedantic(lambda: table7_sampler_frequency(outcomes), rounds=1, iterations=1)
+
+    print("\n=== Table 7: sampler type distribution (paper: U 54% / D 26% / V 20%) ===")
+    print(format_table([{k: f"{v:.0%}" for k, v in data["distribution_across_samplers"].items()}]))
+    print("=== queries using at least one sampler of each type (paper: 49/24/9%) ===")
+    print(format_table([{k: f"{v:.0%}" for k, v in data["queries_using_type"].items()}]))
+
+    dist = data["distribution_across_samplers"]
+    # All three samplers are exercised and uniform is the most common.
+    assert all(dist[kind] > 0 for kind in ("uniform", "distinct", "universe"))
+    assert dist["uniform"] >= max(dist["distinct"], dist["universe"]) - 0.15
+
+    # Universe appears only in fact-fact join queries.
+    universe_queries = [o.name for o in outcomes if "universe" in o.sampler_kinds]
+    assert set(universe_queries) <= {"q11", "q12", "q13", "q14"}

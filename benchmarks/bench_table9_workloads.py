@@ -1,0 +1,33 @@
+"""Table 9: query attributes across TPC-DS, TPC-H and 'Other' benchmarks.
+
+Paper: TPC-DS queries are the most complex of the public benchmarks (most
+joins, largest QCS), which is why the evaluation uses TPC-DS; TPC-H and
+the Other bucket are simpler.
+"""
+
+from repro.experiments.figures import table9_workload_comparison
+from repro.experiments.report import format_table, percentile_row
+
+
+def test_table9_workload_comparison(benchmark):
+    data = benchmark.pedantic(lambda: table9_workload_comparison(scale=0.15), rounds=1, iterations=1)
+
+    print("\n=== Table 9: 50th / 90th percentile query attributes ===")
+    rows = []
+    for metric in ("passes", "total_over_first_pass", "aggregation_ops", "joins", "depth", "qcs_plus_qvs", "qcs"):
+        row = {"metric": metric}
+        for workload, metrics in data.items():
+            pct = percentile_row(metrics[metric], (50, 90))
+            row[workload] = f"{pct[50]:.1f} / {pct[90]:.1f}"
+        rows.append(row)
+    print(format_table(rows))
+
+    # Shape: TPC-DS is the most join-heavy and widest-QCS workload.
+    tpcds_joins = percentile_row(data["TPC-DS"]["joins"], (50,))[50]
+    tpch_joins = percentile_row(data["TPC-H"]["joins"], (50,))[50]
+    other_joins = percentile_row(data["Other"]["joins"], (50,))[50]
+    assert tpcds_joins >= tpch_joins >= other_joins
+
+    tpcds_qcs = percentile_row(data["TPC-DS"]["qcs_plus_qvs"], (90,))[90]
+    other_qcs = percentile_row(data["Other"]["qcs_plus_qvs"], (90,))[90]
+    assert tpcds_qcs >= other_qcs

@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures.
+
+The evaluation scale is controlled by ``REPRO_BENCH_SCALE`` (default 0.4):
+larger scales reproduce the paper's gain profile more faithfully (supports
+grow, more queries clear the accuracy bar) at the cost of wall-clock time.
+The heavy work — running all 24 TPC-DS queries exactly and approximately —
+happens once per session and is shared by every benchmark file.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.tpcds import generate_tpcds, queries
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+@pytest.fixture(scope="session")
+def tpcds_db():
+    return generate_tpcds(scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def tpcds_queries(tpcds_db):
+    return queries(tpcds_db)
+
+
+@pytest.fixture(scope="session")
+def outcomes(tpcds_db, tpcds_queries):
+    """All 24 queries measured exactly and approximately (shared)."""
+    runner = ExperimentRunner(tpcds_db)
+    return runner.run_suite(tpcds_queries)

@@ -1,0 +1,65 @@
+"""Quickstart: approximate a query with zero setup.
+
+Builds a TPC-DS-style database, writes an ad-hoc aggregation query, and
+lets Quickr decide whether and how to sample it. No apriori samples, no
+configuration — the optimizer injects the sampler and rewrites the
+aggregates into unbiased estimators with confidence intervals.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Executor, QuickrPlanner, col, scan
+from repro.algebra import avg, count, sum_
+from repro.workloads.tpcds import generate_tpcds
+
+
+def main():
+    print("Generating a TPC-DS-style database ...")
+    db = generate_tpcds(scale=0.4, seed=7)
+    print(f"  {db.total_rows():,} rows across {len(db.table_names())} tables\n")
+
+    # An ad-hoc query: average basket stats per item category under
+    # e-mail promotions (the shape of TPC-DS q7).
+    query = (
+        scan(db, "store_sales")
+        .join(scan(db, "item"), on=[("ss_item_sk", "i_item_sk")])
+        .join(scan(db, "promotion"), on=[("ss_promo_sk", "p_promo_sk")])
+        .where(col("p_channel_email") == 1)
+        .groupby("i_category")
+        .agg(
+            avg(col("ss_quantity"), "avg_quantity"),
+            sum_(col("ss_ext_sales_price"), "revenue"),
+            count("baskets"),
+        )
+        .build("category_report")
+    )
+
+    planner = QuickrPlanner(db)
+    executor = Executor(db)
+
+    # Baseline: the same optimizer without samplers.
+    baseline = planner.plan_baseline(query)
+    exact = executor.execute(baseline.plan)
+
+    # Quickr: ASALQA decides whether/where to sample.
+    result = planner.plan(query)
+    print(f"ASALQA decision: approximable={result.approximable}, samplers={result.sampler_kinds()}")
+    for decision in result.decisions:
+        print(f"  {decision.spec!r}  <- {decision.reason}")
+    approx = executor.execute(result.plan)
+
+    gain = exact.cost.machine_hours / approx.cost.machine_hours
+    print(f"\nmachine-hours gain: {gain:.2f}x  (runtime gain "
+          f"{exact.cost.runtime / approx.cost.runtime:.2f}x)\n")
+
+    print(f"{'category':<14}{'revenue (exact)':>18}{'revenue (approx)':>18}{'+-95% CI':>12}")
+    exact_map = dict(zip(exact.table.column("i_category"), exact.table.column("revenue")))
+    for i in range(approx.table.num_rows):
+        cat = approx.table.column("i_category")[i]
+        est = approx.table.column("revenue")[i]
+        ci = approx.table.column("revenue__ci")[i] if approx.table.has_column("revenue__ci") else 0.0
+        print(f"{cat:<14}{exact_map.get(cat, float('nan')):>18,.0f}{est:>18,.0f}{ci:>12,.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickr reproduction: lazily approximating complex ad-hoc queries.
+
+Reproduction of Kandula et al., "Quickr: Lazily Approximating Complex
+AdHoc Queries in BigData Clusters" (SIGMOD 2016).
+
+Quick start::
+
+    from repro import QuickrPlanner, Executor
+    from repro.workloads.tpcds import generate_tpcds, query_by_name
+
+    db = generate_tpcds(scale=0.2)
+    planner = QuickrPlanner(db)
+    result = planner.plan(query_by_name(db, "q12"))   # inject samplers
+    answer = Executor(db).execute(result.plan)        # approximate answer
+
+The top-level exports cover the common path; subpackages hold the rest:
+
+* :mod:`repro.algebra` — expressions, logical plans, query builder
+* :mod:`repro.engine` — columnar executor and the cluster cost model
+* :mod:`repro.samplers` — uniform / distinct / universe samplers
+* :mod:`repro.core` — ASALQA, sampler push-down, accuracy analysis
+* :mod:`repro.optimizer` — relational QO substrate and the planner
+* :mod:`repro.stats` — catalog statistics and derivation
+* :mod:`repro.workloads` — TPC-DS / TPC-H / Other / production trace
+* :mod:`repro.baselines` — BlinkDB-style apriori sampling
+* :mod:`repro.experiments` — the paper's evaluation harness
+"""
+
+from repro.algebra import Query, QueryBuilder, col, lit, scan
+from repro.core import Asalqa, AsalqaOptions, AsalqaResult
+from repro.engine import ClusterConfig, Database, Executor, Table
+from repro.errors import ReproError
+from repro.optimizer import QuickrPlanner
+from repro.stats import Catalog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Query",
+    "QueryBuilder",
+    "col",
+    "lit",
+    "scan",
+    "Asalqa",
+    "AsalqaOptions",
+    "AsalqaResult",
+    "ClusterConfig",
+    "Database",
+    "Executor",
+    "Table",
+    "ReproError",
+    "QuickrPlanner",
+    "Catalog",
+    "__version__",
+]

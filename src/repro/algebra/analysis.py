@@ -1,0 +1,204 @@
+"""Plan introspection: query-shape statistics and QCS/QVS analysis.
+
+These functions implement the measurements the paper reports in Figure 2b,
+Table 3 and Table 9: operator counts, depth, joins, aggregation operators,
+user-defined functions, and the Query Column Set / Query Value Set.
+
+The QCS of a query is the set of *base-table* columns that decide which rows
+belong to the answer (group-by keys, predicate columns, join keys, *IF
+conditions). The QVS is the set of base-table columns whose values are
+aggregated. As in the paper, derived columns are recursively replaced by the
+columns used to compute them until only base columns remain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from repro.algebra.aggregates import AggKind
+from repro.algebra.expressions import Func
+from repro.algebra.logical import (
+    Aggregate,
+    Join,
+    LogicalNode,
+    Project,
+    SamplerNode,
+    Scan,
+    Select,
+)
+
+__all__ = [
+    "count_operators",
+    "plan_depth",
+    "count_joins",
+    "count_aggregation_ops",
+    "count_udfs",
+    "count_samplers",
+    "query_column_set",
+    "query_value_set",
+    "plan_shape_stats",
+    "base_tables",
+]
+
+
+def count_operators(plan: LogicalNode) -> int:
+    """Total number of operators in the plan tree."""
+    return plan.num_operators()
+
+
+def plan_depth(plan: LogicalNode) -> int:
+    """Height of the operator tree."""
+    return plan.depth()
+
+
+def count_joins(plan: LogicalNode) -> int:
+    return sum(1 for node in plan.walk() if isinstance(node, Join))
+
+
+def count_aggregation_ops(plan: LogicalNode) -> int:
+    """Number of individual aggregate computations (not Aggregate nodes)."""
+    return sum(len(node.aggs) for node in plan.walk() if isinstance(node, Aggregate))
+
+
+def count_samplers(plan: LogicalNode) -> int:
+    return sum(1 for node in plan.walk() if isinstance(node, SamplerNode))
+
+
+def base_tables(plan: LogicalNode) -> Set[str]:
+    """Names of base tables read by the plan."""
+    return {node.table for node in plan.walk() if isinstance(node, Scan)}
+
+
+def _collect_udf_names(expr, names: Set[str]) -> None:
+    if isinstance(expr, Func):
+        names.add(expr.name)
+    for attr in ("left", "right", "child", "cond", "then", "otherwise"):
+        sub = getattr(expr, attr, None)
+        if sub is not None and hasattr(sub, "columns"):
+            _collect_udf_names(sub, names)
+    for sub in getattr(expr, "args", ()):
+        _collect_udf_names(sub, names)
+
+
+def count_udfs(plan: LogicalNode) -> int:
+    """Number of user-defined function *invocations* in the plan."""
+    total = 0
+    for node in plan.walk():
+        exprs = []
+        if isinstance(node, Select):
+            exprs.append(node.predicate)
+        elif isinstance(node, Project):
+            exprs.extend(node.mapping.values())
+        elif isinstance(node, Aggregate):
+            for agg in node.aggs:
+                if agg.expr is not None:
+                    exprs.append(agg.expr)
+                if agg.cond is not None:
+                    exprs.append(agg.cond)
+        for expr in exprs:
+            names: Set[str] = set()
+            _collect_udf_names(expr, names)
+            total += len(names)
+    return total
+
+
+def _lineage_maps(plan: LogicalNode) -> Dict[tuple, Dict[str, FrozenSet[str]]]:
+    """For each node (by id), map its output columns to base-table columns.
+
+    A base column maps to itself (qualified implicitly by scan order); a
+    derived column maps to the union of the base columns of the expression
+    that computed it.
+    """
+    lineage: Dict[int, Dict[str, FrozenSet[str]]] = {}
+
+    def visit(node: LogicalNode) -> Dict[str, FrozenSet[str]]:
+        if id(node) in lineage:
+            return lineage[id(node)]
+        if isinstance(node, Scan):
+            result = {name: frozenset({name}) for name in node.output_columns()}
+        elif isinstance(node, Project):
+            child_map = visit(node.child)
+            result = {}
+            for name, expr in node.mapping.items():
+                bases: FrozenSet[str] = frozenset()
+                for src in expr.columns():
+                    bases |= child_map.get(src, frozenset({src}))
+                result[name] = bases
+        elif isinstance(node, Join):
+            result = {}
+            result.update(visit(node.left))
+            result.update(visit(node.right))
+        elif isinstance(node, Aggregate):
+            child_map = visit(node.child)
+            result = {}
+            for key in node.group_by:
+                result[key] = child_map.get(key, frozenset({key}))
+            for agg in node.aggs:
+                bases = frozenset()
+                for src in agg.columns():
+                    bases |= child_map.get(src, frozenset({src}))
+                result[agg.alias] = bases
+        else:
+            result = {}
+            for child in node.children:
+                result.update(visit(child))
+        lineage[id(node)] = result
+        return result
+
+    visit(plan)
+    return lineage
+
+
+def _resolve(columns, lineage_map: Dict[str, FrozenSet[str]]) -> FrozenSet[str]:
+    out: FrozenSet[str] = frozenset()
+    for name in columns:
+        out |= lineage_map.get(name, frozenset({name}))
+    return out
+
+
+def query_column_set(plan: LogicalNode) -> FrozenSet[str]:
+    """Base columns that decide answer membership (group keys, predicates,
+    join keys, *IF conditions), per the paper's QCS definition."""
+    lineage = _lineage_maps(plan)
+    qcs: FrozenSet[str] = frozenset()
+    for node in plan.walk():
+        if isinstance(node, Select):
+            child_map = lineage[id(node.child)]
+            qcs |= _resolve(node.predicate.columns(), child_map)
+        elif isinstance(node, Join):
+            qcs |= _resolve(node.left_keys, lineage[id(node.left)])
+            qcs |= _resolve(node.right_keys, lineage[id(node.right)])
+        elif isinstance(node, Aggregate):
+            child_map = lineage[id(node.child)]
+            qcs |= _resolve(node.group_by, child_map)
+            for agg in node.aggs:
+                qcs |= _resolve(agg.condition_columns(), child_map)
+    return qcs
+
+
+def query_value_set(plan: LogicalNode) -> FrozenSet[str]:
+    """Base columns whose values are aggregated (the paper's QVS)."""
+    lineage = _lineage_maps(plan)
+    qvs: FrozenSet[str] = frozenset()
+    for node in plan.walk():
+        if isinstance(node, Aggregate):
+            child_map = lineage[id(node.child)]
+            for agg in node.aggs:
+                qvs |= _resolve(agg.value_columns(), child_map)
+    return qvs
+
+
+def plan_shape_stats(plan: LogicalNode) -> dict:
+    """All shape statistics for one plan, keyed like Figure 2b / Table 3."""
+    qcs = query_column_set(plan)
+    qvs = query_value_set(plan)
+    return {
+        "operators": count_operators(plan),
+        "depth": plan_depth(plan),
+        "joins": count_joins(plan),
+        "aggregation_ops": count_aggregation_ops(plan),
+        "udfs": count_udfs(plan),
+        "qcs_size": len(qcs),
+        "qvs_size": len(qvs),
+        "qcs_plus_qvs": len(qcs | qvs),
+    }

@@ -1,0 +1,174 @@
+"""Fluent query builder.
+
+The builder is the public authoring surface for queries. It produces a
+:class:`Query` — a named, immutable logical plan — that the optimizer
+consumes. The style mirrors the relational mash-up languages the paper
+targets (SCOPE, Spark-SQL): chains of scans, selects, derived columns,
+joins, group-bys, ordering and limits.
+
+Example
+-------
+>>> q = (
+...     scan(db, "store_sales")
+...     .join(scan(db, "item"), on=[("ss_item_sk", "i_item_sk")])
+...     .where(col("i_current_price") > 50)
+...     .groupby("i_color")
+...     .agg(sum_(col("ss_net_profit"), "total_profit"))
+...     .build("profit_by_color")
+... )
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.algebra.aggregates import AggSpec
+from repro.algebra.expressions import Col, Expr, ensure_expr
+from repro.algebra.logical import (
+    Aggregate,
+    Join,
+    Limit,
+    LogicalNode,
+    OrderBy,
+    Project,
+    Scan,
+    Select,
+    UnionAll,
+)
+from repro.errors import PlanError, SchemaError
+
+__all__ = ["Query", "QueryBuilder", "scan", "from_node"]
+
+
+class Query:
+    """A named logical plan ready for optimization and execution."""
+
+    __slots__ = ("name", "plan")
+
+    def __init__(self, name: str, plan: LogicalNode):
+        self.name = name
+        self.plan = plan
+
+    def key(self) -> tuple:
+        return self.plan.key()
+
+    def __repr__(self):
+        return f"Query({self.name!r}, {self.plan.num_operators()} operators)"
+
+
+class QueryBuilder:
+    """Chainable builder over a logical plan node."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: LogicalNode):
+        self.node = node
+
+    # -- row-level operators -------------------------------------------------
+    def where(self, predicate: Expr) -> "QueryBuilder":
+        """Filter rows; equivalent to a SQL WHERE clause."""
+        return QueryBuilder(Select(self.node, ensure_expr(predicate)))
+
+    def select(self, *columns: str) -> "QueryBuilder":
+        """Keep only the named columns."""
+        mapping = {name: Col(name) for name in columns}
+        return QueryBuilder(Project(self.node, mapping))
+
+    def derive(self, **exprs) -> "QueryBuilder":
+        """Extend the schema with computed columns, keeping existing ones."""
+        mapping = {name: Col(name) for name in self.node.output_columns()}
+        for name, expr in exprs.items():
+            if name in mapping:
+                raise SchemaError(f"derived column {name!r} already exists")
+            mapping[name] = ensure_expr(expr)
+        return QueryBuilder(Project(self.node, mapping))
+
+    def rename(self, **renames) -> "QueryBuilder":
+        """Rename columns: ``rename(new_name="old_name")``."""
+        inverse = {old: new for new, old in renames.items()}
+        mapping = {}
+        for name in self.node.output_columns():
+            mapping[inverse.get(name, name)] = Col(name)
+        return QueryBuilder(Project(self.node, mapping))
+
+    def drop(self, *columns: str) -> "QueryBuilder":
+        """Remove the named columns from the schema."""
+        keep = [c for c in self.node.output_columns() if c not in set(columns)]
+        if not keep:
+            raise PlanError("drop would remove every column")
+        return self.select(*keep)
+
+    # -- multi-input operators -----------------------------------------------
+    def join(
+        self,
+        other: "QueryBuilder",
+        on: Sequence[Tuple[str, str]],
+        how: str = "inner",
+    ) -> "QueryBuilder":
+        """Equi-join with another builder on ``[(left_key, right_key), ...]``."""
+        left_keys = [pair[0] for pair in on]
+        right_keys = [pair[1] for pair in on]
+        return QueryBuilder(Join(self.node, other.node, left_keys, right_keys, how))
+
+    def union_all(self, *others: "QueryBuilder") -> "QueryBuilder":
+        return QueryBuilder(UnionAll([self.node] + [o.node for o in others]))
+
+    # -- aggregation -----------------------------------------------------------
+    def groupby(self, *keys: str) -> "GroupedBuilder":
+        """Start a grouped aggregation; follow with :meth:`GroupedBuilder.agg`."""
+        return GroupedBuilder(self.node, keys)
+
+    def agg(self, *aggs: AggSpec) -> "QueryBuilder":
+        """Scalar (ungrouped) aggregation."""
+        return QueryBuilder(Aggregate(self.node, (), aggs))
+
+    # -- ordering / limiting ----------------------------------------------------
+    def orderby(self, *keys: str, desc: bool = False) -> "QueryBuilder":
+        return QueryBuilder(OrderBy(self.node, keys, descending=desc))
+
+    def limit(self, n: int) -> "QueryBuilder":
+        return QueryBuilder(Limit(self.node, n))
+
+    # -- finalize ---------------------------------------------------------------
+    def build(self, name: str) -> Query:
+        """Freeze into a named :class:`Query`."""
+        return Query(name, self.node)
+
+    def output_columns(self) -> Tuple[str, ...]:
+        return self.node.output_columns()
+
+    def __repr__(self):
+        return f"QueryBuilder({self.node!r})"
+
+
+class GroupedBuilder:
+    """Intermediate state between ``groupby`` and ``agg``."""
+
+    __slots__ = ("_node", "_keys")
+
+    def __init__(self, node: LogicalNode, keys: Sequence[str]):
+        self._node = node
+        self._keys = tuple(keys)
+
+    def agg(self, *aggs: AggSpec) -> QueryBuilder:
+        return QueryBuilder(Aggregate(self._node, self._keys, aggs))
+
+
+def scan(database, table: str) -> QueryBuilder:
+    """Begin a query from a base table.
+
+    ``database`` is anything exposing ``columns(table) -> sequence of str``
+    (a :class:`repro.engine.table.Database` or a plain mapping).
+    """
+    if hasattr(database, "columns"):
+        columns = database.columns(table)
+    elif isinstance(database, dict):
+        columns = database[table]
+    else:
+        raise PlanError(f"cannot resolve schema for {table!r} from {database!r}")
+    return QueryBuilder(Scan(table, tuple(columns)))
+
+
+def from_node(node: LogicalNode) -> QueryBuilder:
+    """Wrap an existing logical node in a builder."""
+    return QueryBuilder(node)

@@ -1,0 +1,23 @@
+"""Comparison systems: the no-sampler Baseline is the planner itself
+(:meth:`repro.optimizer.QuickrPlanner.plan_baseline`); BlinkDB-style
+apriori stratified sampling lives here."""
+
+from repro.baselines.blinkdb import (
+    BlinkDB,
+    BlinkDBReport,
+    SampleSelection,
+    StratifiedSample,
+    build_stratified_sample,
+    sample_size_for,
+    select_samples,
+)
+
+__all__ = [
+    "BlinkDB",
+    "BlinkDBReport",
+    "SampleSelection",
+    "StratifiedSample",
+    "build_stratified_sample",
+    "sample_size_for",
+    "select_samples",
+]

@@ -1,0 +1,130 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro plan q12               # show ASALQA's plan for a query
+    python -m repro evaluate --scale 0.3   # run the TPC-DS evaluation
+    python -m repro trace                  # regenerate the Figure 2 analysis
+
+The CLI operates on the built-in TPC-DS-style workload; it exists so a
+reader can poke at the system without writing a script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def _cmd_plan(args) -> int:
+    from repro.engine.executor import Executor
+    from repro.optimizer.planner import QuickrPlanner
+    from repro.workloads.tpcds import QUERY_BUILDERS, generate_tpcds, query_by_name
+
+    if args.query not in QUERY_BUILDERS:
+        print(f"unknown query {args.query!r}; available: {', '.join(QUERY_BUILDERS)}")
+        return 2
+    db = generate_tpcds(scale=args.scale, seed=args.seed)
+    planner = QuickrPlanner(db)
+    result = planner.plan(query_by_name(db, args.query))
+
+    print(f"query {args.query}: approximable={result.approximable}")
+    for decision in result.decisions:
+        print(f"  {decision.spec!r}  <- {decision.reason} (support {decision.support:.1f})")
+
+    def show(node, depth=0):
+        print("  " * depth + repr(node))
+        for child in node.children:
+            show(child, depth + 1)
+
+    print("\nplan:")
+    show(result.plan)
+
+    if args.execute:
+        executor = Executor(db)
+        exact = executor.execute(result.baseline_plan)
+        approx = executor.execute(result.plan)
+        gain = exact.cost.machine_hours / max(approx.cost.machine_hours, 1e-9)
+        print(f"\nmachine-hours gain: {gain:.2f}x  "
+              f"(answer rows {approx.table.num_rows} vs exact {exact.table.num_rows})")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    import numpy as np
+
+    from repro.experiments.figures import figure8a_performance, figure8b_error, table7_sampler_frequency
+    from repro.experiments.report import format_table
+    from repro.experiments.runner import ExperimentRunner
+    from repro.workloads.tpcds import generate_tpcds, queries
+
+    db = generate_tpcds(scale=args.scale, seed=args.seed)
+    runner = ExperimentRunner(db)
+    outcomes = runner.run_suite(queries(db))
+
+    print(format_table([o.summary() for o in outcomes], title="per-query outcomes"))
+    perf = figure8a_performance(outcomes)
+    err = figure8b_error(outcomes)
+    freq = table7_sampler_frequency(outcomes)
+    print(f"\nmedian machine-hours gain: {perf['median']['machine_hours']:.2f}x "
+          f"(>2x for {perf['fraction_mh_gain_over_2x']:.0%} of queries)")
+    print(f"aggregates within 10%: {err['fraction_within_10pct']:.0%}; "
+          f"no missed groups (full answer): {err['fraction_no_missed_groups_full']:.0%}")
+    print(f"sampler mix: {', '.join(f'{k} {v:.0%}' for k, v in freq['distribution_across_samplers'].items())}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.experiments.figures import figure2
+    from repro.experiments.report import format_table
+
+    data = figure2(num_queries=args.queries, seed=args.seed)
+    print(f"total input: {data['total_pb']:.0f} PB; "
+          f"half the cluster time touches {data['pb_at_half_cluster_time']:.1f} PB")
+    rows = []
+    for metric, paper in data["paper"].items():
+        measured = data["measured"][metric]
+        rows.append(
+            {"metric": metric, **{f"{p}th": f"{measured[p]:.1f} ({paper[p]:g})" for p in (25, 50, 75, 90, 95)}}
+        )
+    print(format_table(rows, "Figure 2b percentiles: measured (paper)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Quickr reproduction: lazy approximation of complex ad-hoc queries",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="show ASALQA's plan for a TPC-DS query")
+    plan.add_argument("query", help="query name, e.g. q12")
+    plan.add_argument("--scale", type=float, default=0.3)
+    plan.add_argument("--seed", type=int, default=1)
+    plan.add_argument("--execute", action="store_true", help="also run the plans and report gain")
+    plan.set_defaults(func=_cmd_plan)
+
+    evaluate = sub.add_parser("evaluate", help="run the full TPC-DS evaluation")
+    evaluate.add_argument("--scale", type=float, default=0.3)
+    evaluate.add_argument("--seed", type=int, default=1)
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    trace = sub.add_parser("trace", help="regenerate the Figure 2 production-trace analysis")
+    trace.add_argument("--queries", type=int, default=20_000)
+    trace.add_argument("--seed", type=int, default=2016)
+    trace.set_defaults(func=_cmd_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,193 @@
+"""Sampled-view reuse — the paper's first "future work" direction (§7):
+
+    "Queries can be sped up further by reusing sampled views [28]."
+
+When ASALQA places a sampler over some sub-expression, the sampler's output
+is a *sampled view* of that sub-expression. A later query whose plan
+contains a structurally identical sampled sub-expression can read the
+materialized view instead of re-scanning and re-sampling the inputs —
+turning Quickr's zero-apriori-overhead lazy sampling into an incremental
+cache that pays for itself after the first query.
+
+Correctness requirements implemented here:
+
+* **Structural identity** — a view matches only a sub-plan with the exact
+  same key (same core expression *and* same sampler spec, including seed,
+  so universe families stay consistent across queries).
+* **Staleness** — views are tagged with the epochs of the base tables they
+  read; bumping a table's epoch (data changed) invalidates its views.
+* **Budget** — the store holds at most ``max_rows`` across views and
+  evicts least-recently-used views first.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.algebra.analysis import base_tables
+from repro.algebra.logical import LogicalNode, SamplerNode, Scan
+from repro.engine.table import Table
+from repro.errors import PlanError
+
+__all__ = ["SampledView", "ViewStore", "MaterializingExecutor"]
+
+
+@dataclass
+class SampledView:
+    """One cached sampler output."""
+
+    key: tuple
+    table: Table
+    source_tables: frozenset
+    epochs: Tuple[Tuple[str, int], ...]
+    created_at: float
+    last_used_at: float
+    hits: int = 0
+
+    @property
+    def rows(self) -> int:
+        return self.table.num_rows
+
+
+class ViewStore:
+    """An LRU store of sampled views with staleness tracking."""
+
+    def __init__(self, max_rows: int = 1_000_000):
+        self.max_rows = int(max_rows)
+        self._views: Dict[tuple, SampledView] = {}
+        self._epochs: Dict[str, int] = {}
+
+    # -- epochs -----------------------------------------------------------------
+    def epoch_of(self, table_name: str) -> int:
+        return self._epochs.get(table_name, 0)
+
+    def bump_epoch(self, table_name: str) -> None:
+        """Signal that a base table changed; its views become stale."""
+        self._epochs[table_name] = self.epoch_of(table_name) + 1
+        stale = [
+            key
+            for key, view in self._views.items()
+            if table_name in view.source_tables
+        ]
+        for key in stale:
+            del self._views[key]
+
+    # -- store ---------------------------------------------------------------------
+    def total_rows(self) -> int:
+        return sum(v.rows for v in self._views.values())
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def put(self, plan: SamplerNode, table: Table) -> Optional[SampledView]:
+        """Materialize a sampler node's output. Oversized views are skipped."""
+        if not isinstance(plan, SamplerNode):
+            raise PlanError("only sampler outputs are materialized as sampled views")
+        if table.num_rows > self.max_rows:
+            return None
+        sources = frozenset(base_tables(plan))
+        view = SampledView(
+            key=plan.key(),
+            table=table,
+            source_tables=sources,
+            epochs=tuple(sorted((name, self.epoch_of(name)) for name in sources)),
+            created_at=time.monotonic(),
+            last_used_at=time.monotonic(),
+        )
+        self._views[view.key] = view
+        self._evict()
+        return view
+
+    def get(self, plan: LogicalNode) -> Optional[SampledView]:
+        """A fresh view for this exact sub-plan, or None."""
+        view = self._views.get(plan.key())
+        if view is None:
+            return None
+        current = tuple(sorted((name, self.epoch_of(name)) for name in view.source_tables))
+        if current != view.epochs:
+            del self._views[view.key]
+            return None
+        view.last_used_at = time.monotonic()
+        view.hits += 1
+        return view
+
+    def _evict(self) -> None:
+        while self.total_rows() > self.max_rows and self._views:
+            oldest = min(self._views.values(), key=lambda v: v.last_used_at)
+            del self._views[oldest.key]
+
+    def stats(self) -> dict:
+        return {
+            "views": len(self._views),
+            "rows": self.total_rows(),
+            "hits": sum(v.hits for v in self._views.values()),
+        }
+
+
+class MaterializingExecutor:
+    """An executor wrapper that materializes and reuses sampled views.
+
+    On execution, every live sampler sub-plan is looked up in the store;
+    hits replace the whole subtree's work with a cached-table read, misses
+    execute normally and populate the store. The cost model sees the reuse
+    as a scan of the view's cardinality — which is exactly what a cluster
+    reading a materialized view would pay.
+    """
+
+    def __init__(self, executor, store: Optional[ViewStore] = None):
+        self.executor = executor
+        self.store = store if store is not None else ViewStore()
+
+    def execute(self, query):
+        from repro.algebra.builder import Query
+        from repro.engine.costmodel import cost_plan
+        from repro.engine.executor import ExecutionResult
+
+        plan = query.plan if isinstance(query, Query) else query
+        rewritten, reused = self._rewrite(plan)
+        result = self.executor.execute(rewritten)
+        if not reused:
+            self._harvest(plan, result)
+        return result
+
+    # -- internals --------------------------------------------------------------
+    def _rewrite(self, plan: LogicalNode):
+        """Replace cached sampler subtrees with scans of their views."""
+        reused = False
+
+        def visit(node: LogicalNode) -> LogicalNode:
+            nonlocal reused
+            if isinstance(node, SamplerNode):
+                view = self.store.get(node)
+                if view is not None:
+                    reused = True
+                    name = self._register_view(view)
+                    return Scan(name, node.output_columns())
+            if not node.children:
+                return node
+            return node.with_children([visit(c) for c in node.children])
+
+        return visit(plan), reused
+
+    def _register_view(self, view: SampledView) -> str:
+        name = f"__view_{abs(hash(view.key)) % 10**12}"
+        database = self.executor.database
+        if name not in database:
+            database.register(Table(name, view.table.to_dict()))
+        return name
+
+    def _harvest(self, plan: LogicalNode, result) -> None:
+        """Materialize every executed sampler output into the store."""
+        from repro.engine.executor import Executor
+
+        for node in plan.walk():
+            if isinstance(node, SamplerNode) and hasattr(node.spec, "apply"):
+                if self.store.get(node) is not None:
+                    continue
+                # Re-derive the sampler's output deterministically (the
+                # sampler seeds are fixed, so this equals what the main
+                # execution produced).
+                sub_result = self.executor.execute(node)
+                self.store.put(node, sub_result.table)

@@ -1,0 +1,18 @@
+"""Execution substrate: columnar tables, physical operators, cost model."""
+
+from repro.engine.costmodel import cost_plan
+from repro.engine.executor import ExecutionResult, Executor
+from repro.engine.metrics import ClusterConfig, PlanCost, StageCost
+from repro.engine.table import WEIGHT_COLUMN, Database, Table
+
+__all__ = [
+    "cost_plan",
+    "ExecutionResult",
+    "Executor",
+    "ClusterConfig",
+    "PlanCost",
+    "StageCost",
+    "WEIGHT_COLUMN",
+    "Database",
+    "Table",
+]

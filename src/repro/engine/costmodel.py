@@ -1,0 +1,240 @@
+"""Stage-based cost model for parallel plans.
+
+Splits a plan into pipelines bounded by exchanges (shuffle joins, aggregate
+re-partitions, sorts), assigns each stage a degree of parallelism from its
+input cardinality, and accumulates the paper's reporting metrics: machine
+hours, critical-path runtime, shuffled rows, intermediate rows and effective
+passes over data.
+
+The model is deliberately shared between optimization and measurement:
+``cost_plan(plan, rows_of, ...)`` takes a cardinality oracle, which is the
+statistics-based estimator during optimization and the actual executed row
+counts during measurement.
+
+Two behaviours from the paper are captured structurally:
+
+* a join against a small (dimension) input becomes a broadcast join and
+  stays in the probe side's pipeline — "a join between a fact and a
+  dimension table is effectively a select" (Section 3);
+* a sampler that shrinks a pipeline lowers the next stage's degree of
+  parallelism, amortizing task startup (Appendix A's sampler->exchange
+  rule), at the price of shuffling the surviving rows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.algebra.logical import (
+    Aggregate,
+    Join,
+    Limit,
+    LogicalNode,
+    OrderBy,
+    Project,
+    SamplerNode,
+    Scan,
+    Select,
+    UnionAll,
+)
+from repro.engine.metrics import ClusterConfig, PlanCost, StageCost
+from repro.errors import PlanError
+
+__all__ = ["cost_plan"]
+
+
+@dataclass
+class _Pipeline:
+    """A stage under construction."""
+
+    input_rows: float
+    rows: float
+    cpu: float
+    ready: float
+    pass_index: int
+    samplers: List[str] = field(default_factory=list)
+    ops: List[str] = field(default_factory=list)
+
+
+class _CostWalk:
+    def __init__(self, rows_of: Callable[[LogicalNode], float], config: ClusterConfig):
+        self.rows_of = rows_of
+        self.config = config
+        self.result = PlanCost()
+
+    # -- stage management ---------------------------------------------------
+    def _close(self, pipe: _Pipeline, shuffled_rows: float = 0.0) -> float:
+        """Materialize a pipeline as a StageCost; return its completion time."""
+        dop = self.config.dop_for_rows(pipe.input_rows)
+        work = pipe.cpu + shuffled_rows * self.config.exchange_cost
+        total_work = work + dop * self.config.task_startup
+        duration = self.config.task_startup + (work / dop if dop else work)
+        stage = StageCost(
+            pass_index=pipe.pass_index,
+            input_rows=pipe.input_rows,
+            output_rows=pipe.rows,
+            dop=dop,
+            cpu_work=total_work,
+            duration=duration,
+            shuffled_rows=shuffled_rows,
+            description="+".join(pipe.ops),
+            sampler_kinds=tuple(pipe.samplers),
+        )
+        self.result.stages.append(stage)
+        return pipe.ready + duration
+
+    # -- node dispatch ---------------------------------------------------------
+    def visit(self, node: LogicalNode) -> _Pipeline:
+        if isinstance(node, Scan):
+            return self._visit_scan(node)
+        if isinstance(node, Select):
+            return self._visit_rowlocal(node, self.config.select_cost, "select")
+        if isinstance(node, Project):
+            return self._visit_rowlocal(node, self.config.project_cost, "project")
+        if isinstance(node, SamplerNode):
+            return self._visit_sampler(node)
+        if isinstance(node, Join):
+            return self._visit_join(node)
+        if isinstance(node, Aggregate):
+            return self._visit_aggregate(node)
+        if isinstance(node, OrderBy):
+            return self._visit_orderby(node)
+        if isinstance(node, Limit):
+            return self._visit_limit(node)
+        if isinstance(node, UnionAll):
+            return self._visit_union(node)
+        raise PlanError(f"cost model cannot handle node {type(node).__name__}")
+
+    def _visit_scan(self, node: Scan) -> _Pipeline:
+        rows = float(self.rows_of(node))
+        self.result.job_input_rows += rows
+        return _Pipeline(
+            input_rows=rows,
+            rows=rows,
+            cpu=rows * self.config.scan_cost,
+            ready=0.0,
+            pass_index=0,
+            ops=[f"scan({node.table})"],
+        )
+
+    def _visit_rowlocal(self, node: LogicalNode, per_row: float, label: str) -> _Pipeline:
+        pipe = self.visit(node.children[0])
+        pipe.cpu += pipe.rows * per_row
+        pipe.rows = float(self.rows_of(node))
+        pipe.ops.append(label)
+        return pipe
+
+    def _visit_sampler(self, node: SamplerNode) -> _Pipeline:
+        pipe = self.visit(node.child)
+        spec_cost = getattr(node.spec, "cost_per_row", 0.2)
+        kind = getattr(node.spec, "kind", "sampler")
+        pipe.cpu += pipe.rows * (spec_cost + self.config.language_boundary_cost)
+        pipe.rows = float(self.rows_of(node))
+        pipe.samplers.append(kind)
+        pipe.ops.append(f"sampler[{kind}]")
+        return pipe
+
+    def _visit_join(self, node: Join) -> _Pipeline:
+        left = self.visit(node.left)
+        right = self.visit(node.right)
+        out_rows = float(self.rows_of(node))
+        smaller, larger = (left, right) if left.rows <= right.rows else (right, left)
+
+        if smaller.rows <= self.config.broadcast_threshold:
+            # Broadcast join: the small side is gathered and shipped to every
+            # probe task; the large side's pipeline continues un-broken.
+            ready_small = self._close(smaller, shuffled_rows=smaller.rows)
+            larger.cpu += smaller.rows * self.config.join_build_cost
+            larger.cpu += larger.rows * self.config.join_probe_cost
+            larger.rows = out_rows
+            larger.ready = max(larger.ready, ready_small)
+            larger.ops.append("bcast-join")
+            return larger
+
+        # Pair (shuffle) join: both inputs re-partition on the join keys.
+        ready_left = self._close(left, shuffled_rows=left.rows)
+        ready_right = self._close(right, shuffled_rows=right.rows)
+        input_rows = left.rows + right.rows
+        cpu = smaller.rows * self.config.join_build_cost + larger.rows * self.config.join_probe_cost
+        return _Pipeline(
+            input_rows=input_rows,
+            rows=out_rows,
+            cpu=cpu,
+            ready=max(ready_left, ready_right),
+            pass_index=max(left.pass_index, right.pass_index) + 1,
+            ops=["shuffle-join"],
+        )
+
+    def _visit_aggregate(self, node: Aggregate) -> _Pipeline:
+        pipe = self.visit(node.child)
+        groups = float(self.rows_of(node))
+        dop = self.config.dop_for_rows(pipe.input_rows)
+        partial_rows = min(pipe.rows, groups * dop)
+        pipe.cpu += pipe.rows * self.config.partial_agg_cost
+        pipe.rows = partial_rows
+        pipe.ops.append("partial-agg")
+        ready = self._close(pipe, shuffled_rows=partial_rows)
+        return _Pipeline(
+            input_rows=partial_rows,
+            rows=groups,
+            cpu=partial_rows * self.config.final_agg_cost,
+            ready=ready,
+            pass_index=pipe.pass_index + 1,
+            ops=["final-agg"],
+        )
+
+    def _visit_orderby(self, node: OrderBy) -> _Pipeline:
+        pipe = self.visit(node.child)
+        rows = pipe.rows
+        ready = self._close(pipe, shuffled_rows=rows)
+        log_factor = math.log2(rows + 2.0)
+        return _Pipeline(
+            input_rows=rows,
+            rows=float(self.rows_of(node)),
+            cpu=rows * self.config.sort_cost * log_factor / 8.0,
+            ready=ready,
+            pass_index=pipe.pass_index + 1,
+            ops=["sort"],
+        )
+
+    def _visit_limit(self, node: Limit) -> _Pipeline:
+        pipe = self.visit(node.child)
+        pipe.rows = float(self.rows_of(node))
+        pipe.ops.append("limit")
+        return pipe
+
+    def _visit_union(self, node: UnionAll) -> _Pipeline:
+        pipes = [self.visit(child) for child in node.children]
+        merged = pipes[0]
+        for extra in pipes[1:]:
+            merged.input_rows += extra.input_rows
+            merged.rows += extra.rows
+            merged.cpu += extra.cpu
+            merged.ready = max(merged.ready, extra.ready)
+            merged.pass_index = max(merged.pass_index, extra.pass_index)
+            merged.samplers.extend(extra.samplers)
+            merged.ops.extend(extra.ops)
+        merged.rows = float(self.rows_of(node))
+        merged.ops.append("union-all")
+        return merged
+
+
+def cost_plan(
+    plan: LogicalNode,
+    rows_of: Callable[[LogicalNode], float],
+    config: Optional[ClusterConfig] = None,
+) -> PlanCost:
+    """Cost a plan end-to-end.
+
+    ``rows_of`` maps each plan node to its output cardinality (estimated or
+    measured). Returns a :class:`PlanCost` with per-stage detail.
+    """
+    config = config or ClusterConfig()
+    walk = _CostWalk(rows_of, config)
+    final = walk.visit(plan)
+    finish = walk._close(final, shuffled_rows=0.0)
+    walk.result.job_output_rows = float(rows_of(plan))
+    walk.result._runtime = finish
+    return walk.result

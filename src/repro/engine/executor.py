@@ -1,0 +1,107 @@
+"""Plan executor: runs a (possibly sampled) logical plan over a database.
+
+Execution is vectorized and single-process, but every operator's input and
+output cardinalities are recorded and replayed through the stage-based
+cluster cost model (:mod:`repro.engine.costmodel`), yielding the metrics the
+paper reports — machine-hours, runtime, shuffled data, intermediate data and
+effective passes — for the *measured* cardinalities of this run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.algebra.builder import Query
+from repro.algebra.logical import (
+    Aggregate,
+    Join,
+    Limit,
+    LogicalNode,
+    OrderBy,
+    Project,
+    SamplerNode,
+    Scan,
+    Select,
+    UnionAll,
+)
+from repro.engine import operators
+from repro.engine.costmodel import cost_plan
+from repro.engine.metrics import ClusterConfig, PlanCost
+from repro.engine.table import Database, Table
+from repro.errors import PlanError
+
+__all__ = ["ExecutionResult", "Executor"]
+
+
+@dataclass
+class ExecutionResult:
+    """The answer table plus the cluster-model cost of producing it."""
+
+    table: Table
+    cost: PlanCost
+    cardinalities: Dict[int, int]
+
+    @property
+    def answer(self) -> Table:
+        return self.table
+
+
+class Executor:
+    """Executes logical plans against a :class:`Database`."""
+
+    def __init__(self, database: Database, config: Optional[ClusterConfig] = None):
+        self.database = database
+        self.config = config or ClusterConfig()
+
+    def execute(self, query) -> ExecutionResult:
+        """Run a :class:`Query` or bare plan node; returns answer + cost."""
+        plan = query.plan if isinstance(query, Query) else query
+        cardinalities: Dict[int, int] = {}
+        table = self._run(plan, cardinalities)
+        cost = cost_plan(plan, lambda node: cardinalities[id(node)], self.config)
+        return ExecutionResult(table=table, cost=cost, cardinalities=cardinalities)
+
+    def _run(self, node: LogicalNode, cardinalities: Dict[int, int]) -> Table:
+        table = self._dispatch(node, cardinalities)
+        cardinalities[id(node)] = table.num_rows
+        return table
+
+    def _dispatch(self, node: LogicalNode, cardinalities: Dict[int, int]) -> Table:
+        if isinstance(node, Scan):
+            base = self.database.table(node.table)
+            return base.project(node.output_columns())
+        if isinstance(node, Select):
+            return operators.execute_select(self._run(node.child, cardinalities), node.predicate)
+        if isinstance(node, Project):
+            return operators.execute_project(self._run(node.child, cardinalities), node.mapping)
+        if isinstance(node, SamplerNode):
+            child = self._run(node.child, cardinalities)
+            spec = node.spec
+            if not hasattr(spec, "apply"):
+                raise PlanError(
+                    f"sampler spec {spec!r} is logical; run ASALQA costing to obtain a physical plan"
+                )
+            return spec.apply(child)
+        if isinstance(node, Join):
+            left = self._run(node.left, cardinalities)
+            right = self._run(node.right, cardinalities)
+            return operators.execute_join(left, right, node.left_keys, node.right_keys, node.how)
+        if isinstance(node, Aggregate):
+            child = self._run(node.child, cardinalities)
+            return operators.execute_aggregate(
+                child,
+                node.group_by,
+                node.aggs,
+                compute_ci=getattr(node, "compute_ci", False),
+                universe_rescale=getattr(node, "universe_rescale", None),
+                universe_variance=getattr(node, "universe_variance", None),
+            )
+        if isinstance(node, OrderBy):
+            return operators.execute_orderby(self._run(node.child, cardinalities), node.keys, node.descending)
+        if isinstance(node, Limit):
+            return operators.execute_limit(self._run(node.child, cardinalities), node.n)
+        if isinstance(node, UnionAll):
+            tables = [self._run(child, cardinalities) for child in node.children]
+            return operators.execute_union_all(tables)
+        raise PlanError(f"executor cannot handle node {type(node).__name__}")

@@ -1,0 +1,348 @@
+"""Vectorized physical operator implementations.
+
+These functions execute one logical operator over columnar tables. They are
+deliberately stand-alone (table in, table out) so both the executor and the
+tests can drive them directly.
+
+The aggregation operator implements the paper's Table 8 estimator rewrites
+natively: when the input carries a weight column, every aggregate becomes
+its Horvitz-Thompson estimator, and (optionally) each SUM-like aggregate
+gains a confidence-interval column computed in the same pass (Section 4.3,
+Proposition 2: one effective pass for estimate and error).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algebra.aggregates import AggKind, AggSpec
+from repro.algebra.expressions import Expr
+from repro.engine.table import WEIGHT_COLUMN, Table
+from repro.errors import PlanError
+
+__all__ = [
+    "group_codes",
+    "execute_select",
+    "execute_project",
+    "execute_join",
+    "execute_aggregate",
+    "execute_orderby",
+    "execute_limit",
+    "execute_union_all",
+    "CI_SUFFIX",
+    "Z_95",
+]
+
+#: Suffix for the optional confidence-interval column appended per aggregate.
+CI_SUFFIX = "__ci"
+
+#: Central-limit z-score for the 95% confidence intervals Quickr reports.
+Z_95 = 1.96
+
+
+def group_codes(arrays: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Dense group ids for a tuple of key columns.
+
+    Returns ``(codes, first_row_index_per_group, num_groups)`` where
+    ``first_row_index_per_group`` locates one representative row per group
+    (used to emit the group-key columns without re-sorting).
+    """
+    if not arrays:
+        raise PlanError("group_codes requires at least one key column")
+    stacked = np.rec.fromarrays(arrays)
+    uniques, first_index, codes = np.unique(stacked, return_index=True, return_inverse=True)
+    return codes.astype(np.int64), first_index, len(uniques)
+
+
+def execute_select(table: Table, predicate: Expr) -> Table:
+    mask = np.asarray(predicate.evaluate(table), dtype=bool)
+    return table.take(mask)
+
+
+def execute_project(table: Table, mapping: Dict[str, Expr]) -> Table:
+    out = {name: np.asarray(expr.evaluate(table)) for name, expr in mapping.items()}
+    if table.has_weights():
+        out[WEIGHT_COLUMN] = table.column(WEIGHT_COLUMN)
+    return Table(table.name, out)
+
+
+def _join_codes(left_keys: Sequence[np.ndarray], right_keys: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+    """Common dense codes for the key tuples of both join inputs."""
+    n_left = len(left_keys[0])
+    combined = []
+    for l_col, r_col in zip(left_keys, right_keys):
+        common = np.result_type(l_col.dtype, r_col.dtype)
+        combined.append(np.concatenate([l_col.astype(common), r_col.astype(common)]))
+    stacked = np.rec.fromarrays(combined)
+    _, codes = np.unique(stacked, return_inverse=True)
+    codes = codes.astype(np.int64)
+    return codes[:n_left], codes[n_left:]
+
+
+def _match_pairs(left_codes: np.ndarray, right_codes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """All (left_index, right_index) pairs with equal codes (many-to-many)."""
+    order = np.argsort(right_codes, kind="stable")
+    sorted_right = right_codes[order]
+    lo = np.searchsorted(sorted_right, left_codes, side="left")
+    hi = np.searchsorted(sorted_right, left_codes, side="right")
+    counts = hi - lo
+    left_idx = np.repeat(np.arange(len(left_codes)), counts)
+    if len(left_idx) == 0:
+        return left_idx, left_idx.copy()
+    # Offsets into the sorted right side, expanded per match.
+    starts = np.repeat(lo, counts)
+    within = np.arange(len(left_idx)) - np.repeat(np.cumsum(counts) - counts, counts)
+    right_idx = order[starts + within]
+    return left_idx, right_idx
+
+
+def execute_join(
+    left: Table,
+    right: Table,
+    left_keys: Sequence[str],
+    right_keys: Sequence[str],
+    how: str = "inner",
+) -> Table:
+    """Hash equi-join. Weights multiply; a side without weights counts as 1."""
+    l_codes, r_codes = _join_codes(
+        [left.column(k) for k in left_keys], [right.column(k) for k in right_keys]
+    )
+    left_idx, right_idx = _match_pairs(l_codes, r_codes)
+
+    columns: Dict[str, np.ndarray] = {}
+    for name in left.data_column_names():
+        columns[name] = left.column(name)[left_idx]
+    for name in right.data_column_names():
+        columns[name] = right.column(name)[right_idx]
+
+    if how in ("left", "right"):
+        outer, inner_idx, outer_keys = (left, left_idx, left.data_column_names()) if how == "left" else (
+            right,
+            right_idx,
+            right.data_column_names(),
+        )
+        matched = np.zeros(outer.num_rows, dtype=bool)
+        matched[inner_idx] = True
+        missing = np.flatnonzero(~matched)
+        if len(missing):
+            for name in outer_keys:
+                columns[name] = np.concatenate([columns[name], outer.column(name)[missing]])
+            other_names = (
+                right.data_column_names() if how == "left" else left.data_column_names()
+            )
+            for name in other_names:
+                fill = np.full(len(missing), np.nan)
+                columns[name] = np.concatenate([columns[name].astype(np.float64), fill])
+            left_idx = np.concatenate([left_idx, missing]) if how == "left" else left_idx
+            right_idx = np.concatenate([right_idx, missing]) if how == "right" else right_idx
+    elif how != "inner":
+        raise PlanError(f"unsupported join type {how!r}")
+
+    n_out = len(next(iter(columns.values()))) if columns else 0
+    if left.has_weights() or right.has_weights():
+        lw = left.weights()[left_idx] if left.has_weights() else 1.0
+        rw = right.weights()[right_idx] if right.has_weights() else 1.0
+        weight = np.asarray(lw * rw, dtype=np.float64)
+        if len(np.atleast_1d(weight)) != n_out:  # outer-join fill rows keep weight 1
+            padded = np.ones(n_out)
+            padded[: len(np.atleast_1d(weight))] = weight
+            weight = padded
+        columns[WEIGHT_COLUMN] = weight
+    return Table(f"{left.name}_join_{right.name}", columns)
+
+
+def _grouped_sum(codes: np.ndarray, num_groups: int, values: np.ndarray) -> np.ndarray:
+    return np.bincount(codes, weights=values, minlength=num_groups)
+
+
+def _grouped_min(codes: np.ndarray, num_groups: int, values: np.ndarray) -> np.ndarray:
+    out = np.full(num_groups, np.inf)
+    np.minimum.at(out, codes, values)
+    return out
+
+
+def _grouped_max(codes: np.ndarray, num_groups: int, values: np.ndarray) -> np.ndarray:
+    out = np.full(num_groups, -np.inf)
+    np.maximum.at(out, codes, values)
+    return out
+
+
+def _grouped_count_distinct(codes: np.ndarray, num_groups: int, values: np.ndarray) -> np.ndarray:
+    pair = np.rec.fromarrays([codes, values])
+    unique_pairs = np.unique(pair)
+    return np.bincount(unique_pairs.f0.astype(np.int64), minlength=num_groups).astype(np.float64)
+
+
+def _per_row_contribution(agg: AggSpec, table: Table) -> np.ndarray:
+    """The raw (unweighted) per-row value y_i such that the true aggregate is
+    sum over all rows of y_i. Used for both estimate and variance."""
+    if agg.kind is AggKind.COUNT:
+        return np.ones(table.num_rows)
+    if agg.kind is AggKind.COUNT_IF:
+        return np.asarray(agg.cond.evaluate(table), dtype=np.float64)
+    values = np.asarray(agg.expr.evaluate(table), dtype=np.float64)
+    if agg.kind is AggKind.SUM_IF:
+        return values * np.asarray(agg.cond.evaluate(table), dtype=np.float64)
+    return values
+
+
+def _variance_independent(codes, num_groups, weights, y) -> np.ndarray:
+    """HT variance for independent per-row inclusion (uniform/distinct):
+    Var-hat = sum_i (w_i^2 - w_i) * y_i^2, grouped."""
+    return _grouped_sum(codes, num_groups, (weights * weights - weights) * y * y)
+
+
+def _variance_universe(codes, num_groups, universe_values, p, y) -> np.ndarray:
+    """HT variance under universe sampling (Section B.1): rows sharing a key
+    subspace value are perfectly correlated, so
+    Var-hat = (1 - p)/p^2 * sum over key values g of (sum_{i in g} y_i)^2."""
+    pair_codes, _, pair_groups = group_codes([codes, universe_values])
+    sums = _grouped_sum(pair_codes, pair_groups, y)
+    # Every row of a (group, universe-value) pair shares the same group id,
+    # so any representative row maps the pair back to its group.
+    representative = np.zeros(pair_groups, dtype=np.int64)
+    representative[pair_codes] = codes
+    var = np.zeros(num_groups)
+    np.add.at(var, representative, (1.0 - p) / (p * p) * sums * sums)
+    return var
+
+
+def execute_aggregate(
+    table: Table,
+    group_by: Sequence[str],
+    aggs: Sequence[AggSpec],
+    compute_ci: bool = False,
+    universe_rescale: Optional[Dict[str, float]] = None,
+    universe_variance: Optional[Tuple[Tuple[str, ...], float]] = None,
+) -> Table:
+    """Grouped aggregation with Horvitz-Thompson estimation.
+
+    If the input has no weight column this computes exact answers. With
+    weights, each aggregate is rewritten per the paper's Table 8:
+
+    ====================  =============================================
+    true value            estimate over the sample
+    ====================  =============================================
+    SUM(x)                SUM(w * x)
+    COUNT(*)              SUM(w)
+    AVG(x)                SUM(w * x) / SUM(w)
+    SUM(IF(c, x))         SUM(IF(c, w * x))
+    COUNT(IF(c))          SUM(IF(c, w))
+    COUNT(DISTINCT x)     COUNT(DISTINCT x) * (universe on x ? 1/p : 1)
+    ====================  =============================================
+
+    ``universe_rescale`` maps aggregate aliases to the 1/p factor for
+    COUNT DISTINCT under universe sampling. ``universe_variance`` is
+    ``(universe column names, p)`` when the dominant sampler for this
+    aggregation is a universe sampler — variance then accounts for the
+    perfect correlation of rows within a key-subspace value.
+    """
+    universe_rescale = universe_rescale or {}
+    weighted = table.has_weights()
+    weights = table.weights()
+
+    if group_by:
+        key_arrays = [table.column(k) for k in group_by]
+        codes, first_index, num_groups = group_codes(key_arrays)
+        # Emit groups in order of first appearance in the input.
+        order = np.argsort(first_index)
+        remap = np.empty(num_groups, dtype=np.int64)
+        remap[order] = np.arange(num_groups)
+        codes = remap[codes]
+        out = {k: table.column(k)[first_index[order]] for k in group_by}
+    else:
+        codes = np.zeros(table.num_rows, dtype=np.int64)
+        num_groups = 1 if table.num_rows else 1
+        out = {}
+
+    if table.num_rows == 0 and not group_by:
+        # Scalar aggregates over empty input: zero counts/sums, NaN averages.
+        for agg in aggs:
+            if agg.kind in (AggKind.AVG, AggKind.MIN, AggKind.MAX):
+                out[agg.alias] = np.asarray([np.nan])
+            else:
+                out[agg.alias] = np.asarray([0.0])
+            if compute_ci:
+                out[agg.alias + CI_SUFFIX] = np.asarray([0.0])
+        return Table(f"{table.name}_agg", out)
+
+    universe_values = None
+    universe_p = None
+    if universe_variance is not None:
+        ucols, universe_p = universe_variance
+        present = [c for c in ucols if table.has_column(c)]
+        if present:
+            ucodes, _, _ = group_codes([table.column(c) for c in present])
+            universe_values = ucodes
+
+    weight_sum = _grouped_sum(codes, num_groups, weights)
+
+    for agg in aggs:
+        variance: Optional[np.ndarray] = None
+        if agg.kind in (AggKind.SUM, AggKind.COUNT, AggKind.SUM_IF, AggKind.COUNT_IF):
+            y = _per_row_contribution(agg, table)
+            estimate = _grouped_sum(codes, num_groups, weights * y)
+            if compute_ci and weighted:
+                if universe_values is not None and universe_p is not None:
+                    variance = _variance_universe(codes, num_groups, universe_values, universe_p, y)
+                else:
+                    variance = _variance_independent(codes, num_groups, weights, y)
+        elif agg.kind is AggKind.AVG:
+            y = np.asarray(agg.expr.evaluate(table), dtype=np.float64)
+            numerator = _grouped_sum(codes, num_groups, weights * y)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                estimate = np.where(weight_sum > 0, numerator / weight_sum, np.nan)
+            if compute_ci and weighted:
+                # Delta-method variance of the ratio estimator.
+                var_num = _variance_independent(codes, num_groups, weights, y)
+                var_den = _variance_independent(codes, num_groups, weights, np.ones(table.num_rows))
+                cov = _grouped_sum(codes, num_groups, (weights * weights - weights) * y)
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    ratio = estimate
+                    variance = np.where(
+                        weight_sum > 0,
+                        (var_num - 2 * ratio * cov + ratio * ratio * var_den) / (weight_sum * weight_sum),
+                        np.nan,
+                    )
+                variance = np.maximum(variance, 0.0)
+        elif agg.kind is AggKind.MIN:
+            estimate = _grouped_min(codes, num_groups, np.asarray(agg.expr.evaluate(table), dtype=np.float64))
+        elif agg.kind is AggKind.MAX:
+            estimate = _grouped_max(codes, num_groups, np.asarray(agg.expr.evaluate(table), dtype=np.float64))
+        elif agg.kind is AggKind.COUNT_DISTINCT:
+            values = agg.expr.evaluate(table)
+            raw = _grouped_count_distinct(codes, num_groups, np.asarray(values))
+            factor = universe_rescale.get(agg.alias, 1.0)
+            estimate = raw * factor
+            if compute_ci and weighted and factor > 1.0:
+                p = 1.0 / factor
+                variance = raw * (1.0 - p) / (p * p)
+        else:
+            raise PlanError(f"unknown aggregate kind {agg.kind}")
+        out[agg.alias] = estimate
+        if compute_ci:
+            if variance is None:
+                variance = np.zeros(num_groups)
+            out[agg.alias + CI_SUFFIX] = Z_95 * np.sqrt(np.maximum(variance, 0.0))
+
+    return Table(f"{table.name}_agg", out)
+
+
+def execute_orderby(table: Table, keys: Sequence[str], descending: bool) -> Table:
+    return table.sort_by(keys, descending)
+
+
+def execute_limit(table: Table, n: int) -> Table:
+    return table.head(n)
+
+
+def execute_union_all(tables: Sequence[Table]) -> Table:
+    aligned = []
+    any_weights = any(t.has_weights() for t in tables)
+    for t in tables:
+        if any_weights and not t.has_weights():
+            t = t.with_columns({WEIGHT_COLUMN: np.ones(t.num_rows)})
+        aligned.append(t)
+    return Table.concat(aligned, name=aligned[0].name)

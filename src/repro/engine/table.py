@@ -1,0 +1,189 @@
+"""Columnar in-memory tables and the database they live in.
+
+A :class:`Table` is a named, ordered collection of equal-length NumPy
+columns. It is the unit of data flowing through the executor: base tables,
+intermediate relations and query answers are all Tables. The reserved
+column ``WEIGHT_COLUMN`` carries Horvitz-Thompson inverse inclusion
+probabilities once a sampler has run; it is never part of the logical
+schema.
+
+:class:`Database` is the catalog of base tables plus their statistics
+(collected lazily, mirroring the paper's "computed by the first query that
+touches the dataset").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CatalogError, SchemaError
+
+__all__ = ["WEIGHT_COLUMN", "Table", "Database"]
+
+#: Reserved name for the sampler weight column (paper Section 4.1: "each
+#: sampler appends a metadata column representing the weight of the row").
+WEIGHT_COLUMN = "__w__"
+
+
+class Table:
+    """An immutable-by-convention columnar table."""
+
+    __slots__ = ("name", "_columns", "num_rows")
+
+    def __init__(self, name: str, columns: Mapping[str, np.ndarray]):
+        if not columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        self.name = name
+        self._columns: Dict[str, np.ndarray] = {}
+        length: Optional[int] = None
+        for col_name, values in columns.items():
+            arr = np.asarray(values)
+            if arr.ndim != 1:
+                raise SchemaError(f"column {col_name!r} of {name!r} must be 1-D")
+            if length is None:
+                length = arr.shape[0]
+            elif arr.shape[0] != length:
+                raise SchemaError(
+                    f"column {col_name!r} of {name!r} has {arr.shape[0]} rows, expected {length}"
+                )
+            self._columns[col_name] = arr
+        self.num_rows = int(length or 0)
+
+    # -- schema ----------------------------------------------------------------
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(self._columns.keys())
+
+    def data_column_names(self) -> Tuple[str, ...]:
+        """Column names excluding the reserved weight column."""
+        return tuple(c for c in self._columns if c != WEIGHT_COLUMN)
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns
+
+    def has_weights(self) -> bool:
+        return WEIGHT_COLUMN in self._columns
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}") from None
+
+    def weights(self) -> np.ndarray:
+        """Per-row HT weights; all-ones if no sampler has run."""
+        if self.has_weights():
+            return self._columns[WEIGHT_COLUMN]
+        return np.ones(self.num_rows)
+
+    # -- construction helpers ----------------------------------------------------
+    def with_columns(self, new_columns: Mapping[str, np.ndarray], name: Optional[str] = None) -> "Table":
+        merged = dict(self._columns)
+        merged.update(new_columns)
+        return Table(name or self.name, merged)
+
+    def rename_columns(self, mapping: Mapping[str, str], name: Optional[str] = None) -> "Table":
+        renamed = {mapping.get(col, col): arr for col, arr in self._columns.items()}
+        return Table(name or self.name, renamed)
+
+    def project(self, names: Sequence[str], name: Optional[str] = None) -> "Table":
+        """Keep only the given columns, preserving the weight column."""
+        out = {n: self.column(n) for n in names}
+        if self.has_weights() and WEIGHT_COLUMN not in out:
+            out[WEIGHT_COLUMN] = self._columns[WEIGHT_COLUMN]
+        return Table(name or self.name, out)
+
+    def take(self, selector: np.ndarray, name: Optional[str] = None) -> "Table":
+        """Row subset by boolean mask or index array."""
+        return Table(name or self.name, {c: arr[selector] for c, arr in self._columns.items()})
+
+    def head(self, n: int) -> "Table":
+        return self.take(np.arange(min(n, self.num_rows)))
+
+    def sort_by(self, keys: Sequence[str], descending: bool = False) -> "Table":
+        order = np.lexsort([self.column(k) for k in reversed(keys)])
+        if descending:
+            order = order[::-1]
+        return self.take(order)
+
+    def partition(self, num_partitions: int) -> list:
+        """Round-robin split into ``num_partitions`` tables (parallel input)."""
+        if num_partitions <= 1 or self.num_rows == 0:
+            return [self]
+        idx = np.arange(self.num_rows)
+        return [self.take(idx[p::num_partitions]) for p in range(num_partitions)]
+
+    @staticmethod
+    def concat(tables: Sequence["Table"], name: Optional[str] = None) -> "Table":
+        """Vertical concatenation of tables with identical schemas."""
+        if not tables:
+            raise SchemaError("cannot concatenate zero tables")
+        first = tables[0]
+        schema = first.column_names
+        for other in tables[1:]:
+            if set(other.column_names) != set(schema):
+                raise SchemaError(f"schema mismatch in concat: {schema} vs {other.column_names}")
+        columns = {c: np.concatenate([t.column(c) for t in tables]) for c in schema}
+        return Table(name or first.name, columns)
+
+    @staticmethod
+    def from_rows(name: str, column_names: Sequence[str], rows: Iterable[tuple]) -> "Table":
+        """Build from an iterable of row tuples (used by streaming samplers)."""
+        materialized = list(rows)
+        if materialized:
+            arrays = [np.asarray(col) for col in zip(*materialized)]
+        else:
+            arrays = [np.asarray([]) for _ in column_names]
+        return Table(name, dict(zip(column_names, arrays)))
+
+    def iter_rows(self) -> Iterable[tuple]:
+        """Yield rows as tuples in column order (streaming-sampler input)."""
+        arrays = list(self._columns.values())
+        for i in range(self.num_rows):
+            yield tuple(arr[i] for arr in arrays)
+
+    def to_dict(self) -> Dict[str, np.ndarray]:
+        return dict(self._columns)
+
+    def estimated_bytes(self) -> int:
+        """Approximate in-memory footprint, used as the 'data size' metric."""
+        return int(sum(arr.nbytes for arr in self._columns.values()))
+
+    def __repr__(self):
+        return f"Table({self.name!r}, rows={self.num_rows}, cols={list(self._columns)})"
+
+
+class Database:
+    """Catalog of named base tables."""
+
+    def __init__(self):
+        self._tables: Dict[str, Table] = {}
+
+    def register(self, table: Table) -> None:
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"no table named {name!r} in database") from None
+
+    def columns(self, name: str) -> Tuple[str, ...]:
+        return self.table(name).data_column_names()
+
+    def table_names(self) -> Tuple[str, ...]:
+        return tuple(self._tables.keys())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def total_rows(self) -> int:
+        return sum(t.num_rows for t in self._tables.values())
+
+    def total_bytes(self) -> int:
+        return sum(t.estimated_bytes() for t in self._tables.values())
+
+    def __repr__(self):
+        return f"Database({list(self._tables)})"

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the Quickr reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class. Subclasses separate user mistakes (bad queries, unknown columns)
+from internal invariant violations (plan corruption).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A column or table reference could not be resolved."""
+
+
+class PlanError(ReproError):
+    """A logical or physical plan is malformed or violates an invariant."""
+
+
+class ExpressionError(ReproError):
+    """An expression is malformed or applied to incompatible operands."""
+
+
+class SamplerError(ReproError):
+    """A sampler was configured with invalid parameters."""
+
+
+class OptimizerError(ReproError):
+    """Query optimization failed or produced an inconsistent plan."""
+
+
+class CatalogError(ReproError):
+    """A table is missing from the catalog or its statistics are stale."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator or query suite was misconfigured."""

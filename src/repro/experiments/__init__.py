@@ -1,0 +1,47 @@
+"""Evaluation harness: runners, error metrics, per-figure generators."""
+
+from repro.experiments.figures import (
+    figure2,
+    figure8a_performance,
+    figure8b_error,
+    figure8c_correlation,
+    figure9_unrolling,
+    table3_shape_stats,
+    table4_qo_times,
+    table5_sampler_placement,
+    table7_sampler_frequency,
+    table9_workload_comparison,
+)
+from repro.experiments.metrics import ErrorMetrics, answer_structure, compare_answers, strip_limit
+from repro.experiments.report import (
+    cdf,
+    format_percentile_table,
+    format_table,
+    fraction_at_or_above,
+    percentile_row,
+)
+from repro.experiments.runner import ExperimentRunner, QueryOutcome
+
+__all__ = [
+    "figure2",
+    "figure8a_performance",
+    "figure8b_error",
+    "figure8c_correlation",
+    "figure9_unrolling",
+    "table3_shape_stats",
+    "table4_qo_times",
+    "table5_sampler_placement",
+    "table7_sampler_frequency",
+    "table9_workload_comparison",
+    "ErrorMetrics",
+    "answer_structure",
+    "compare_answers",
+    "strip_limit",
+    "cdf",
+    "format_percentile_table",
+    "format_table",
+    "fraction_at_or_above",
+    "percentile_row",
+    "ExperimentRunner",
+    "QueryOutcome",
+]

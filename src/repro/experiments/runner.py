@@ -1,0 +1,128 @@
+"""Experiment runner: execute a query exactly and approximately, measure
+both performance and accuracy — one row of the paper's evaluation.
+
+For every query this produces the measurements behind Figures 8a-8c and
+Tables 4, 5 and 7: Baseline/Quickr ratios of machine-hours, runtime,
+shuffled data and intermediate data; missed-group and aggregation-error
+metrics (both on the answer as returned and on the paper's "full answer"
+with ORDER BY/LIMIT stripped); sampler counts, kinds and source distances;
+and query-optimization times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.algebra.builder import Query
+from repro.core.asalqa import AsalqaOptions, AsalqaResult
+from repro.engine.executor import ExecutionResult, Executor
+from repro.engine.metrics import ClusterConfig
+from repro.engine.table import Database
+from repro.experiments.metrics import ErrorMetrics, answer_structure, compare_answers, strip_limit
+from repro.optimizer.planner import QuickrPlanner
+
+__all__ = ["QueryOutcome", "ExperimentRunner"]
+
+
+def _ratio(baseline: float, quickr: float) -> float:
+    """Baseline/Quickr ratio, stabilized for near-zero denominators."""
+    return (baseline + 1.0) / (quickr + 1.0)
+
+
+@dataclass
+class QueryOutcome:
+    """Everything measured about one query."""
+
+    name: str
+    approximable: bool
+    sampler_kinds: List[str]
+    sampler_source_distances: List[int]
+    machine_hours_gain: float
+    runtime_gain: float
+    shuffled_gain: float
+    intermediate_gain: float
+    passes_baseline: float
+    passes_quickr: float
+    total_over_first_pass_baseline: float
+    error: ErrorMetrics
+    error_full: ErrorMetrics
+    qo_time_baseline: float
+    qo_time_quickr: float
+    estimated_gain: float
+    alternatives_explored: int
+
+    @property
+    def sampler_count(self) -> int:
+        return len(self.sampler_kinds)
+
+    def summary(self) -> dict:
+        return {
+            "query": self.name,
+            "approximable": self.approximable,
+            "samplers": list(self.sampler_kinds),
+            "mh_gain": round(self.machine_hours_gain, 2),
+            "runtime_gain": round(self.runtime_gain, 2),
+            "missed": self.error.groups_missed,
+            "missed_full": self.error_full.groups_missed,
+            "agg_error": round(self.error.aggregation_error, 4),
+        }
+
+
+class ExperimentRunner:
+    """Runs the paper's per-query measurement protocol."""
+
+    def __init__(
+        self,
+        database: Database,
+        options: Optional[AsalqaOptions] = None,
+        cluster: Optional[ClusterConfig] = None,
+    ):
+        cluster = cluster or (options.cluster if options else ClusterConfig())
+        if options is None:
+            options = AsalqaOptions(cluster=cluster)
+        self.planner = QuickrPlanner(database, options)
+        self.executor = Executor(database, cluster)
+
+    def run_query(self, query: Query) -> QueryOutcome:
+        baseline = self.planner.plan_baseline(query)
+        quickr = self.planner.plan(query)
+
+        exact = self.executor.execute(baseline.plan)
+        approx = self.executor.execute(quickr.plan)
+
+        group_cols, agg_cols = answer_structure(baseline.plan)
+        error = compare_answers(exact.table, approx.table, group_cols, agg_cols)
+
+        # Full answer: strip top-of-plan ORDER BY / LIMIT and re-compare.
+        full_base = strip_limit(baseline.plan)
+        full_quickr = strip_limit(quickr.plan)
+        if full_base is not baseline.plan or full_quickr is not quickr.plan:
+            exact_full = self.executor.execute(full_base)
+            approx_full = self.executor.execute(full_quickr)
+            error_full = compare_answers(exact_full.table, approx_full.table, group_cols, agg_cols)
+        else:
+            error_full = error
+
+        return QueryOutcome(
+            name=query.name,
+            approximable=quickr.approximable,
+            sampler_kinds=quickr.sampler_kinds(),
+            sampler_source_distances=approx.cost.sampler_source_distances(),
+            machine_hours_gain=_ratio(exact.cost.machine_hours, approx.cost.machine_hours),
+            runtime_gain=_ratio(exact.cost.runtime, approx.cost.runtime),
+            shuffled_gain=_ratio(exact.cost.shuffled_rows, approx.cost.shuffled_rows),
+            intermediate_gain=_ratio(exact.cost.intermediate_rows, approx.cost.intermediate_rows),
+            passes_baseline=exact.cost.effective_passes,
+            passes_quickr=approx.cost.effective_passes,
+            total_over_first_pass_baseline=exact.cost.total_over_first_pass(),
+            error=error,
+            error_full=error_full,
+            qo_time_baseline=baseline.qo_time_seconds,
+            qo_time_quickr=quickr.qo_time_seconds,
+            estimated_gain=quickr.estimated_gain(),
+            alternatives_explored=quickr.alternatives_explored,
+        )
+
+    def run_suite(self, queries: Sequence[Query]) -> List[QueryOutcome]:
+        return [self.run_query(q) for q in queries]

@@ -1,0 +1,23 @@
+"""Relational query-optimization substrate shared by Baseline and Quickr."""
+
+from repro.optimizer.join_order import flatten_join_tree, reorder_joins
+from repro.optimizer.planner import BaselinePlan, QuickrPlanner
+from repro.optimizer.rules import (
+    fuse_adjacent_selects,
+    normalize,
+    prune_identity_projects,
+    push_selects_down,
+    split_conjuncts,
+)
+
+__all__ = [
+    "flatten_join_tree",
+    "reorder_joins",
+    "BaselinePlan",
+    "QuickrPlanner",
+    "fuse_adjacent_selects",
+    "normalize",
+    "prune_identity_projects",
+    "push_selects_down",
+    "split_conjuncts",
+]

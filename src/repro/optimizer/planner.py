@@ -1,0 +1,86 @@
+"""End-to-end planning: Baseline QO and Quickr QO over the same substrate.
+
+``QuickrPlanner`` is the library's main entry point:
+
+* ``plan_baseline(query)`` — normalize (select push-down, project pruning)
+  and reorder joins: the production optimizer *without* samplers.
+* ``plan(query)`` — the same relational preparation, then ASALQA explores
+  sampled alternatives natively (the paper's option (b): samplers are
+  first-class operators inside the optimizer, not an a-posteriori edit).
+
+Both return plans over the identical substrate, so measured differences
+come only from the samplers — mirroring the paper's evaluation, whose
+Baseline "is identical to Quickr except for samplers".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.algebra.builder import Query
+from repro.algebra.logical import LogicalNode
+from repro.core.asalqa import Asalqa, AsalqaOptions, AsalqaResult
+from repro.engine.metrics import ClusterConfig, PlanCost
+from repro.engine.table import Database
+from repro.optimizer.join_order import reorder_joins
+from repro.optimizer.rules import normalize
+from repro.stats.catalog import Catalog
+from repro.stats.derivation import StatsDeriver
+
+__all__ = ["BaselinePlan", "QuickrPlanner"]
+
+
+@dataclass
+class BaselinePlan:
+    """A relationally-optimized plan without samplers."""
+
+    query_name: str
+    plan: LogicalNode
+    estimated_cost: PlanCost
+    qo_time_seconds: float
+
+
+class QuickrPlanner:
+    """Shared-substrate planner producing Baseline and Quickr plans."""
+
+    def __init__(
+        self,
+        database: Database,
+        options: Optional[AsalqaOptions] = None,
+        reorder: bool = True,
+    ):
+        self.database = database
+        self.catalog = Catalog(database)
+        self.options = options or AsalqaOptions()
+        self.reorder = reorder
+        self._asalqa = Asalqa(self.catalog, self.options)
+
+    # -- relational preparation shared by both planners ----------------------
+    def prepare(self, query: Query) -> Query:
+        plan = normalize(query.plan)
+        if self.reorder:
+            plan = reorder_joins(plan, self._asalqa.deriver)
+        return Query(query.name, plan)
+
+    def plan_baseline(self, query: Query) -> BaselinePlan:
+        """The production QO without samplers."""
+        start = time.perf_counter()
+        prepared = self.prepare(query)
+        cost = self._asalqa._cost(prepared.plan)
+        return BaselinePlan(
+            query_name=query.name,
+            plan=prepared.plan,
+            estimated_cost=cost,
+            qo_time_seconds=time.perf_counter() - start,
+        )
+
+    def plan(self, query: Query) -> AsalqaResult:
+        """The Quickr QO: relational preparation plus ASALQA."""
+        prepared = self.prepare(query)
+        return self._asalqa.optimize(prepared)
+
+    @property
+    def deriver(self) -> StatsDeriver:
+        return self._asalqa.deriver

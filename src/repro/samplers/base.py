@@ -1,0 +1,91 @@
+"""Physical sampler specifications.
+
+A :class:`SamplerSpec` is the physical state of a sampler operator in an
+executable plan: which rows to pass and with what Horvitz-Thompson weight.
+Every sampler obeys the paper's operating requirements (Section 4.1):
+
+* one pass over data;
+* memory footprint well below input/output size;
+* partitionable — running instances on disjoint partitions of the input and
+  unioning their outputs mimics a single instance over the whole input.
+
+``apply`` is the vectorized implementation used by the executor. The
+equivalent row-at-a-time implementations (the mode a real cluster would run)
+live in :mod:`repro.samplers.streaming` and are property-tested against
+these.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.engine.table import WEIGHT_COLUMN, Table
+from repro.errors import SamplerError
+
+__all__ = ["SamplerSpec", "PassThroughSpec", "attach_weights"]
+
+
+class SamplerSpec:
+    """Abstract physical sampler."""
+
+    #: Relative CPU cost per input row (Appendix A: uniform is cheapest,
+    #: universe pays for a strong hash, distinct pays for sketch+reservoir).
+    cost_per_row: float = 1.0
+
+    #: Short name used in plan summaries and Table 7 style frequency counts.
+    kind: str = "abstract"
+
+    def apply(self, table: Table) -> Table:
+        """Return the sampled table with an updated weight column."""
+        raise NotImplementedError
+
+    def expected_fraction(self) -> float:
+        """Expected fraction of input rows passed (used by the cost model)."""
+        raise NotImplementedError
+
+    def key(self) -> tuple:
+        raise NotImplementedError
+
+    def validate_probability(self, p: float) -> float:
+        if not 0.0 < p <= 1.0:
+            raise SamplerError(f"sampling probability must be in (0, 1], got {p}")
+        return float(p)
+
+
+class PassThroughSpec(SamplerSpec):
+    """The do-not-sample decision (Section 4.2.6's default option).
+
+    ASALQA replaces a seeded sampler with a pass-through when no sampler can
+    meet the accuracy requirement; the plan then behaves exactly like the
+    baseline plan.
+    """
+
+    cost_per_row = 0.0
+    kind = "passthrough"
+
+    def apply(self, table: Table) -> Table:
+        return table
+
+    def expected_fraction(self) -> float:
+        return 1.0
+
+    def key(self) -> tuple:
+        return ("passthrough",)
+
+    def __repr__(self):
+        return "PassThrough()"
+
+
+def attach_weights(table: Table, mask: np.ndarray, weights: np.ndarray) -> Table:
+    """Filter ``table`` by ``mask`` and multiply in new HT ``weights``.
+
+    ``weights`` is aligned with the *input* rows; only the surviving entries
+    are kept. Existing weights (from an upstream sampler — not produced by
+    ASALQA, which forbids nesting, but supported for generality) multiply.
+    """
+    selected = table.take(mask)
+    new_weights = np.asarray(weights, dtype=np.float64)[mask]
+    combined = selected.weights() * new_weights if table.has_weights() else new_weights
+    return selected.with_columns({WEIGHT_COLUMN: combined})

@@ -1,0 +1,238 @@
+"""Row-at-a-time sampler implementations — the cluster operating mode.
+
+These are the reference semantics for the paper's requirement that samplers
+"execute in one pass over data with a memory footprint well below the size
+of the input" and behave correctly when "many instances run in parallel on
+different partitions of the input" (Section 4.1).
+
+* :class:`StreamingUniform` — stateless Bernoulli.
+* :class:`StreamingUniverse` — stateless hash-subspace test.
+* :class:`StreamingDistinct` — the full Section 4.1.2 construction:
+  frequency check, per-stratum reservoir debiasing, and (optionally) memory
+  bounded by the Manku-Motwani heavy-hitter sketch.
+
+:func:`run_partitioned` executes ``D`` independent instances over a
+round-robin partitioning, applying the paper's delta adjustment
+``delta' = ceil(delta / D) + eps`` with ``eps = delta / D`` so that the
+union of instance outputs still meets the stratification guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.table import WEIGHT_COLUMN, Table
+from repro.errors import SamplerError
+from repro.samplers.hashing import hash_columns
+from repro.sketches.heavy_hitters import LossyCounter
+from repro.sketches.reservoir import Reservoir
+
+__all__ = [
+    "StreamingUniform",
+    "StreamingUniverse",
+    "StreamingDistinct",
+    "run_streaming",
+    "run_partitioned",
+]
+
+Row = Tuple
+Emitted = Tuple[Row, float]
+
+
+class StreamingSampler:
+    """Interface: feed rows via :meth:`process`, then drain :meth:`finish`."""
+
+    def process(self, row: Row) -> Iterator[Emitted]:
+        raise NotImplementedError
+
+    def finish(self) -> Iterator[Emitted]:
+        return iter(())
+
+
+class StreamingUniform(StreamingSampler):
+    """Bernoulli sampler; zero state beyond the RNG."""
+
+    def __init__(self, p: float, rng: Optional[np.random.Generator] = None):
+        if not 0 < p <= 1:
+            raise SamplerError(f"probability must be in (0,1], got {p}")
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def process(self, row: Row) -> Iterator[Emitted]:
+        if self._rng.random() < self.p:
+            yield row, 1.0 / self.p
+
+
+class StreamingUniverse(StreamingSampler):
+    """Hash-subspace sampler; decision depends only on the row's key values,
+    so parallel instances make identical decisions — the property that makes
+    it partitionable *and* join-compatible."""
+
+    def __init__(self, key_indices: Sequence[int], p: float, seed: int = 0):
+        if not key_indices:
+            raise SamplerError("universe sampler requires key indices")
+        if not 0 < p <= 1:
+            raise SamplerError(f"probability must be in (0,1], got {p}")
+        self.key_indices = tuple(key_indices)
+        self.p = p
+        self.seed = seed
+
+    def _point(self, row: Row) -> float:
+        columns = [np.asarray([row[i]]) for i in self.key_indices]
+        return float(hash_columns(columns, self.seed)[0]) / float(2**64)
+
+    def process(self, row: Row) -> Iterator[Emitted]:
+        if self._point(row) < self.p:
+            yield row, 1.0 / self.p
+
+
+class _StratumState:
+    """Per-stratum state machine: frequency pass -> reservoir -> Bernoulli."""
+
+    __slots__ = ("seen", "reservoir", "flushed")
+
+    def __init__(self):
+        self.seen = 0
+        self.reservoir: Optional[Reservoir] = None
+        self.flushed = False
+
+
+class StreamingDistinct(StreamingSampler):
+    """The Section 4.1.2 distinct sampler.
+
+    Per distinct value of the key columns: the first ``delta`` rows pass
+    with weight 1; rows ``delta+1 .. delta + S/p`` flow through a size-``S``
+    reservoir that is flushed either when row ``delta + S/p + 1`` arrives
+    (weight ``1/p``) or at end-of-stream (weight ``candidates / kept``);
+    later rows are Bernoulli-``p`` with weight ``1/p``.
+
+    With ``memory_bounded=True``, exact per-value state is kept only for
+    sketch-identified heavy hitters; all other rows pass with weight 1.
+    This is the paper's key memory insight: the sampler's gains come from
+    thinning values that occur very frequently, so tracking only heavy
+    hitters captures most of the gain in logarithmic memory.
+    """
+
+    def __init__(
+        self,
+        key_indices: Sequence[int],
+        delta: int,
+        p: float,
+        reservoir_size: int = 10,
+        rng: Optional[np.random.Generator] = None,
+        memory_bounded: bool = False,
+        tau: float = 1e-4,
+        support: float = 1e-2,
+    ):
+        if not key_indices:
+            raise SamplerError("distinct sampler requires key indices")
+        if delta <= 0 or reservoir_size <= 0:
+            raise SamplerError("delta and reservoir size must be positive")
+        if not 0 < p <= 1:
+            raise SamplerError(f"probability must be in (0,1], got {p}")
+        self.key_indices = tuple(key_indices)
+        self.delta = delta
+        self.p = p
+        self.reservoir_size = reservoir_size
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.memory_bounded = memory_bounded
+        self._sketch = LossyCounter(tau=tau, support=support) if memory_bounded else None
+        self._strata: Dict[Hashable, _StratumState] = {}
+
+    def _key(self, row: Row) -> Hashable:
+        return tuple(row[i] for i in self.key_indices)
+
+    @property
+    def tracked_strata(self) -> int:
+        return len(self._strata)
+
+    def process(self, row: Row) -> Iterator[Emitted]:
+        key = self._key(row)
+        if self._sketch is not None:
+            self._sketch.add(key)
+            if key not in self._strata and not self._sketch.is_heavy(key):
+                # Light value: pass deterministically (weight 1). Inclusion
+                # probability is exactly 1, so the estimate stays unbiased.
+                yield row, 1.0
+                return
+        state = self._strata.setdefault(key, _StratumState())
+        state.seen += 1
+        if state.seen <= self.delta:
+            yield row, 1.0
+            return
+        region = self.delta + self.reservoir_size / self.p
+        if state.flushed:
+            if self._rng.random() < self.p:
+                yield row, 1.0 / self.p
+            return
+        if state.reservoir is None:
+            state.reservoir = Reservoir(self.reservoir_size, self._rng)
+        state.reservoir.offer(row)
+        if state.seen > region:
+            # Reservoir saw exactly S/p candidates: flush at weight 1/p.
+            for held in state.reservoir.drain():
+                yield held, 1.0 / self.p
+            state.flushed = True
+
+    def finish(self) -> Iterator[Emitted]:
+        for state in self._strata.values():
+            if state.reservoir is None or state.flushed or len(state.reservoir) == 0:
+                continue
+            candidates = state.seen - self.delta
+            kept = len(state.reservoir)
+            weight = candidates / kept
+            for held in state.reservoir.drain():
+                yield held, weight
+
+
+def run_streaming(sampler: StreamingSampler, table: Table) -> Table:
+    """Drive a streaming sampler over a table, producing a weighted table."""
+    names = table.column_names
+    if WEIGHT_COLUMN in names:
+        raise SamplerError("streaming samplers do not accept pre-weighted input")
+    rows: List[Row] = []
+    weights: List[float] = []
+    for row in table.iter_rows():
+        for emitted, weight in sampler.process(row):
+            rows.append(emitted)
+            weights.append(weight)
+    for emitted, weight in sampler.finish():
+        rows.append(emitted)
+        weights.append(weight)
+    out = Table.from_rows(table.name, names, rows)
+    if out.num_rows == 0:
+        # Preserve the schema's dtypes for empty outputs.
+        out = Table(table.name, {c: table.column(c)[:0] for c in names})
+    return out.with_columns({WEIGHT_COLUMN: np.asarray(weights, dtype=np.float64)})
+
+
+def run_partitioned(
+    make_sampler,
+    table: Table,
+    num_instances: int,
+    delta: Optional[int] = None,
+) -> Table:
+    """Run ``num_instances`` independent sampler instances over a round-robin
+    partitioning and union their outputs.
+
+    ``make_sampler(instance_delta)`` constructs one instance; for distinct
+    samplers pass the query-level ``delta`` so the per-instance value can be
+    adjusted to ``ceil(delta / D) + eps`` with ``eps = delta / D``
+    (Section 4.1.2's partitionability correction — the paper picks
+    ``eps = delta / D`` because rows are usually spread evenly across
+    instances, case (2)).
+    """
+    if num_instances <= 0:
+        raise SamplerError("need at least one sampler instance")
+    instance_delta = None
+    if delta is not None:
+        epsilon = delta / num_instances
+        instance_delta = int(math.ceil(delta / num_instances) + math.ceil(epsilon))
+    outputs = []
+    for part in table.partition(num_instances):
+        sampler = make_sampler(instance_delta) if instance_delta is not None else make_sampler(None)
+        outputs.append(run_streaming(sampler, part))
+    return Table.concat(outputs, name=table.name)

@@ -1,0 +1,43 @@
+"""The uniform sampler (paper Section 4.1.1).
+
+``UniformSpec(p)`` lets each row pass independently with probability ``p``
+(a Bernoulli/Poisson sampler) and assigns weight ``1/p``. The number of rows
+passed is binomial; each row is picked at most once. Unlike fixed-size
+reservoir alternatives this is streaming and partitionable with zero state,
+which is what lets Quickr drop it anywhere in a parallel plan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.table import Table
+from repro.samplers.base import SamplerSpec, attach_weights
+
+__all__ = ["UniformSpec"]
+
+
+class UniformSpec(SamplerSpec):
+    """Bernoulli row sampler with probability ``p``."""
+
+    cost_per_row = 0.05
+    kind = "uniform"
+
+    def __init__(self, p: float, seed: int = 0):
+        self.p = self.validate_probability(p)
+        self.seed = int(seed)
+
+    def apply(self, table: Table) -> Table:
+        rng = np.random.default_rng(self.seed)
+        mask = rng.random(table.num_rows) < self.p
+        weights = np.full(table.num_rows, 1.0 / self.p)
+        return attach_weights(table, mask, weights)
+
+    def expected_fraction(self) -> float:
+        return self.p
+
+    def key(self) -> tuple:
+        return ("uniform", round(self.p, 12), self.seed)
+
+    def __repr__(self):
+        return f"Uniform(p={self.p:g})"

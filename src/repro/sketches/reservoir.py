@@ -1,0 +1,64 @@
+"""Bounded reservoir sampling (Vitter's algorithm R).
+
+The distinct sampler (paper Section 4.1.2) keeps a small per-value reservoir
+while a value is "early in the probabilistic mode" so those rows can be
+flushed later with a correct Horvitz-Thompson weight instead of the biased
+weight a naive streaming pass would assign.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, List, Optional, TypeVar
+
+import numpy as np
+
+from repro.errors import SamplerError
+
+__all__ = ["Reservoir"]
+
+T = TypeVar("T")
+
+
+class Reservoir(Generic[T]):
+    """Uniform sample of up to ``capacity`` items from a stream."""
+
+    __slots__ = ("capacity", "_items", "_seen", "_rng")
+
+    def __init__(self, capacity: int, rng: Optional[np.random.Generator] = None):
+        if capacity <= 0:
+            raise SamplerError(f"reservoir capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._items: List[T] = []
+        self._seen = 0
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    @property
+    def items_seen(self) -> int:
+        return self._seen
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def offer(self, item: T) -> None:
+        """Observe one stream item; keeps each with probability capacity/seen."""
+        self._seen += 1
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+        else:
+            slot = int(self._rng.integers(0, self._seen))
+            if slot < self.capacity:
+                self._items[slot] = item
+
+    def drain(self) -> List[T]:
+        """Return and clear the held items.
+
+        Each item seen so far had inclusion probability
+        ``min(1, capacity / items_seen)``; the caller assigns HT weights
+        ``items_seen / len(drained)`` accordingly.
+        """
+        items, self._items = self._items, []
+        self._seen = 0
+        return items
+
+    def peek(self) -> List[T]:
+        return list(self._items)

@@ -1,0 +1,138 @@
+"""Input-table statistics (paper Table 2).
+
+For each input table Quickr records: row count; per interesting column the
+number of distinct values, average/variance (numerical columns), and heavy
+hitter values with frequencies. "If not already available, the statistics
+are computed by the first query that reads the table" — we mirror that by
+collecting lazily on first access and caching.
+
+Distinct counts over *column sets* (needed by the C1 support check and the
+join push-down rules' NumDV calls) are computed exactly on demand and
+cached per set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.table import Database, Table
+from repro.errors import CatalogError
+from repro.sketches.distinct_count import exact_distinct, exact_distinct_multi
+
+__all__ = ["ColumnStats", "TableStats", "Catalog"]
+
+#: A value is a heavy hitter if it covers at least this fraction of rows
+#: (paper Section 4.1.2 uses s = 1e-2 for the sketch; the catalog keeps the
+#: same threshold for its exact top values).
+HEAVY_HITTER_FRACTION = 0.01
+
+#: Keep at most this many heavy hitters per column.
+MAX_HEAVY_HITTERS = 64
+
+
+@dataclass
+class ColumnStats:
+    """Statistics of one column."""
+
+    distinct: int
+    mean: Optional[float] = None
+    variance: Optional[float] = None
+    min_value: Optional[float] = None
+    max_value: Optional[float] = None
+    heavy_hitters: Dict = field(default_factory=dict)
+
+    def heavy_hitter_mass(self) -> float:
+        return float(sum(self.heavy_hitters.values()))
+
+
+@dataclass
+class TableStats:
+    """Statistics of one base table."""
+
+    name: str
+    rows: int
+    columns: Dict[str, ColumnStats]
+    _set_distinct_cache: Dict[FrozenSet[str], int] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStats:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise CatalogError(f"no statistics for column {name!r} of {self.name!r}") from None
+
+
+class Catalog:
+    """Lazy statistics store over a :class:`Database`."""
+
+    def __init__(self, database: Database):
+        self.database = database
+        self._stats: Dict[str, TableStats] = {}
+
+    # -- collection --------------------------------------------------------------
+    def stats(self, table_name: str) -> TableStats:
+        """Statistics for a table, collecting them on first access."""
+        if table_name not in self._stats:
+            self._stats[table_name] = self._collect(self.database.table(table_name))
+        return self._stats[table_name]
+
+    def _collect(self, table: Table) -> TableStats:
+        columns: Dict[str, ColumnStats] = {}
+        n = table.num_rows
+        threshold = max(1, int(HEAVY_HITTER_FRACTION * n))
+        for name in table.data_column_names():
+            values = table.column(name)
+            stats = ColumnStats(distinct=exact_distinct(values))
+            if values.dtype.kind in ("i", "u", "f") and n > 0:
+                as_float = values.astype(np.float64)
+                stats.mean = float(np.mean(as_float))
+                stats.variance = float(np.var(as_float))
+                stats.min_value = float(np.min(as_float))
+                stats.max_value = float(np.max(as_float))
+            if n > 0:
+                uniques, counts = np.unique(values, return_counts=True)
+                heavy = counts >= threshold
+                if heavy.any():
+                    order = np.argsort(counts[heavy])[::-1][:MAX_HEAVY_HITTERS]
+                    hh_values = uniques[heavy][order]
+                    hh_counts = counts[heavy][order]
+                    stats.heavy_hitters = {
+                        value.item() if hasattr(value, "item") else value: int(cnt)
+                        for value, cnt in zip(hh_values, hh_counts)
+                    }
+            columns[name] = stats
+        return TableStats(name=table.name, rows=n, columns=columns)
+
+    # -- queries -------------------------------------------------------------------
+    def row_count(self, table_name: str) -> int:
+        return self.stats(table_name).rows
+
+    def distinct(self, table_name: str, columns) -> int:
+        """Exact distinct count of a column set, cached per set."""
+        colset = frozenset(columns)
+        if not colset:
+            return 1
+        stats = self.stats(table_name)
+        if len(colset) == 1:
+            (only,) = colset
+            return stats.column(only).distinct
+        cached = stats._set_distinct_cache.get(colset)
+        if cached is not None:
+            return cached
+        table = self.database.table(table_name)
+        value = exact_distinct_multi([table.column(c) for c in sorted(colset)])
+        stats._set_distinct_cache[colset] = value
+        return value
+
+    def value_skew(self, table_name: str, column: str) -> float:
+        """Coefficient-of-variation proxy for aggregate-value skew, used to
+        decide whether a SUM needs stratification on the value column."""
+        col = self.stats(table_name).column(column)
+        if col.mean is None or col.variance is None or col.mean == 0:
+            return 0.0
+        return float(np.sqrt(col.variance) / abs(col.mean))
+
+    def collected_tables(self) -> Tuple[str, ...]:
+        return tuple(self._stats.keys())

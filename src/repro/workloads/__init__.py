@@ -1,0 +1,25 @@
+"""Evaluation workloads: TPC-DS, TPC-H, AMPLab-style, and the synthetic
+production trace calibrated to the paper's Figure 2."""
+
+from repro.workloads import other, production, tpcds, tpch
+from repro.workloads.production import (
+    PAPER_FIGURE2B,
+    ProductionQuery,
+    ProductionTrace,
+    generate_trace,
+    input_usage_cdf,
+    shape_percentiles,
+)
+
+__all__ = [
+    "other",
+    "production",
+    "tpcds",
+    "tpch",
+    "PAPER_FIGURE2B",
+    "ProductionQuery",
+    "ProductionTrace",
+    "generate_trace",
+    "input_usage_cdf",
+    "shape_percentiles",
+]

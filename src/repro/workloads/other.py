@@ -1,0 +1,130 @@
+"""The "Other" workload of Table 9 (BigBench / AMPLab-BigData style).
+
+The paper's Table 9 contrasts query-shape statistics across TPC-DS, TPC-H
+and a bucket of simpler benchmarks (BigBench, the AMPLab Big Data
+benchmark, ...). We model that bucket with the AMPLab benchmark's
+rankings / uservisits schema plus a handful of the simple scan-aggregate
+and single-join queries those benchmarks are known for.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.algebra.aggregates import avg, count, count_distinct, sum_
+from repro.algebra.builder import Query, scan
+from repro.algebra.expressions import Func, col
+from repro.engine.table import Database, Table
+
+__all__ = ["generate_other", "queries", "QUERY_BUILDERS"]
+
+
+def generate_other(scale: float = 1.0, seed: int = 11) -> Database:
+    """Rankings / uservisits tables in the AMPLab benchmark's shape."""
+    rng = np.random.default_rng(seed)
+    db = Database()
+
+    n_pages = max(64, int(30_000 * scale))
+    db.register(
+        Table(
+            "rankings",
+            {
+                "r_pageid": np.arange(n_pages),
+                "r_pagerank": rng.integers(1, 100, n_pages),
+                "r_avgduration": rng.integers(1, 100, n_pages),
+            },
+        )
+    )
+
+    n_visits = max(256, int(90_000 * scale))
+    db.register(
+        Table(
+            "uservisits",
+            {
+                "uv_pageid": rng.integers(0, n_pages, n_visits),
+                "uv_userid": rng.integers(0, max(16, int(8_000 * scale)), n_visits),
+                "uv_adrevenue": np.round(rng.exponential(0.5, n_visits), 4),
+                "uv_countrycode": rng.integers(0, 40, n_visits),
+                "uv_date": rng.integers(0, 365, n_visits),
+            },
+        )
+    )
+    return db
+
+
+def b01(db) -> Query:
+    """AMPLab query 1: high-pagerank pages."""
+    return (
+        scan(db, "rankings")
+        .where(col("r_pagerank") > 50)
+        .groupby("r_pagerank")
+        .agg(count("pages"))
+        .build("b01")
+    )
+
+
+def b02(db) -> Query:
+    """AMPLab query 2: ad revenue per user prefix (bucketed user id)."""
+    bucket = Func("bucket", lambda uid: uid // 100, [col("uv_userid")])
+    return (
+        scan(db, "uservisits")
+        .derive(user_bucket=bucket)
+        .groupby("user_bucket")
+        .agg(sum_(col("uv_adrevenue"), "revenue"))
+        .build("b02")
+    )
+
+
+def b03(db) -> Query:
+    """AMPLab query 3: join rankings with uservisits, revenue per rank band."""
+    band = Func("band", lambda r: r // 10, [col("r_pagerank")])
+    return (
+        scan(db, "uservisits")
+        .join(scan(db, "rankings"), on=[("uv_pageid", "r_pageid")])
+        .derive(rank_band=band)
+        .groupby("rank_band")
+        .agg(sum_(col("uv_adrevenue"), "revenue"), avg(col("r_avgduration"), "avg_duration"))
+        .build("b03")
+    )
+
+
+def b04(db) -> Query:
+    """BigBench-style: distinct visitors and revenue per country."""
+    return (
+        scan(db, "uservisits")
+        .groupby("uv_countrycode")
+        .agg(
+            count_distinct(col("uv_userid"), "visitors"),
+            sum_(col("uv_adrevenue"), "revenue"),
+        )
+        .build("b04")
+    )
+
+
+def b05(db) -> Query:
+    """Scalar: total revenue in a date window."""
+    return (
+        scan(db, "uservisits")
+        .where((col("uv_date") >= 100) & (col("uv_date") < 200))
+        .agg(sum_(col("uv_adrevenue"), "revenue"), count("visits"))
+        .build("b05")
+    )
+
+
+def b06(db) -> Query:
+    """Daily visit counts (fine-grained groups)."""
+    return (
+        scan(db, "uservisits")
+        .groupby("uv_date")
+        .agg(count("visits"), sum_(col("uv_adrevenue"), "revenue"))
+        .build("b06")
+    )
+
+
+QUERY_BUILDERS: Dict[str, Callable] = {fn.__name__: fn for fn in [b01, b02, b03, b04, b05, b06]}
+
+
+def queries(db) -> List[Query]:
+    return [build(db) for build in QUERY_BUILDERS.values()]

@@ -1,0 +1,23 @@
+"""TPC-DS-style workload: schema, synthetic data generator, 24-query suite."""
+
+from repro.workloads.tpcds.datagen import generate_tpcds, scaled_rows
+from repro.workloads.tpcds.queries import (
+    EXPECTED_UNAPPROXIMABLE,
+    QUERY_BUILDERS,
+    queries,
+    query_by_name,
+)
+from repro.workloads.tpcds.schema import BASE_ROWS, DIMENSION_TABLES, FACT_TABLES, TABLE_COLUMNS
+
+__all__ = [
+    "generate_tpcds",
+    "scaled_rows",
+    "EXPECTED_UNAPPROXIMABLE",
+    "QUERY_BUILDERS",
+    "queries",
+    "query_by_name",
+    "BASE_ROWS",
+    "DIMENSION_TABLES",
+    "FACT_TABLES",
+    "TABLE_COLUMNS",
+]

@@ -1,0 +1,129 @@
+"""TPC-DS-style schema (the evaluation workload's shape).
+
+A faithful subset of the TPC-DS tables and columns the paper's evaluation
+exercises: five fact tables (store/catalog/web sales plus store/web
+returns) sharing item / date / customer keys, and the dimension tables the
+benchmark queries join against. Returns reference the sales they reverse
+(shared ticket/order numbers), which is what makes fact-fact joins
+meaningful — the workload feature apriori sampling cannot cover and
+Quickr's universe sampler targets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = ["FACT_TABLES", "DIMENSION_TABLES", "TABLE_COLUMNS", "BASE_ROWS"]
+
+#: Fact tables and their approximate base cardinality at scale 1.0.
+FACT_TABLES: Dict[str, int] = {
+    "store_sales": 180_000,
+    "catalog_sales": 90_000,
+    "web_sales": 45_000,
+    "store_returns": 18_000,
+    "web_returns": 4_500,
+}
+
+#: Dimension tables and their base cardinality at scale 1.0.
+DIMENSION_TABLES: Dict[str, int] = {
+    "item": 600,
+    "date_dim": 1_826,  # five years of days
+    "customer": 12_000,
+    "customer_address": 3_000,
+    "store": 24,
+    "promotion": 90,
+}
+
+BASE_ROWS: Dict[str, int] = {**FACT_TABLES, **DIMENSION_TABLES}
+
+TABLE_COLUMNS: Dict[str, Tuple[str, ...]] = {
+    "store_sales": (
+        "ss_sold_date_sk",
+        "ss_item_sk",
+        "ss_customer_sk",
+        "ss_store_sk",
+        "ss_promo_sk",
+        "ss_ticket_number",
+        "ss_quantity",
+        "ss_sales_price",
+        "ss_ext_sales_price",
+        "ss_wholesale_cost",
+        "ss_net_profit",
+    ),
+    "store_returns": (
+        "sr_returned_date_sk",
+        "sr_item_sk",
+        "sr_customer_sk",
+        "sr_ticket_number",
+        "sr_return_quantity",
+        "sr_return_amt",
+        "sr_net_loss",
+    ),
+    "catalog_sales": (
+        "cs_sold_date_sk",
+        "cs_item_sk",
+        "cs_bill_customer_sk",
+        "cs_promo_sk",
+        "cs_order_number",
+        "cs_quantity",
+        "cs_sales_price",
+        "cs_ext_sales_price",
+        "cs_net_profit",
+    ),
+    "web_sales": (
+        "ws_sold_date_sk",
+        "ws_item_sk",
+        "ws_bill_customer_sk",
+        "ws_order_number",
+        "ws_quantity",
+        "ws_sales_price",
+        "ws_net_profit",
+    ),
+    "web_returns": (
+        "wr_returned_date_sk",
+        "wr_item_sk",
+        "wr_refunded_customer_sk",
+        "wr_order_number",
+        "wr_return_amt",
+    ),
+    "item": (
+        "i_item_sk",
+        "i_brand_id",
+        "i_class_id",
+        "i_category_id",
+        "i_category",
+        "i_color",
+        "i_manager_id",
+        "i_current_price",
+    ),
+    "date_dim": (
+        "d_date_sk",
+        "d_year",
+        "d_moy",
+        "d_qoy",
+        "d_dow",
+        "d_month_seq",
+    ),
+    "customer": (
+        "c_customer_sk",
+        "c_current_addr_sk",
+        "c_birth_year",
+        "c_preferred_cust_flag",
+    ),
+    "customer_address": (
+        "ca_address_sk",
+        "ca_state",
+        "ca_gmt_offset",
+    ),
+    "store": (
+        "s_store_sk",
+        "s_state",
+        "s_county",
+        "s_gmt_offset",
+    ),
+    "promotion": (
+        "p_promo_sk",
+        "p_channel_email",
+        "p_channel_event",
+    ),
+}

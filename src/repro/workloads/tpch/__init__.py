@@ -1,0 +1,7 @@
+"""TPC-H-style workload for the cross-benchmark comparison (Table 9)."""
+
+from repro.workloads.tpch.datagen import generate_tpch
+from repro.workloads.tpch.queries import QUERY_BUILDERS, queries
+from repro.workloads.tpch.schema import BASE_ROWS, TABLE_COLUMNS
+
+__all__ = ["generate_tpch", "QUERY_BUILDERS", "queries", "BASE_ROWS", "TABLE_COLUMNS"]

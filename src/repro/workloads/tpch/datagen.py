@@ -1,0 +1,123 @@
+"""Synthetic TPC-H-shaped data generator (laptop-scale dbgen substitute)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.table import Database, Table
+from repro.workloads.tpch.schema import BASE_ROWS, TABLE_COLUMNS
+
+__all__ = ["generate_tpch"]
+
+_SEGMENTS = np.asarray(["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"])
+_MODES = np.asarray(["AIR", "RAIL", "SHIP", "TRUCK", "MAIL"])
+_PRIORITIES = np.asarray(["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"])
+_NATIONS = np.asarray(
+    ["ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "CHINA", "EGYPT", "FRANCE", "GERMANY",
+     "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO",
+     "MOZAMBIQUE", "PERU", "ROMANIA", "RUSSIA", "SAUDI ARABIA", "UNITED KINGDOM",
+     "UNITED STATES", "VIETNAM", "ETHIOPIA"]
+)
+
+
+def generate_tpch(scale: float = 1.0, seed: int = 7) -> Database:
+    """Build a TPC-H-style database at the given scale factor."""
+    rng = np.random.default_rng(seed)
+    db = Database()
+
+    def rows(table: str) -> int:
+        return max(16, int(BASE_ROWS[table] * scale)) if table != "nation" else BASE_ROWS["nation"]
+
+    n_nation = rows("nation")
+    db.register(
+        Table(
+            "nation",
+            {
+                "n_nationkey": np.arange(n_nation),
+                "n_name": _NATIONS[:n_nation],
+                "n_regionkey": np.arange(n_nation) % 5,
+            },
+        )
+    )
+
+    n_supp = rows("supplier")
+    db.register(
+        Table(
+            "supplier",
+            {
+                "s_suppkey": np.arange(n_supp),
+                "s_nationkey": rng.integers(0, n_nation, n_supp),
+                "s_acctbal": np.round(rng.normal(4500, 3000, n_supp), 2),
+            },
+        )
+    )
+
+    n_part = rows("part")
+    db.register(
+        Table(
+            "part",
+            {
+                "p_partkey": np.arange(n_part),
+                "p_brand": rng.integers(1, 26, n_part),
+                "p_type": rng.integers(0, 150, n_part),
+                "p_size": rng.integers(1, 51, n_part),
+                "p_container": rng.integers(0, 40, n_part),
+            },
+        )
+    )
+
+    n_cust = rows("customer")
+    db.register(
+        Table(
+            "customer",
+            {
+                "c_custkey": np.arange(n_cust),
+                "c_nationkey": rng.integers(0, n_nation, n_cust),
+                "c_mktsegment": _SEGMENTS[rng.integers(0, len(_SEGMENTS), n_cust)],
+                "c_acctbal": np.round(rng.normal(4500, 3200, n_cust), 2),
+            },
+        )
+    )
+
+    n_orders = rows("orders")
+    order_dates = rng.integers(0, 2_557, n_orders)  # ~7 years of days
+    db.register(
+        Table(
+            "orders",
+            {
+                "o_orderkey": np.arange(n_orders),
+                "o_custkey": rng.integers(0, n_cust, n_orders),
+                "o_orderstatus": rng.integers(0, 3, n_orders),
+                "o_totalprice": np.round(rng.lognormal(10.5, 0.7, n_orders), 2),
+                "o_orderdate": order_dates,
+                "o_orderpriority": _PRIORITIES[rng.integers(0, len(_PRIORITIES), n_orders)],
+            },
+        )
+    )
+
+    n_line = rows("lineitem")
+    line_orders = rng.integers(0, n_orders, n_line)
+    quantity = rng.integers(1, 51, n_line)
+    price = np.round(rng.lognormal(7.0, 0.6, n_line), 2)
+    db.register(
+        Table(
+            "lineitem",
+            {
+                "l_orderkey": line_orders,
+                "l_partkey": rng.integers(0, n_part, n_line),
+                "l_suppkey": rng.integers(0, n_supp, n_line),
+                "l_quantity": quantity,
+                "l_extendedprice": price,
+                "l_discount": np.round(rng.uniform(0.0, 0.1, n_line), 2),
+                "l_tax": np.round(rng.uniform(0.0, 0.08, n_line), 2),
+                "l_returnflag": rng.integers(0, 3, n_line),
+                "l_linestatus": rng.integers(0, 2, n_line),
+                "l_shipdate": np.minimum(order_dates[line_orders] + rng.integers(1, 121, n_line), 2_600),
+                "l_shipmode": _MODES[rng.integers(0, len(_MODES), n_line)],
+            },
+        )
+    )
+
+    for name, columns in TABLE_COLUMNS.items():
+        assert set(db.columns(name)) == set(columns), name
+    return db

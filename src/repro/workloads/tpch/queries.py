@@ -1,0 +1,158 @@
+"""TPC-H-style query subset (10 queries), for Table 9's comparison."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.algebra.aggregates import avg, count, count_distinct, sum_
+from repro.algebra.builder import Query, scan
+from repro.algebra.expressions import col
+
+__all__ = ["QUERY_BUILDERS", "queries"]
+
+
+def h01(db) -> Query:
+    """Q1: pricing summary report."""
+    return (
+        scan(db, "lineitem")
+        .where(col("l_shipdate") <= 2_400)
+        .derive(disc_price=col("l_extendedprice") * (1 - col("l_discount")))
+        .groupby("l_returnflag", "l_linestatus")
+        .agg(
+            sum_(col("l_quantity"), "sum_qty"),
+            sum_(col("l_extendedprice"), "sum_base_price"),
+            sum_(col("disc_price"), "sum_disc_price"),
+            avg(col("l_quantity"), "avg_qty"),
+            count("count_order"),
+        )
+        .build("h01")
+    )
+
+
+def h03(db) -> Query:
+    """Q3: shipping priority."""
+    return (
+        scan(db, "customer")
+        .where(col("c_mktsegment") == "BUILDING")
+        .join(scan(db, "orders"), on=[("c_custkey", "o_custkey")])
+        .join(scan(db, "lineitem"), on=[("o_orderkey", "l_orderkey")])
+        .where(col("o_orderdate") < 1_200)
+        .derive(revenue=col("l_extendedprice") * (1 - col("l_discount")))
+        .groupby("o_orderkey", "o_orderdate")
+        .agg(sum_(col("revenue"), "revenue"))
+        .orderby("revenue", desc=True)
+        .limit(10)
+        .build("h03")
+    )
+
+
+def h05(db) -> Query:
+    """Q5: local supplier volume."""
+    return (
+        scan(db, "customer")
+        .join(scan(db, "orders"), on=[("c_custkey", "o_custkey")])
+        .join(scan(db, "lineitem"), on=[("o_orderkey", "l_orderkey")])
+        .join(scan(db, "nation"), on=[("c_nationkey", "n_nationkey")])
+        .where((col("o_orderdate") >= 365) & (col("o_orderdate") < 730))
+        .derive(revenue=col("l_extendedprice") * (1 - col("l_discount")))
+        .groupby("n_name")
+        .agg(sum_(col("revenue"), "revenue"))
+        .build("h05")
+    )
+
+
+def h06(db) -> Query:
+    """Q6: forecasting revenue change (scalar aggregate)."""
+    return (
+        scan(db, "lineitem")
+        .where(
+            (col("l_shipdate") >= 365)
+            & (col("l_shipdate") < 730)
+            & (col("l_discount") >= 0.05)
+            & (col("l_quantity") < 24)
+        )
+        .agg(sum_(col("l_extendedprice") * col("l_discount"), "revenue"))
+        .build("h06")
+    )
+
+
+def h10(db) -> Query:
+    """Q10: returned item reporting."""
+    return (
+        scan(db, "customer")
+        .join(scan(db, "orders"), on=[("c_custkey", "o_custkey")])
+        .join(scan(db, "lineitem"), on=[("o_orderkey", "l_orderkey")])
+        .where(col("l_returnflag") == 1)
+        .derive(revenue=col("l_extendedprice") * (1 - col("l_discount")))
+        .groupby("c_nationkey")
+        .agg(sum_(col("revenue"), "revenue"), count("items"))
+        .build("h10")
+    )
+
+
+def h12(db) -> Query:
+    """Q12: shipping modes and order priority."""
+    return (
+        scan(db, "orders")
+        .join(scan(db, "lineitem"), on=[("o_orderkey", "l_orderkey")])
+        .where(col("l_shipmode").isin(["MAIL", "SHIP"]))
+        .groupby("l_shipmode")
+        .agg(count("line_count"), avg(col("o_totalprice"), "avg_price"))
+        .build("h12")
+    )
+
+
+def h14(db) -> Query:
+    """Q14: promotion effect."""
+    return (
+        scan(db, "lineitem")
+        .join(scan(db, "part"), on=[("l_partkey", "p_partkey")])
+        .where((col("l_shipdate") >= 500) & (col("l_shipdate") < 530))
+        .groupby("p_brand")
+        .agg(sum_(col("l_extendedprice") * (1 - col("l_discount")), "revenue"))
+        .build("h14")
+    )
+
+
+def h18(db) -> Query:
+    """Q18: large volume customers."""
+    return (
+        scan(db, "orders")
+        .join(scan(db, "lineitem"), on=[("o_orderkey", "l_orderkey")])
+        .groupby("o_custkey")
+        .agg(sum_(col("l_quantity"), "total_qty"))
+        .orderby("total_qty", desc=True)
+        .limit(100)
+        .build("h18")
+    )
+
+
+def h19(db) -> Query:
+    """Q19: discounted revenue for selected parts."""
+    return (
+        scan(db, "lineitem")
+        .join(scan(db, "part"), on=[("l_partkey", "p_partkey")])
+        .where((col("p_size") <= 15) & (col("l_quantity") >= 10))
+        .agg(sum_(col("l_extendedprice") * (1 - col("l_discount")), "revenue"))
+        .build("h19")
+    )
+
+
+def h21(db) -> Query:
+    """Distinct-supplier activity per nation (count-distinct flavor)."""
+    return (
+        scan(db, "lineitem")
+        .join(scan(db, "supplier"), on=[("l_suppkey", "s_suppkey")])
+        .groupby("s_nationkey")
+        .agg(count_distinct(col("l_suppkey"), "active_suppliers"), count("lines"))
+        .build("h21")
+    )
+
+
+QUERY_BUILDERS: Dict[str, Callable] = {
+    fn.__name__: fn for fn in [h01, h03, h05, h06, h10, h12, h14, h18, h19, h21]
+}
+
+
+def queries(db) -> List[Query]:
+    return [build(db) for build in QUERY_BUILDERS.values()]

@@ -1,0 +1,68 @@
+"""TPC-H-style schema, used for Table 9's cross-benchmark comparison.
+
+TPC-H queries are simpler than TPC-DS (fewer joins, smaller QCS), which is
+exactly the contrast Table 9 documents. We keep the classic six tables the
+query subset touches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = ["BASE_ROWS", "TABLE_COLUMNS"]
+
+BASE_ROWS: Dict[str, int] = {
+    "lineitem": 120_000,
+    "orders": 30_000,
+    "customer": 3_000,
+    "part": 4_000,
+    "supplier": 200,
+    "nation": 25,
+}
+
+TABLE_COLUMNS: Dict[str, Tuple[str, ...]] = {
+    "lineitem": (
+        "l_orderkey",
+        "l_partkey",
+        "l_suppkey",
+        "l_quantity",
+        "l_extendedprice",
+        "l_discount",
+        "l_tax",
+        "l_returnflag",
+        "l_linestatus",
+        "l_shipdate",
+        "l_shipmode",
+    ),
+    "orders": (
+        "o_orderkey",
+        "o_custkey",
+        "o_orderstatus",
+        "o_totalprice",
+        "o_orderdate",
+        "o_orderpriority",
+    ),
+    "customer": (
+        "c_custkey",
+        "c_nationkey",
+        "c_mktsegment",
+        "c_acctbal",
+    ),
+    "part": (
+        "p_partkey",
+        "p_brand",
+        "p_type",
+        "p_size",
+        "p_container",
+    ),
+    "supplier": (
+        "s_suppkey",
+        "s_nationkey",
+        "s_acctbal",
+    ),
+    "nation": (
+        "n_nationkey",
+        "n_name",
+        "n_regionkey",
+    ),
+}

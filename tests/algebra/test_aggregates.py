@@ -1,0 +1,83 @@
+"""Unit tests for aggregate specifications."""
+
+import pytest
+
+from repro.algebra.aggregates import (
+    AggKind,
+    AggSpec,
+    avg,
+    count,
+    count_distinct,
+    count_if,
+    max_,
+    min_,
+    sum_,
+    sum_if,
+)
+from repro.algebra.expressions import col
+from repro.errors import ExpressionError
+
+
+class TestConstruction:
+    def test_sum(self):
+        spec = sum_(col("x"), "total")
+        assert spec.kind is AggKind.SUM and spec.alias == "total"
+
+    def test_count_needs_no_expr(self):
+        assert count("n").expr is None
+
+    def test_sum_requires_expr(self):
+        with pytest.raises(ExpressionError):
+            AggSpec(AggKind.SUM, "t")
+
+    def test_sum_if_requires_condition(self):
+        with pytest.raises(ExpressionError):
+            AggSpec(AggKind.SUM_IF, "t", col("x"))
+
+    def test_count_if_requires_condition(self):
+        with pytest.raises(ExpressionError):
+            AggSpec(AggKind.COUNT_IF, "t")
+
+    def test_count_distinct_requires_expr(self):
+        with pytest.raises(ExpressionError):
+            AggSpec(AggKind.COUNT_DISTINCT, "t")
+
+
+class TestColumnSets:
+    def test_value_columns(self):
+        assert sum_(col("x") + col("y"), "t").value_columns() == frozenset({"x", "y"})
+
+    def test_condition_columns(self):
+        spec = sum_if(col("x"), col("flag") == 1, "t")
+        assert spec.condition_columns() == frozenset({"flag"})
+        assert spec.columns() == frozenset({"x", "flag"})
+
+    def test_count_has_no_columns(self):
+        assert count("n").columns() == frozenset()
+
+
+class TestSampleability:
+    def test_sampleable_kinds(self):
+        assert sum_(col("x"), "a").is_sampleable()
+        assert count("a").is_sampleable()
+        assert avg(col("x"), "a").is_sampleable()
+        assert count_distinct(col("x"), "a").is_sampleable()
+        assert sum_if(col("x"), col("x") > 0, "a").is_sampleable()
+        assert count_if(col("x") > 0, "a").is_sampleable()
+
+    def test_min_max_not_sampleable(self):
+        assert not min_(col("x"), "a").is_sampleable()
+        assert not max_(col("x"), "a").is_sampleable()
+
+
+class TestRenameAndKey:
+    def test_rename(self):
+        spec = sum_if(col("x"), col("f") == 1, "t").rename({"x": "y", "f": "g"})
+        assert spec.value_columns() == frozenset({"y"})
+        assert spec.condition_columns() == frozenset({"g"})
+
+    def test_key_roundtrip(self):
+        a = sum_(col("x"), "t")
+        b = sum_(col("x"), "t")
+        assert a.key() == b.key()
+        assert a.key() != count("t").key()

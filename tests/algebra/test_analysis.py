@@ -1,0 +1,127 @@
+"""Unit tests for plan introspection (QCS/QVS, shape statistics)."""
+
+from repro.algebra.aggregates import count, count_distinct, sum_, sum_if
+from repro.algebra.analysis import (
+    base_tables,
+    count_aggregation_ops,
+    count_joins,
+    count_operators,
+    count_samplers,
+    count_udfs,
+    plan_shape_stats,
+    query_column_set,
+    query_value_set,
+)
+from repro.algebra.builder import scan
+from repro.algebra.expressions import Func, col
+
+
+def simple_query(db):
+    return (
+        scan(db, "sales")
+        .join(scan(db, "item"), on=[("s_item", "i_item")])
+        .where(col("i_cat") == 2)
+        .groupby("i_cat")
+        .agg(sum_(col("s_amount"), "rev"))
+        .build("q")
+    )
+
+
+class TestCounts:
+    def test_operator_count(self, sales_db):
+        q = simple_query(sales_db)
+        assert count_operators(q.plan) == 5  # agg, select, join, 2 scans
+
+    def test_join_count(self, sales_db):
+        assert count_joins(simple_query(sales_db).plan) == 1
+
+    def test_aggregation_ops_counts_specs(self, sales_db):
+        q = (
+            scan(sales_db, "sales")
+            .groupby("s_item")
+            .agg(sum_(col("s_amount"), "a"), count("b"))
+            .build("q")
+        )
+        assert count_aggregation_ops(q.plan) == 2
+
+    def test_sampler_count_zero(self, sales_db):
+        assert count_samplers(simple_query(sales_db).plan) == 0
+
+    def test_base_tables(self, sales_db):
+        assert base_tables(simple_query(sales_db).plan) == {"sales", "item"}
+
+
+class TestUdfCounting:
+    def test_udf_in_projection(self, sales_db):
+        f = Func("squash", lambda x: x * 0.5, [col("s_amount")])
+        q = (
+            scan(sales_db, "sales")
+            .derive(half=f)
+            .groupby("s_item")
+            .agg(sum_(col("half"), "rev"))
+            .build("q")
+        )
+        assert count_udfs(q.plan) >= 1
+
+    def test_no_udfs(self, sales_db):
+        assert count_udfs(simple_query(sales_db).plan) == 0
+
+
+class TestQcsQvs:
+    def test_simple_qcs_matches_paper_example(self, sales_db):
+        # SELECT X, SUM(Y) WHERE Z > 30 has QCS {X, Z}, QVS {Y}.
+        q = (
+            scan(sales_db, "sales")
+            .where(col("s_qty") > 3)
+            .groupby("s_item")
+            .agg(sum_(col("s_amount"), "rev"))
+            .build("q")
+        )
+        assert query_column_set(q.plan) == frozenset({"s_item", "s_qty"})
+        assert query_value_set(q.plan) == frozenset({"s_amount"})
+
+    def test_join_keys_in_qcs(self, sales_db):
+        qcs = query_column_set(simple_query(sales_db).plan)
+        assert {"s_item", "i_item", "i_cat"} <= qcs
+
+    def test_derived_columns_resolve_to_base(self, sales_db):
+        q = (
+            scan(sales_db, "sales")
+            .derive(total=col("s_qty") * col("s_amount"))
+            .groupby("s_item")
+            .agg(sum_(col("total"), "rev"))
+            .build("q")
+        )
+        assert query_value_set(q.plan) == frozenset({"s_qty", "s_amount"})
+
+    def test_if_condition_in_qcs(self, sales_db):
+        q = (
+            scan(sales_db, "sales")
+            .groupby("s_item")
+            .agg(sum_if(col("s_amount"), col("s_day") > 180, "late_rev"))
+            .build("q")
+        )
+        assert "s_day" in query_column_set(q.plan)
+        assert query_value_set(q.plan) == frozenset({"s_amount"})
+
+    def test_count_distinct_contributes_to_qvs(self, sales_db):
+        q = (
+            scan(sales_db, "sales")
+            .groupby("s_item")
+            .agg(count_distinct(col("s_cust"), "uniq"))
+            .build("q")
+        )
+        assert "s_cust" in query_value_set(q.plan)
+
+
+class TestShapeStats:
+    def test_all_keys_present(self, sales_db):
+        stats = plan_shape_stats(simple_query(sales_db).plan)
+        for key in ("operators", "depth", "joins", "aggregation_ops", "udfs", "qcs_size", "qvs_size", "qcs_plus_qvs"):
+            assert key in stats
+
+    def test_qcs_plus_qvs_is_union_size(self, sales_db):
+        plan = simple_query(sales_db).plan
+        stats = plan_shape_stats(plan)
+        union = query_column_set(plan) | query_value_set(plan)
+        assert stats["qcs_plus_qvs"] == len(union)

@@ -1,0 +1,100 @@
+"""Unit tests for the fluent query builder."""
+
+import numpy as np
+import pytest
+
+from repro.algebra.aggregates import count, sum_
+from repro.algebra.builder import Query, from_node, scan
+from repro.algebra.expressions import col
+from repro.algebra.logical import Aggregate, Join, Limit, OrderBy, Project, Scan, Select, UnionAll
+from repro.errors import PlanError, SchemaError
+
+
+class TestScanResolution:
+    def test_scan_from_database(self, sales_db):
+        builder = scan(sales_db, "sales")
+        assert set(builder.output_columns()) == {"s_item", "s_cust", "s_day", "s_qty", "s_amount"}
+
+    def test_scan_from_dict(self):
+        builder = scan({"t": ["a", "b"]}, "t")
+        assert builder.output_columns() == ("a", "b")
+
+    def test_scan_bad_source(self):
+        with pytest.raises(PlanError):
+            scan(42, "t")
+
+
+class TestRowOperators:
+    def test_where(self, sales_db):
+        node = scan(sales_db, "sales").where(col("s_qty") > 5).node
+        assert isinstance(node, Select)
+
+    def test_select_subset(self, sales_db):
+        builder = scan(sales_db, "sales").select("s_item", "s_amount")
+        assert builder.output_columns() == ("s_item", "s_amount")
+
+    def test_derive_extends(self, sales_db):
+        builder = scan(sales_db, "sales").derive(total=col("s_qty") * col("s_amount"))
+        assert "total" in builder.output_columns()
+        assert "s_item" in builder.output_columns()
+
+    def test_derive_duplicate_rejected(self, sales_db):
+        with pytest.raises(SchemaError):
+            scan(sales_db, "sales").derive(s_qty=col("s_amount"))
+
+    def test_rename(self, sales_db):
+        builder = scan(sales_db, "sales").rename(qty="s_qty")
+        assert "qty" in builder.output_columns()
+        assert "s_qty" not in builder.output_columns()
+
+    def test_drop(self, sales_db):
+        builder = scan(sales_db, "sales").drop("s_day", "s_qty")
+        assert set(builder.output_columns()) == {"s_item", "s_cust", "s_amount"}
+
+    def test_drop_everything_rejected(self, sales_db):
+        cols = scan(sales_db, "sales").output_columns()
+        with pytest.raises(PlanError):
+            scan(sales_db, "sales").drop(*cols)
+
+
+class TestMultiInput:
+    def test_join(self, sales_db):
+        builder = scan(sales_db, "sales").join(scan(sales_db, "item"), on=[("s_item", "i_item")])
+        assert isinstance(builder.node, Join)
+        assert "i_cat" in builder.output_columns()
+
+    def test_union_all(self, sales_db):
+        a = scan(sales_db, "sales").select("s_item", "s_amount")
+        b = scan(sales_db, "sales").select("s_item", "s_amount")
+        assert isinstance(a.union_all(b).node, UnionAll)
+
+
+class TestAggregation:
+    def test_groupby_agg(self, sales_db):
+        builder = scan(sales_db, "sales").groupby("s_item").agg(sum_(col("s_amount"), "rev"))
+        assert isinstance(builder.node, Aggregate)
+        assert builder.output_columns() == ("s_item", "rev")
+
+    def test_scalar_agg(self, sales_db):
+        builder = scan(sales_db, "sales").agg(count("n"))
+        assert builder.output_columns() == ("n",)
+
+
+class TestFinish:
+    def test_orderby_limit_build(self, sales_db):
+        query = (
+            scan(sales_db, "sales")
+            .groupby("s_item")
+            .agg(sum_(col("s_amount"), "rev"))
+            .orderby("rev", desc=True)
+            .limit(5)
+            .build("top5")
+        )
+        assert isinstance(query, Query)
+        assert isinstance(query.plan, Limit)
+        assert isinstance(query.plan.child, OrderBy)
+        assert query.name == "top5"
+
+    def test_from_node_roundtrip(self, sales_db):
+        node = scan(sales_db, "sales").node
+        assert from_node(node).node is node

@@ -1,0 +1,183 @@
+"""Unit tests for logical plan nodes: schema derivation and invariants."""
+
+import pytest
+
+from repro.algebra.aggregates import count, sum_
+from repro.algebra.expressions import Col, col
+from repro.algebra.logical import (
+    Aggregate,
+    Join,
+    Limit,
+    OrderBy,
+    Project,
+    SamplerNode,
+    Scan,
+    Select,
+    UnionAll,
+)
+from repro.core.sampler_state import SamplerState
+from repro.errors import PlanError, SchemaError
+
+
+def scan_t():
+    return Scan("t", ("a", "b", "c"))
+
+
+def scan_u():
+    return Scan("u", ("x", "y"))
+
+
+class TestScan:
+    def test_output_columns(self):
+        assert scan_t().output_columns() == ("a", "b", "c")
+
+    def test_requires_columns(self):
+        with pytest.raises(PlanError):
+            Scan("t", ())
+
+    def test_no_children(self):
+        with pytest.raises(PlanError):
+            scan_t().with_children([scan_u()])
+
+
+class TestSelect:
+    def test_passthrough_schema(self):
+        node = Select(scan_t(), col("a") > 1)
+        assert node.output_columns() == ("a", "b", "c")
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Select(scan_t(), col("zz") > 1)
+
+    def test_with_children(self):
+        node = Select(scan_t(), col("a") > 1)
+        rebuilt = node.with_children([scan_t()])
+        assert rebuilt.key() == node.key()
+
+
+class TestProject:
+    def test_output_is_mapping_keys(self):
+        node = Project(scan_t(), {"a2": col("a"), "s": col("a") + col("b")})
+        assert node.output_columns() == ("a2", "s")
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(PlanError):
+            Project(scan_t(), {})
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(SchemaError):
+            Project(scan_t(), {"q": col("nope")})
+
+    def test_identity_passthrough(self):
+        node = Project(scan_t(), {"a2": col("a"), "s": col("a") + col("b")})
+        assert node.identity_passthrough() == {"a2": "a"}
+
+
+class TestJoin:
+    def test_schema_concatenates(self):
+        node = Join(scan_t(), scan_u(), ["a"], ["x"])
+        assert node.output_columns() == ("a", "b", "c", "x", "y")
+
+    def test_full_outer_rejected(self):
+        with pytest.raises(PlanError):
+            Join(scan_t(), scan_u(), ["a"], ["x"], how="full")
+
+    def test_key_count_mismatch(self):
+        with pytest.raises(PlanError):
+            Join(scan_t(), scan_u(), ["a", "b"], ["x"])
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(SchemaError):
+            Join(scan_t(), scan_u(), ["nope"], ["x"])
+
+    def test_column_collision_rejected(self):
+        with pytest.raises(SchemaError):
+            Join(scan_t(), Scan("t2", ("a", "z")), ["a"], ["z"])
+
+    def test_key_mappings(self):
+        node = Join(scan_t(), scan_u(), ["a", "b"], ["x", "y"])
+        assert node.key_mapping_left_to_right() == {"a": "x", "b": "y"}
+        assert node.key_mapping_right_to_left() == {"x": "a", "y": "b"}
+
+
+class TestAggregate:
+    def test_schema(self):
+        node = Aggregate(scan_t(), ("a",), [sum_(col("b"), "total"), count("n")])
+        assert node.output_columns() == ("a", "total", "n")
+
+    def test_scalar_aggregate(self):
+        node = Aggregate(scan_t(), (), [count("n")])
+        assert node.output_columns() == ("n",)
+
+    def test_needs_aggs(self):
+        with pytest.raises(PlanError):
+            Aggregate(scan_t(), ("a",), [])
+
+    def test_alias_collision_with_group(self):
+        with pytest.raises(PlanError):
+            Aggregate(scan_t(), ("a",), [count("a")])
+
+    def test_duplicate_aliases(self):
+        with pytest.raises(PlanError):
+            Aggregate(scan_t(), (), [count("n"), sum_(col("b"), "n")])
+
+    def test_unknown_group_column(self):
+        with pytest.raises(SchemaError):
+            Aggregate(scan_t(), ("zz",), [count("n")])
+
+
+class TestOrderLimitUnion:
+    def test_orderby_schema(self):
+        node = OrderBy(scan_t(), ("a",), descending=True)
+        assert node.output_columns() == ("a", "b", "c")
+        assert node.descending
+
+    def test_orderby_needs_keys(self):
+        with pytest.raises(PlanError):
+            OrderBy(scan_t(), ())
+
+    def test_limit_positive(self):
+        with pytest.raises(PlanError):
+            Limit(scan_t(), 0)
+
+    def test_union_schema_match(self):
+        node = UnionAll([scan_t(), Scan("t2", ("a", "b", "c"))])
+        assert node.output_columns() == ("a", "b", "c")
+
+    def test_union_schema_mismatch(self):
+        with pytest.raises(SchemaError):
+            UnionAll([scan_t(), scan_u()])
+
+    def test_union_needs_two(self):
+        with pytest.raises(PlanError):
+            UnionAll([scan_t()])
+
+
+class TestSamplerNode:
+    def test_holds_state(self):
+        state = SamplerState(strat_cols=frozenset({"a"}))
+        node = SamplerNode(scan_t(), state)
+        assert node.output_columns() == ("a", "b", "c")
+        assert node.spec is state
+
+    def test_spec_needs_key(self):
+        with pytest.raises(PlanError):
+            SamplerNode(scan_t(), object())
+
+
+class TestTreeHelpers:
+    def test_walk_and_counts(self):
+        plan = Aggregate(
+            Select(Join(scan_t(), scan_u(), ["a"], ["x"]), col("b") > 0),
+            ("a",),
+            [count("n")],
+        )
+        kinds = [type(n).__name__ for n in plan.walk()]
+        assert kinds[0] == "Aggregate"
+        assert plan.num_operators() == 5
+        assert plan.depth() == 4
+
+    def test_key_identity_for_equal_plans(self):
+        p1 = Select(scan_t(), col("a") > 1)
+        p2 = Select(scan_t(), col("a") > 1)
+        assert p1.key() == p2.key()

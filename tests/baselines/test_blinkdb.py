@@ -1,0 +1,92 @@
+"""Tests for the BlinkDB-style apriori sampling baseline (Table 6)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.blinkdb import (
+    BlinkDB,
+    build_stratified_sample,
+    sample_size_for,
+    select_samples,
+)
+from repro.workloads.tpcds import generate_tpcds, queries
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_tpcds(scale=0.08, seed=6)
+
+
+class TestStratifiedSamples:
+    def test_cap_respected(self, db):
+        table = db.table("store_sales")
+        sample = build_stratified_sample(table, ["ss_item_sk"], cap_per_stratum=20, seed=1)
+        counts = np.bincount(sample.table.column("ss_item_sk"))
+        assert counts.max() <= 20
+
+    def test_small_strata_kept_fully(self, db):
+        table = db.table("store_sales")
+        sample = build_stratified_sample(table, ["ss_item_sk"], cap_per_stratum=10**6, seed=1)
+        assert sample.rows == table.num_rows
+
+    def test_weights_recover_counts(self, db):
+        table = db.table("store_sales")
+        sample = build_stratified_sample(table, ["ss_item_sk"], cap_per_stratum=25, seed=1)
+        estimated = float(sample.table.weights().sum())
+        assert estimated == pytest.approx(table.num_rows, rel=1e-9)
+
+    def test_weighted_sum_unbiased(self, db):
+        table = db.table("store_sales")
+        truth = float(table.column("ss_ext_sales_price").sum())
+        estimates = []
+        for seed in range(20):
+            sample = build_stratified_sample(table, ["ss_item_sk"], cap_per_stratum=30, seed=seed)
+            estimates.append(
+                float((sample.table.weights() * sample.table.column("ss_ext_sales_price")).sum())
+            )
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.05)
+
+    def test_sample_size_prediction_exact(self, db):
+        table = db.table("store_sales")
+        predicted = sample_size_for(table, ["ss_item_sk"], 20)
+        actual = build_stratified_sample(table, ["ss_item_sk"], 20, seed=2).rows
+        assert predicted == actual
+
+
+class TestSelection:
+    def test_budget_respected(self, db):
+        table = db.table("store_sales")
+        qs = queries(db)
+        budget = table.num_rows // 2
+        selection = select_samples(table, qs, budget, cap_per_stratum=100)
+        assert selection.total_rows <= budget
+
+    def test_bigger_budget_covers_no_fewer(self, db):
+        table = db.table("store_sales")
+        qs = queries(db)
+        small = select_samples(table, qs, table.num_rows // 4, cap_per_stratum=100)
+        large = select_samples(table, qs, table.num_rows * 4, cap_per_stratum=100)
+        assert len(large.covered_queries) >= len(small.covered_queries)
+
+    def test_zero_budget_chooses_nothing(self, db):
+        table = db.table("store_sales")
+        selection = select_samples(table, queries(db), 0, cap_per_stratum=100)
+        assert selection.chosen == []
+
+
+class TestEvaluationProtocol:
+    def test_report_shape(self, db):
+        system = BlinkDB(db, cap_per_stratum=1_000)
+        subset = queries(db)[:6]
+        report = system.evaluate(subset, budget_multiplier=1.0)
+        assert report.total_queries == 6
+        assert 0 <= report.coverage <= 6
+        assert report.median_gain_all >= 0
+        row = report.as_row()
+        assert set(row) == {"budget", "coverage", "median_gain_all", "median_gain_covered", "median_error"}
+
+    def test_poor_coverage_on_complex_queries(self, db):
+        """The paper's headline: apriori samples help few of these queries."""
+        system = BlinkDB(db, cap_per_stratum=1_000)
+        report = system.evaluate(queries(db), budget_multiplier=1.0)
+        assert report.coverage <= report.total_queries * 0.5

@@ -1,0 +1,78 @@
+"""Shared fixtures: small synthetic databases reused across test modules."""
+
+import numpy as np
+import pytest
+
+from repro.engine.table import Database, Table
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+def make_sales_db(n_sales: int = 20_000, n_items: int = 40, n_customers: int = 500, seed: int = 7) -> Database:
+    """A two-table star plus a returns table for join tests."""
+    gen = np.random.default_rng(seed)
+    db = Database()
+    db.register(
+        Table(
+            "sales",
+            {
+                "s_item": gen.integers(0, n_items, n_sales),
+                "s_cust": gen.integers(0, n_customers, n_sales),
+                "s_day": gen.integers(0, 365, n_sales),
+                "s_qty": gen.integers(1, 20, n_sales),
+                "s_amount": np.round(gen.exponential(25.0, n_sales), 2),
+            },
+        )
+    )
+    db.register(
+        Table(
+            "item",
+            {
+                "i_item": np.arange(n_items),
+                "i_cat": gen.integers(0, 5, n_items),
+                "i_price": np.round(gen.lognormal(2.0, 0.5, n_items), 2),
+            },
+        )
+    )
+    n_returns = n_sales // 10
+    picked = gen.choice(n_sales, size=n_returns, replace=False)
+    sales = db.table("sales")
+    db.register(
+        Table(
+            "returns",
+            {
+                "r_item": sales.column("s_item")[picked],
+                "r_cust": sales.column("s_cust")[picked],
+                "r_amount": np.round(sales.column("s_amount")[picked] * 0.9, 2),
+            },
+        )
+    )
+    return db
+
+
+@pytest.fixture(scope="session")
+def sales_db() -> Database:
+    return make_sales_db()
+
+
+@pytest.fixture(scope="session")
+def tiny_tpcds():
+    from repro.workloads.tpcds import generate_tpcds
+
+    return generate_tpcds(scale=0.08, seed=3)
+
+
+@pytest.fixture()
+def small_table(rng) -> Table:
+    n = 5_000
+    return Table(
+        "t",
+        {
+            "k": rng.integers(0, 50, n),
+            "g": rng.integers(0, 8, n),
+            "x": rng.normal(10.0, 3.0, n),
+        },
+    )

@@ -1,0 +1,155 @@
+"""Unit tests for the accuracy analysis (HT estimators, coverage, unrolling)."""
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import (
+    analyze_plan,
+    confidence_interval,
+    ht_estimate,
+    ht_variance_independent,
+    ht_variance_universe,
+    miss_probability_distinct,
+    miss_probability_uniform,
+    miss_probability_universe,
+    unroll_plan,
+)
+from repro.algebra.aggregates import sum_
+from repro.algebra.builder import scan
+from repro.algebra.expressions import col
+from repro.algebra.logical import Aggregate, Join, SamplerNode, Select
+from repro.samplers.uniform import UniformSpec
+from repro.samplers.universe import UniverseSpec
+from repro.stats.catalog import Catalog
+from repro.stats.derivation import StatsDeriver
+
+
+class TestHtEstimators:
+    def test_estimate_recovers_sum(self, rng):
+        values = rng.normal(10, 2, 1000)
+        p = 0.2
+        mask = rng.random(1000) < p
+        estimate = ht_estimate(values[mask], np.full(mask.sum(), 1 / p))
+        assert estimate == pytest.approx(values.sum(), rel=0.15)
+
+    def test_variance_independent_matches_empirical(self, rng):
+        """The estimated variance should match the Monte-Carlo variance of
+        the HT estimator itself."""
+        values = rng.exponential(5.0, 2_000)
+        p = 0.1
+        estimates, predicted = [], []
+        for _ in range(200):
+            mask = rng.random(2_000) < p
+            weights = np.full(int(mask.sum()), 1 / p)
+            estimates.append(ht_estimate(values[mask], weights))
+            predicted.append(ht_variance_independent(values[mask], weights))
+        assert np.mean(predicted) == pytest.approx(np.var(estimates), rel=0.3)
+
+    def test_variance_universe_counts_correlation(self):
+        values = np.array([1.0, 1.0, 2.0])
+        keys = np.array([7, 7, 9])
+        p = 0.5
+        # (1-p)/p^2 * ((1+1)^2 + 2^2) = 2 * 8 = 16
+        assert ht_variance_universe(values, keys, p) == pytest.approx(16.0)
+
+    def test_variance_nonnegative(self, rng):
+        values = rng.normal(size=100)
+        weights = np.full(100, 5.0)
+        assert ht_variance_independent(values, weights) >= 0
+
+    def test_confidence_interval_symmetric(self):
+        lo, hi = confidence_interval(100.0, 25.0)
+        assert hi - 100.0 == pytest.approx(100.0 - lo)
+        assert hi == pytest.approx(100.0 + 1.96 * 5.0)
+
+
+class TestMissProbabilities:
+    def test_uniform(self):
+        assert miss_probability_uniform(0.1, 0) == 1.0
+        assert miss_probability_uniform(0.1, 1) == pytest.approx(0.9)
+        assert miss_probability_uniform(0.1, 300) < 1e-13
+
+    def test_distinct_with_group_stratification_never_misses(self):
+        assert miss_probability_distinct(0.01, 5, stratified_on_group=True) == 0.0
+
+    def test_distinct_without_stratification_like_uniform(self):
+        assert miss_probability_distinct(0.1, 10, False) == miss_probability_uniform(0.1, 10)
+
+    def test_universe_uses_key_values(self):
+        # Fewer distinct key values per group => higher miss probability.
+        assert miss_probability_universe(0.1, 2) > miss_probability_universe(0.1, 50)
+
+    def test_universe_empirical(self, rng):
+        """Miss probability for a group spanning g key values ~ (1-p)^g."""
+        from repro.engine.table import Table
+
+        p, g = 0.3, 5
+        misses = 0
+        trials = 300
+        for seed in range(trials):
+            t = Table("t", {"k": np.arange(g)})
+            out = UniverseSpec(["k"], p, seed=seed).apply(t)
+            if out.num_rows == 0:
+                misses += 1
+        assert misses / trials == pytest.approx((1 - p) ** g, abs=0.05)
+
+
+class TestUnrolling:
+    def make_plan(self, sales_db, sampler_spec):
+        base = scan(sales_db, "sales").node
+        sampled = SamplerNode(base, sampler_spec)
+        filtered = Select(sampled, col("s_qty") > 2)
+        return Aggregate(filtered, ("s_item",), [sum_(col("s_amount"), "rev")])
+
+    def test_uniform_floats_past_select(self, sales_db):
+        unrolled = unroll_plan(self.make_plan(sales_db, UniformSpec(0.1, seed=1)))
+        assert unrolled.kind == "uniform"
+        assert unrolled.p == 0.1
+        assert any(step.rule == "U2" for step in unrolled.steps)
+
+    def test_universe_pair_collapses_via_v3a(self, sales_db):
+        left = SamplerNode(scan(sales_db, "sales").node, UniverseSpec(["s_cust"], 0.2, seed=3))
+        right = SamplerNode(
+            scan(sales_db, "returns").node, UniverseSpec(["r_cust"], 0.2, seed=3, emit_weight=False)
+        )
+        join = Join(left.child, right.child, ["s_cust"], ["r_cust"]).with_children([left, right])
+        plan = Aggregate(join, ("s_item",), [sum_(col("s_amount"), "rev")])
+        unrolled = unroll_plan(plan)
+        assert unrolled.kind == "universe"
+        assert unrolled.p == 0.2
+        assert any(step.rule == "V3a" for step in unrolled.steps)
+
+    def test_independent_samplers_compose_with_u3(self, sales_db):
+        left = SamplerNode(scan(sales_db, "sales").node, UniformSpec(0.2, seed=1))
+        right = SamplerNode(scan(sales_db, "returns").node, UniformSpec(0.5, seed=2))
+        join = Join(left.child, right.child, ["s_cust"], ["r_cust"]).with_children([left, right])
+        plan = Aggregate(join, (), [sum_(col("s_amount"), "rev")])
+        unrolled = unroll_plan(plan)
+        assert unrolled.kind == "uniform"
+        assert unrolled.p == pytest.approx(0.1)
+
+    def test_no_samplers_returns_none(self, sales_db):
+        plan = scan(sales_db, "sales").groupby("s_item").agg(sum_(col("s_amount"), "r")).build("q").plan
+        assert unroll_plan(plan) is None
+
+
+class TestAnalyzePlan:
+    def test_report_fields(self, sales_db):
+        deriver = StatsDeriver(Catalog(sales_db))
+        base = scan(sales_db, "sales").node
+        plan = Aggregate(
+            SamplerNode(base, UniformSpec(0.1, seed=1)), ("s_item",), [sum_(col("s_amount"), "rev")]
+        )
+        report = analyze_plan(plan, deriver)
+        assert report.groups == 40
+        assert report.support_per_group == pytest.approx(500, rel=0.1)
+        assert report.miss_probability < 1e-6
+        assert 0 < report.relative_standard_error < 1
+
+    def test_meets_goal(self, sales_db):
+        deriver = StatsDeriver(Catalog(sales_db))
+        base = scan(sales_db, "sales").node
+        plan = Aggregate(
+            SamplerNode(base, UniformSpec(0.1, seed=1)), ("s_item",), [sum_(col("s_amount"), "rev")]
+        )
+        assert analyze_plan(plan, deriver).meets_goal(max_error=0.2)

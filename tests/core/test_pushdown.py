@@ -1,0 +1,173 @@
+"""Unit tests for sampler push-down rules (Figures 5-7)."""
+
+import pytest
+
+from repro.algebra.builder import scan
+from repro.algebra.expressions import col
+from repro.algebra.logical import Join, Project, SamplerNode, Select, UnionAll
+from repro.core.pushdown import (
+    alternatives_below,
+    push_past_join,
+    push_past_project,
+    push_past_select,
+    push_past_union,
+)
+from repro.core.sampler_state import SamplerState
+from repro.stats.catalog import Catalog
+from repro.stats.derivation import StatsDeriver
+
+
+@pytest.fixture()
+def deriver(sales_db):
+    return StatsDeriver(Catalog(sales_db))
+
+
+def family_of(join):
+    return hash(join.key()) & 0x7FFFFFFF
+
+
+def sampler_states(subtree):
+    return [n.spec for n in subtree.walk() if isinstance(n, SamplerNode)]
+
+
+class TestPushPastSelect:
+    def test_a1_and_a2_generated(self, sales_db, deriver):
+        select = Select(scan(sales_db, "sales").node, col("s_day") > 100)
+        state = SamplerState(strat_cols=frozenset({"s_item"}))
+        alts = push_past_select(state, select, deriver)
+        assert len(alts) == 2
+        states = [sampler_states(a)[0] for a in alts]
+        a1 = next(s for s in states if "s_day" in s.strat_cols)
+        a2 = next(s for s in states if "s_day" not in s.strat_cols)
+        assert a1.ds == 1.0
+        assert a2.ds < 1.0  # penalized by predicate selectivity
+
+    def test_already_stratified_is_free(self, sales_db, deriver):
+        select = Select(scan(sales_db, "sales").node, col("s_item") == 2)
+        state = SamplerState(strat_cols=frozenset({"s_item"}))
+        alts = push_past_select(state, select, deriver)
+        assert len(alts) == 1
+        assert sampler_states(alts[0])[0].ds == 1.0
+
+    def test_result_shape_select_above_sampler(self, sales_db, deriver):
+        select = Select(scan(sales_db, "sales").node, col("s_day") > 100)
+        alts = push_past_select(SamplerState(), select, deriver)
+        for alt in alts:
+            assert isinstance(alt, Select)
+            assert isinstance(alt.child, SamplerNode)
+
+
+class TestPushPastProject:
+    def test_pure_rename(self, sales_db, deriver):
+        project = Project(scan(sales_db, "sales").node, {"item": col("s_item"), "amt": col("s_amount")})
+        state = SamplerState(strat_cols=frozenset({"item"}))
+        alts = push_past_project(state, project, deriver)
+        assert len(alts) == 1
+        assert sampler_states(alts[0])[0].strat_cols == frozenset({"s_item"})
+
+    def test_computed_stratification_falls_back_to_inputs(self, sales_db, deriver):
+        project = Project(
+            scan(sales_db, "sales").node,
+            {"bucket": col("s_day") % 7, "amt": col("s_amount")},
+        )
+        state = SamplerState(strat_cols=frozenset({"bucket"}))
+        alts = push_past_project(state, project, deriver)
+        assert sampler_states(alts[0])[0].strat_cols == frozenset({"s_day"})
+
+    def test_computed_universe_blocks_push(self, sales_db, deriver):
+        project = Project(scan(sales_db, "sales").node, {"h": col("s_cust") % 10})
+        state = SamplerState(univ_cols=frozenset({"h"}))
+        assert push_past_project(state, project, deriver) == []
+
+
+class TestPushPastJoin:
+    @pytest.fixture()
+    def join(self, sales_db):
+        return Join(
+            scan(sales_db, "sales").node, scan(sales_db, "item").node, ["s_item"], ["i_item"]
+        )
+
+    def test_one_side_alternatives_exist(self, sales_db, deriver, join):
+        state = SamplerState(strat_cols=frozenset({"i_cat"}))
+        alts = push_past_join(state, join, deriver, family_of)
+        assert alts
+        one_sided = [a for a in alts if len(sampler_states(a)) == 1]
+        assert one_sided
+
+    def test_missing_strat_replaced_by_join_keys_with_sfm(self, sales_db, deriver, join):
+        state = SamplerState(strat_cols=frozenset({"i_cat"}))
+        alts = push_past_join(state, join, deriver, family_of)
+        left_states = [
+            sampler_states(a)[0]
+            for a in alts
+            if len(sampler_states(a)) == 1 and isinstance(a.left, SamplerNode)
+        ]
+        assert left_states
+        replaced = left_states[0]
+        assert "s_item" in replaced.strat_cols
+        # i_item has 40 values, i_cat has 5: support correction is 40/5.
+        assert replaced.sfm == pytest.approx(8.0)
+
+    def test_both_sides_introduce_universe_family(self, sales_db, deriver):
+        join = Join(
+            scan(sales_db, "sales").node, scan(sales_db, "returns").node, ["s_cust"], ["r_cust"]
+        )
+        state = SamplerState()
+        alts = push_past_join(state, join, deriver, family_of)
+        paired = [a for a in alts if len(sampler_states(a)) == 2]
+        assert paired
+        left_state, right_state = sampler_states(paired[0])
+        assert left_state.univ_cols == frozenset({"s_cust"})
+        assert right_state.univ_cols == frozenset({"r_cust"})
+        assert left_state.family == right_state.family is not None
+
+    def test_existing_universe_requirement_blocks_mismatched_push(self, sales_db, deriver, join):
+        # Universe requirement on a non-key column cannot cross this join on
+        # both sides (PrepareUnivCol returns nothing).
+        state = SamplerState(univ_cols=frozenset({"s_cust"}))
+        alts = push_past_join(state, join, deriver, family_of)
+        assert all(len(sampler_states(a)) == 1 for a in alts)
+
+    def test_ds_scaled_by_join_selectivity(self, sales_db, deriver):
+        # returns has ~10% of sales rows: pushing a sampler below the
+        # sales side of sales-join-returns must scale ds down.
+        join = Join(
+            scan(sales_db, "sales").node, scan(sales_db, "returns").node, ["s_cust"], ["r_cust"]
+        )
+        state = SamplerState(strat_cols=frozenset({"s_item"}))
+        alts = push_past_join(state, join, deriver, family_of)
+        left_states = [
+            sampler_states(a)[0]
+            for a in alts
+            if len(sampler_states(a)) == 1 and isinstance(a.left, SamplerNode)
+        ]
+        assert any(s.ds <= 1.0 for s in left_states)
+
+
+class TestPushPastUnion:
+    def test_cloned_into_branches(self, sales_db, deriver):
+        a = scan(sales_db, "sales").select("s_item", "s_amount").node
+        b = scan(sales_db, "sales").select("s_item", "s_amount").node
+        union = UnionAll([a, b])
+        state = SamplerState(strat_cols=frozenset({"s_item"}))
+        alts = push_past_union(state, union, deriver)
+        assert len(alts) == 1
+        assert len(sampler_states(alts[0])) == 2
+
+
+class TestDispatch:
+    def test_alternatives_below_dispatches(self, sales_db, deriver):
+        select = Select(scan(sales_db, "sales").node, col("s_day") > 10)
+        node = SamplerNode(select, SamplerState())
+        assert alternatives_below(node, deriver, family_of)
+
+    def test_physical_spec_not_pushed(self, sales_db, deriver):
+        from repro.samplers.uniform import UniformSpec
+
+        select = Select(scan(sales_db, "sales").node, col("s_day") > 10)
+        node = SamplerNode(select, UniformSpec(0.1))
+        assert alternatives_below(node, deriver, family_of) == []
+
+    def test_scan_child_has_no_alternatives(self, sales_db, deriver):
+        node = SamplerNode(scan(sales_db, "sales").node, SamplerState())
+        assert alternatives_below(node, deriver, family_of) == []

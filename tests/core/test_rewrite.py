@@ -1,0 +1,124 @@
+"""Unit tests for successor rewriting (Table 8) and plan finalization."""
+
+import numpy as np
+import pytest
+
+from repro.algebra.aggregates import count_distinct, sum_
+from repro.algebra.builder import scan
+from repro.algebra.expressions import col
+from repro.algebra.logical import Aggregate, Join, SamplerNode
+from repro.core.rewrite import WeightedAggregate, finalize_plan, join_key_equivalence, samplers_below
+from repro.engine.executor import Executor
+from repro.samplers.base import PassThroughSpec
+from repro.samplers.uniform import UniformSpec
+from repro.samplers.universe import UniverseSpec
+
+
+class TestJoinKeyEquivalence:
+    def test_transitive_classes(self, sales_db):
+        plan = (
+            scan(sales_db, "sales")
+            .join(scan(sales_db, "returns"), on=[("s_cust", "r_cust")])
+            .groupby("s_item")
+            .agg(sum_(col("s_amount"), "rev"))
+            .build("q")
+            .plan
+        )
+        eq = join_key_equivalence(plan)
+        assert eq["s_cust"] == eq["r_cust"]
+
+    def test_unrelated_columns_separate(self, sales_db):
+        plan = (
+            scan(sales_db, "sales")
+            .join(scan(sales_db, "item"), on=[("s_item", "i_item")])
+            .groupby("i_cat")
+            .agg(sum_(col("s_amount"), "rev"))
+            .build("q")
+            .plan
+        )
+        eq = join_key_equivalence(plan)
+        assert eq.get("s_cust", "s_cust") != eq["s_item"]
+
+
+class TestSamplersBelow:
+    def test_finds_live_samplers(self, sales_db):
+        base = scan(sales_db, "sales").node
+        plan = Aggregate(SamplerNode(base, UniformSpec(0.1)), ("s_item",), [sum_(col("s_amount"), "r")])
+        assert len(samplers_below(plan)) == 1
+
+    def test_ignores_passthrough(self, sales_db):
+        base = scan(sales_db, "sales").node
+        plan = Aggregate(SamplerNode(base, PassThroughSpec()), ("s_item",), [sum_(col("s_amount"), "r")])
+        assert samplers_below(plan) == []
+
+    def test_stops_at_nested_aggregate(self, sales_db):
+        base = scan(sales_db, "sales").node
+        inner = Aggregate(
+            SamplerNode(base, UniformSpec(0.1)), ("s_item", "s_day"), [sum_(col("s_amount"), "r")]
+        )
+        outer = Aggregate(inner, ("s_item",), [sum_(col("r"), "total")])
+        assert samplers_below(outer) == []
+
+
+class TestFinalize:
+    def test_weighted_aggregate_created(self, sales_db):
+        base = scan(sales_db, "sales").node
+        plan = Aggregate(SamplerNode(base, UniformSpec(0.1)), ("s_item",), [sum_(col("s_amount"), "r")])
+        final = finalize_plan(plan)
+        assert isinstance(final, WeightedAggregate)
+        assert final.compute_ci
+
+    def test_unsampled_aggregate_untouched(self, sales_db):
+        plan = (
+            scan(sales_db, "sales").groupby("s_item").agg(sum_(col("s_amount"), "r")).build("q").plan
+        )
+        final = finalize_plan(plan)
+        assert not isinstance(final, WeightedAggregate)
+
+    def test_finalize_idempotent(self, sales_db):
+        base = scan(sales_db, "sales").node
+        plan = Aggregate(SamplerNode(base, UniformSpec(0.1)), ("s_item",), [sum_(col("s_amount"), "r")])
+        once = finalize_plan(plan)
+        twice = finalize_plan(once)
+        assert twice.key() == once.key()
+
+    def test_universe_rescale_through_join_equivalence(self, sales_db):
+        """COUNT DISTINCT over s_cust is rescaled when the universe sampler
+        sits on the join-equivalent r_cust."""
+        sales = scan(sales_db, "sales").node
+        returns = SamplerNode(scan(sales_db, "returns").node, UniverseSpec(["r_cust"], 0.25, seed=1))
+        join = Join(sales, returns, ["s_cust"], ["r_cust"])
+        plan = Aggregate(join, (), [count_distinct(col("s_cust"), "uniq")])
+        final = finalize_plan(plan)
+        assert isinstance(final, WeightedAggregate)
+        assert final.universe_rescale == {"uniq": 4.0}
+        assert final.universe_variance is not None
+
+    def test_rescaled_count_distinct_is_accurate(self, sales_db):
+        sales = scan(sales_db, "sales").node
+        returns = SamplerNode(scan(sales_db, "returns").node, UniverseSpec(["r_cust"], 0.25, seed=1))
+        join = Join(sales, returns, ["s_cust"], ["r_cust"])
+        plan = Aggregate(join, (), [count_distinct(col("s_cust"), "uniq")])
+        executor = Executor(sales_db)
+        exact_plan = Aggregate(
+            Join(sales, scan(sales_db, "returns").node, ["s_cust"], ["r_cust"]),
+            (),
+            [count_distinct(col("s_cust"), "uniq")],
+        )
+        truth = executor.execute(exact_plan).table.column("uniq")[0]
+        estimates = []
+        for seed in range(25):
+            reseeded = Aggregate(
+                Join(
+                    sales,
+                    SamplerNode(
+                        scan(sales_db, "returns").node, UniverseSpec(["r_cust"], 0.25, seed=seed)
+                    ),
+                    ["s_cust"],
+                    ["r_cust"],
+                ),
+                (),
+                [count_distinct(col("s_cust"), "uniq")],
+            )
+            estimates.append(executor.execute(finalize_plan(reseeded)).table.column("uniq")[0])
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.1)

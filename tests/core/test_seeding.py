@@ -1,0 +1,75 @@
+"""Unit tests for sampler seeding (Figure 4)."""
+
+from repro.algebra.aggregates import count_distinct, max_, sum_, sum_if
+from repro.algebra.builder import scan
+from repro.algebra.expressions import col
+from repro.algebra.logical import Aggregate, SamplerNode
+from repro.core.seeding import initial_state_for, seed_samplers
+
+
+def find_samplers(plan):
+    return [n for n in plan.walk() if isinstance(n, SamplerNode)]
+
+
+class TestSeeding:
+    def test_sampler_inserted_below_aggregate(self, sales_db):
+        q = scan(sales_db, "sales").groupby("s_item").agg(sum_(col("s_amount"), "rev")).build("q")
+        seeded, n = seed_samplers(q.plan)
+        assert n == 1
+        assert isinstance(seeded, Aggregate)
+        assert isinstance(seeded.child, SamplerNode)
+
+    def test_min_max_not_seeded(self, sales_db):
+        q = scan(sales_db, "sales").groupby("s_item").agg(max_(col("s_amount"), "m")).build("q")
+        seeded, n = seed_samplers(q.plan)
+        assert n == 0
+        assert not find_samplers(seeded)
+
+    def test_nested_aggregates_both_seeded(self, sales_db):
+        inner = scan(sales_db, "sales").groupby("s_item", "s_day").agg(sum_(col("s_amount"), "rev"))
+        q = inner.groupby("s_item").agg(sum_(col("rev"), "total")).build("q")
+        _seeded, n = seed_samplers(q.plan)
+        assert n == 2
+
+    def test_idempotent(self, sales_db):
+        q = scan(sales_db, "sales").groupby("s_item").agg(sum_(col("s_amount"), "rev")).build("q")
+        once, _ = seed_samplers(q.plan)
+        twice, n = seed_samplers(once)
+        assert n == 0
+        assert twice.key() == once.key()
+
+
+class TestInitialState:
+    def test_group_columns_required(self, sales_db):
+        q = scan(sales_db, "sales").groupby("s_item").agg(sum_(col("s_amount"), "rev")).build("q")
+        state = initial_state_for(q.plan)
+        assert state.strat_cols == frozenset({"s_item"})
+        assert state.opt_cols == frozenset()
+        assert state.univ_cols == frozenset()
+        assert state.ds == 1.0 and state.sfm == 1.0
+
+    def test_condition_columns_optional(self, sales_db):
+        q = (
+            scan(sales_db, "sales")
+            .groupby("s_item")
+            .agg(sum_if(col("s_amount"), col("s_day") > 100, "late"))
+            .build("q")
+        )
+        state = initial_state_for(q.plan)
+        assert "s_day" in state.strat_cols
+        assert "s_day" in state.opt_cols
+
+    def test_count_distinct_columns_tagged(self, sales_db):
+        q = (
+            scan(sales_db, "sales")
+            .groupby("s_item")
+            .agg(count_distinct(col("s_cust"), "uniq"))
+            .build("q")
+        )
+        state = initial_state_for(q.plan)
+        assert "s_cust" in state.strat_cols
+        assert state.cd_cols == frozenset({"s_cust"})
+
+    def test_value_columns_recorded(self, sales_db):
+        q = scan(sales_db, "sales").groupby("s_item").agg(sum_(col("s_amount"), "rev")).build("q")
+        assert initial_state_for(q.plan).value_cols == frozenset({"s_amount"})

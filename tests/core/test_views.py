@@ -1,0 +1,120 @@
+"""Tests for sampled-view reuse (the paper's §7 future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.algebra.aggregates import count, sum_
+from repro.algebra.builder import scan
+from repro.algebra.expressions import col
+from repro.algebra.logical import Aggregate, SamplerNode
+from repro.core.views import MaterializingExecutor, ViewStore
+from repro.engine.executor import Executor
+from repro.errors import PlanError
+from repro.samplers.uniform import UniformSpec
+
+
+def sampled_plan(db, seed=1, p=0.1):
+    base = scan(db, "sales").node
+    return Aggregate(
+        SamplerNode(base, UniformSpec(p, seed=seed)),
+        ("s_item",),
+        [sum_(col("s_amount"), "rev")],
+    )
+
+
+class TestViewStore:
+    def test_put_and_get_by_structure(self, sales_db):
+        store = ViewStore()
+        plan = sampled_plan(sales_db)
+        sampler = plan.child
+        table = Executor(sales_db).execute(sampler).table
+        store.put(sampler, table)
+        # A structurally identical node (fresh object) hits the cache.
+        other = sampled_plan(sales_db).child
+        view = store.get(other)
+        assert view is not None
+        assert view.rows == table.num_rows
+
+    def test_different_seed_misses(self, sales_db):
+        store = ViewStore()
+        sampler = sampled_plan(sales_db, seed=1).child
+        store.put(sampler, Executor(sales_db).execute(sampler).table)
+        assert store.get(sampled_plan(sales_db, seed=2).child) is None
+
+    def test_epoch_bump_invalidates(self, sales_db):
+        store = ViewStore()
+        sampler = sampled_plan(sales_db).child
+        store.put(sampler, Executor(sales_db).execute(sampler).table)
+        store.bump_epoch("sales")
+        assert store.get(sampler) is None
+        assert len(store) == 0
+
+    def test_unrelated_epoch_keeps_view(self, sales_db):
+        store = ViewStore()
+        sampler = sampled_plan(sales_db).child
+        store.put(sampler, Executor(sales_db).execute(sampler).table)
+        store.bump_epoch("item")
+        assert store.get(sampler) is not None
+
+    def test_lru_eviction_under_budget(self, sales_db):
+        executor = Executor(sales_db)
+        first = sampled_plan(sales_db, seed=1).child
+        first_table = executor.execute(first).table
+        store = ViewStore(max_rows=int(first_table.num_rows * 1.5))
+        store.put(first, first_table)
+        second = sampled_plan(sales_db, seed=2).child
+        store.get(first)  # refresh LRU position of `first`
+        store.put(second, executor.execute(second).table)
+        assert store.total_rows() <= store.max_rows
+        assert len(store) == 1
+
+    def test_only_samplers_materialize(self, sales_db):
+        store = ViewStore()
+        with pytest.raises(PlanError):
+            store.put(scan(sales_db, "sales").node, sales_db.table("sales"))
+
+    def test_oversized_view_skipped(self, sales_db):
+        store = ViewStore(max_rows=3)
+        sampler = sampled_plan(sales_db).child
+        assert store.put(sampler, Executor(sales_db).execute(sampler).table) is None
+
+
+class TestMaterializingExecutor:
+    def test_second_run_reuses_view(self, sales_db):
+        wrapper = MaterializingExecutor(Executor(sales_db))
+        plan = sampled_plan(sales_db)
+        first = wrapper.execute(plan)
+        assert len(wrapper.store) == 1
+        second = wrapper.execute(sampled_plan(sales_db))
+        # The answer is identical (same sampler seed -> same sample).
+        np.testing.assert_allclose(
+            np.sort(first.table.column("rev")), np.sort(second.table.column("rev"))
+        )
+        assert wrapper.store.stats()["hits"] >= 1
+
+    def test_reuse_is_cheaper(self, sales_db):
+        wrapper = MaterializingExecutor(Executor(sales_db))
+        plan = sampled_plan(sales_db)
+        first = wrapper.execute(plan)
+        second = wrapper.execute(sampled_plan(sales_db))
+        # Reading the materialized view skips the full base-table scan.
+        assert second.cost.machine_hours < first.cost.machine_hours
+
+    def test_prefix_reuse_across_different_queries(self, sales_db):
+        """Two different aggregates over the same sampled sub-expression
+        share the view."""
+        wrapper = MaterializingExecutor(Executor(sales_db))
+        wrapper.execute(sampled_plan(sales_db))
+        sampler = sampled_plan(sales_db).child
+        other_query = Aggregate(sampler, ("s_day",), [count("n")])
+        result = wrapper.execute(other_query)
+        assert wrapper.store.stats()["hits"] >= 1
+        assert result.table.num_rows > 0
+
+    def test_stale_view_not_reused(self, sales_db):
+        wrapper = MaterializingExecutor(Executor(sales_db))
+        wrapper.execute(sampled_plan(sales_db))
+        wrapper.store.bump_epoch("sales")
+        wrapper.execute(sampled_plan(sales_db))
+        # View was rebuilt rather than served stale.
+        assert len(wrapper.store) == 1

@@ -1,0 +1,142 @@
+"""Unit tests for the stage-based cluster cost model."""
+
+import pytest
+
+from repro.algebra.aggregates import count, sum_
+from repro.algebra.builder import scan
+from repro.algebra.expressions import col
+from repro.algebra.logical import Aggregate, Join, SamplerNode, Scan, Select
+from repro.engine.costmodel import cost_plan
+from repro.engine.metrics import ClusterConfig
+from repro.samplers.uniform import UniformSpec
+
+
+def rows_oracle(mapping):
+    """Cardinality oracle from a {node_key: rows} map."""
+
+    def rows_of(node):
+        return mapping[node.key()]
+
+    return rows_of
+
+
+def star_plan(fact_rows, dim_rows, out_groups):
+    fact = Scan("fact", ("k", "v"))
+    dim = Scan("dim", ("j", "d"))
+    join = Join(fact, dim, ["k"], ["j"])
+    agg = Aggregate(join, ("d",), [sum_(col("v"), "s")])
+    mapping = {
+        fact.key(): fact_rows,
+        dim.key(): dim_rows,
+        join.key(): fact_rows,
+        agg.key(): out_groups,
+    }
+    return agg, mapping
+
+
+class TestJoinStrategies:
+    def test_small_dimension_broadcasts(self):
+        config = ClusterConfig(broadcast_threshold=1_000)
+        plan, mapping = star_plan(100_000, 100, 20)
+        cost = cost_plan(plan, rows_oracle(mapping), config)
+        # Broadcast join: the fact side never re-shuffles, so shuffled rows
+        # are only the broadcast dimension plus the aggregate re-partition.
+        assert cost.shuffled_rows < 10_000
+
+    def test_large_side_shuffles(self):
+        config = ClusterConfig(broadcast_threshold=1_000)
+        plan, mapping = star_plan(100_000, 50_000, 20)
+        cost = cost_plan(plan, rows_oracle(mapping), config)
+        assert cost.shuffled_rows > 100_000
+
+    def test_shuffle_join_adds_a_pass(self):
+        config = ClusterConfig(broadcast_threshold=1_000)
+        broadcast_plan, m1 = star_plan(100_000, 100, 20)
+        shuffle_plan, m2 = star_plan(100_000, 50_000, 20)
+        passes_broadcast = cost_plan(broadcast_plan, rows_oracle(m1), config).effective_passes
+        passes_shuffle = cost_plan(shuffle_plan, rows_oracle(m2), config).effective_passes
+        assert passes_shuffle > passes_broadcast
+
+
+class TestSamplerEffects:
+    def _sampled_star(self, p):
+        fact = Scan("fact", ("k", "v"))
+        sampler = SamplerNode(fact, UniformSpec(p, seed=0))
+        dim = Scan("dim", ("j", "d"))
+        join = Join(sampler, dim, ["k"], ["j"])
+        agg = Aggregate(join, ("d",), [sum_(col("v"), "s")])
+        sampled_rows = int(100_000 * p)
+        mapping = {
+            fact.key(): 100_000,
+            sampler.key(): sampled_rows,
+            dim.key(): 100,
+            join.key(): sampled_rows,
+            agg.key(): 20,
+        }
+        return agg, mapping
+
+    def test_sampler_lowers_machine_hours(self):
+        config = ClusterConfig()
+        baseline, m0 = star_plan(100_000, 100, 20)
+        sampled, m1 = self._sampled_star(0.01)
+        assert (
+            cost_plan(sampled, rows_oracle(m1), config).machine_hours
+            < cost_plan(baseline, rows_oracle(m0), config).machine_hours
+        )
+
+    def test_sampler_kind_recorded_with_distance_zero(self):
+        sampled, mapping = self._sampled_star(0.1)
+        cost = cost_plan(sampled, rows_oracle(mapping))
+        assert cost.sampler_source_distances() == [0]
+
+    def test_sampler_above_shuffle_join_has_distance_one(self):
+        fact = Scan("fact", ("k", "v"))
+        other = Scan("other", ("j", "w"))
+        join = Join(fact, other, ["k"], ["j"])
+        sampler = SamplerNode(join, UniformSpec(0.1, seed=0))
+        agg = Aggregate(sampler, (), [count("n")])
+        mapping = {
+            fact.key(): 100_000,
+            other.key(): 100_000,
+            join.key(): 150_000,
+            sampler.key(): 15_000,
+            agg.key(): 1,
+        }
+        cost = cost_plan(agg, rows_oracle(mapping))
+        assert cost.sampler_source_distances() == [1]
+
+
+class TestPassAccounting:
+    def test_single_scan_aggregate_is_about_one_pass(self):
+        scan_node = Scan("t", ("a",))
+        agg = Aggregate(scan_node, ("a",), [count("n")])
+        mapping = {scan_node.key(): 100_000, agg.key(): 10}
+        cost = cost_plan(agg, rows_oracle(mapping))
+        assert cost.effective_passes == pytest.approx(1.0, rel=0.2)
+
+    def test_total_over_first_pass_at_least_one(self):
+        plan, mapping = star_plan(100_000, 50_000, 20)
+        assert cost_plan(plan, rows_oracle(mapping)).total_over_first_pass() >= 1.0
+
+    def test_dop_reduction_after_small_rows(self):
+        config = ClusterConfig(rows_per_task=1_000, max_dop=64)
+        assert config.dop_for_rows(100_000) == 64
+        assert config.dop_for_rows(500) == 1
+        assert config.dop_for_rows(0) == 1
+
+
+class TestStageStructure:
+    def test_select_is_pipelined(self):
+        scan_node = Scan("t", ("a",))
+        select = Select(scan_node, col("a") > 0)
+        agg = Aggregate(select, (), [count("n")])
+        mapping = {scan_node.key(): 50_000, select.key(): 25_000, agg.key(): 1}
+        cost = cost_plan(agg, rows_oracle(mapping))
+        # scan+select+partial-agg fuse into one stage; final agg is another.
+        assert len(cost.stages) == 2
+
+    def test_summary_keys(self):
+        plan, mapping = star_plan(10_000, 10, 4)
+        summary = cost_plan(plan, rows_oracle(mapping)).summary()
+        for key in ("machine_hours", "runtime", "shuffled_rows", "intermediate_rows", "effective_passes", "stages"):
+            assert key in summary

@@ -1,0 +1,129 @@
+"""End-to-end executor tests: exact answers and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.algebra.aggregates import avg, count, sum_
+from repro.algebra.builder import scan
+from repro.algebra.expressions import col
+from repro.algebra.logical import Aggregate, SamplerNode
+from repro.engine.executor import Executor
+from repro.errors import PlanError
+from repro.samplers.uniform import UniformSpec
+
+
+class TestExactExecution:
+    def test_filter_groupby_matches_numpy(self, sales_db):
+        q = (
+            scan(sales_db, "sales")
+            .where(col("s_qty") > 10)
+            .groupby("s_item")
+            .agg(sum_(col("s_amount"), "rev"), count("n"))
+            .build("q")
+        )
+        result = Executor(sales_db).execute(q)
+        sales = sales_db.table("sales")
+        mask = sales.column("s_qty") > 10
+        items = sales.column("s_item")[mask]
+        amounts = sales.column("s_amount")[mask]
+        expected = {i: amounts[items == i].sum() for i in np.unique(items)}
+        got = dict(zip(result.table.column("s_item").tolist(), result.table.column("rev").tolist()))
+        assert set(got) == set(expected)
+        for key, value in expected.items():
+            assert got[key] == pytest.approx(value)
+
+    def test_join_aggregate(self, sales_db):
+        q = (
+            scan(sales_db, "sales")
+            .join(scan(sales_db, "item"), on=[("s_item", "i_item")])
+            .groupby("i_cat")
+            .agg(avg(col("s_amount"), "m"))
+            .build("q")
+        )
+        result = Executor(sales_db).execute(q)
+        assert result.table.num_rows == 5  # five categories
+
+    def test_orderby_limit(self, sales_db):
+        q = (
+            scan(sales_db, "sales")
+            .groupby("s_item")
+            .agg(sum_(col("s_amount"), "rev"))
+            .orderby("rev", desc=True)
+            .limit(3)
+            .build("q")
+        )
+        result = Executor(sales_db).execute(q)
+        revs = result.table.column("rev")
+        assert result.table.num_rows == 3
+        assert revs[0] >= revs[1] >= revs[2]
+
+    def test_union_all(self, sales_db):
+        a = scan(sales_db, "sales").select("s_item", "s_amount")
+        q = a.union_all(scan(sales_db, "sales").select("s_item", "s_amount")).agg(count("n")).build("q")
+        result = Executor(sales_db).execute(q)
+        assert result.table.column("n")[0] == 2 * sales_db.table("sales").num_rows
+
+
+class TestCostAccounting:
+    def test_cardinalities_recorded_per_node(self, sales_db):
+        q = scan(sales_db, "sales").where(col("s_qty") > 10).build("q")
+        result = Executor(sales_db).execute(q)
+        values = sorted(result.cardinalities.values())
+        assert values[-1] == sales_db.table("sales").num_rows
+
+    def test_cost_metrics_positive(self, sales_db):
+        q = (
+            scan(sales_db, "sales")
+            .join(scan(sales_db, "returns"), on=[("s_cust", "r_cust")])
+            .groupby("s_item")
+            .agg(count("n"))
+            .build("q")
+        )
+        cost = Executor(sales_db).execute(q).cost
+        assert cost.machine_hours > 0
+        assert cost.runtime > 0
+        assert cost.effective_passes >= 1.0
+        assert cost.job_input_rows > 0
+
+    def test_sampler_reduces_cost(self, sales_db):
+        plan = (
+            scan(sales_db, "sales")
+            .groupby("s_item")
+            .agg(sum_(col("s_amount"), "rev"))
+            .build("q")
+            .plan
+        )
+        sampled = Aggregate(
+            SamplerNode(plan.child, UniformSpec(0.05, seed=1)), plan.group_by, plan.aggs
+        )
+        ex = Executor(sales_db)
+        assert ex.execute(sampled).cost.machine_hours < ex.execute(plan).cost.machine_hours
+
+
+class TestSampledExecution:
+    def test_uniform_sampled_answer_is_close(self, sales_db):
+        plan = (
+            scan(sales_db, "sales")
+            .groupby("s_item")
+            .agg(sum_(col("s_amount"), "rev"))
+            .build("q")
+            .plan
+        )
+        sampled = Aggregate(
+            SamplerNode(plan.child, UniformSpec(0.2, seed=5)), plan.group_by, plan.aggs
+        )
+        ex = Executor(sales_db)
+        exact = ex.execute(plan).table
+        approx = ex.execute(sampled).table
+        truth = dict(zip(exact.column("s_item").tolist(), exact.column("rev").tolist()))
+        got = dict(zip(approx.column("s_item").tolist(), approx.column("rev").tolist()))
+        errors = [abs(got[k] - truth[k]) / truth[k] for k in truth if k in got]
+        assert np.median(errors) < 0.2
+
+    def test_logical_state_rejected(self, sales_db):
+        from repro.core.sampler_state import SamplerState
+
+        plan = scan(sales_db, "sales").build("q").plan
+        bad = SamplerNode(plan, SamplerState())
+        with pytest.raises(PlanError):
+            Executor(sales_db).execute(bad)

@@ -1,0 +1,137 @@
+"""Unit tests for the columnar Table and Database."""
+
+import numpy as np
+import pytest
+
+from repro.engine.table import WEIGHT_COLUMN, Database, Table
+from repro.errors import CatalogError, SchemaError
+
+
+def make(n=10):
+    return Table("t", {"a": np.arange(n), "b": np.arange(n) * 2.0})
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = make()
+        assert t.num_rows == 10
+        assert t.column_names == ("a", "b")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", {"a": np.arange(3), "b": np.arange(4)})
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", {})
+
+    def test_2d_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", {"a": np.zeros((2, 2))})
+
+    def test_missing_column_raises(self):
+        with pytest.raises(SchemaError):
+            make().column("zzz")
+
+
+class TestWeights:
+    def test_default_weights_are_ones(self):
+        np.testing.assert_array_equal(make(3).weights(), [1.0, 1.0, 1.0])
+
+    def test_weight_column_recognized(self):
+        t = make(3).with_columns({WEIGHT_COLUMN: np.array([2.0, 2.0, 2.0])})
+        assert t.has_weights()
+        assert WEIGHT_COLUMN not in t.data_column_names()
+
+    def test_project_preserves_weights(self):
+        t = make(3).with_columns({WEIGHT_COLUMN: np.full(3, 4.0)})
+        p = t.project(["a"])
+        assert p.has_weights()
+        np.testing.assert_array_equal(p.weights(), [4.0, 4.0, 4.0])
+
+
+class TestRowOps:
+    def test_take_mask(self):
+        t = make()
+        out = t.take(t.column("a") % 2 == 0)
+        assert out.num_rows == 5
+
+    def test_take_indices(self):
+        out = make().take(np.array([1, 3]))
+        np.testing.assert_array_equal(out.column("a"), [1, 3])
+
+    def test_head(self):
+        assert make().head(3).num_rows == 3
+        assert make(2).head(5).num_rows == 2
+
+    def test_sort_by(self):
+        t = Table("t", {"a": np.array([3, 1, 2])})
+        np.testing.assert_array_equal(t.sort_by(["a"]).column("a"), [1, 2, 3])
+        np.testing.assert_array_equal(t.sort_by(["a"], descending=True).column("a"), [3, 2, 1])
+
+    def test_sort_by_multiple_keys(self):
+        t = Table("t", {"a": np.array([1, 1, 0]), "b": np.array([2, 1, 9])})
+        out = t.sort_by(["a", "b"])
+        np.testing.assert_array_equal(out.column("b"), [9, 1, 2])
+
+    def test_rename_columns(self):
+        t = make().rename_columns({"a": "alpha"})
+        assert "alpha" in t.column_names
+
+
+class TestPartitionConcat:
+    def test_partition_roundtrip(self):
+        t = make(17)
+        parts = t.partition(4)
+        assert len(parts) == 4
+        assert sum(p.num_rows for p in parts) == 17
+        merged = Table.concat(parts)
+        assert sorted(merged.column("a").tolist()) == list(range(17))
+
+    def test_partition_one(self):
+        assert len(make().partition(1)) == 1
+
+    def test_concat_schema_mismatch(self):
+        with pytest.raises(SchemaError):
+            Table.concat([make(), Table("u", {"x": np.arange(2)})])
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Table.concat([])
+
+
+class TestRowsInterface:
+    def test_iter_rows(self):
+        rows = list(make(3).iter_rows())
+        assert rows[0] == (0, 0.0)
+        assert len(rows) == 3
+
+    def test_from_rows(self):
+        t = Table.from_rows("t", ["a", "b"], [(1, 2.0), (3, 4.0)])
+        np.testing.assert_array_equal(t.column("a"), [1, 3])
+
+    def test_from_rows_empty(self):
+        t = Table.from_rows("t", ["a"], [])
+        assert t.num_rows == 0
+
+    def test_estimated_bytes_positive(self):
+        assert make().estimated_bytes() > 0
+
+
+class TestDatabase:
+    def test_register_and_lookup(self):
+        db = Database()
+        db.register(make())
+        assert "t" in db
+        assert db.table("t").num_rows == 10
+        assert db.columns("t") == ("a", "b")
+
+    def test_missing_table(self):
+        with pytest.raises(CatalogError):
+            Database().table("nope")
+
+    def test_totals(self):
+        db = Database()
+        db.register(make())
+        assert db.total_rows() == 10
+        assert db.total_bytes() > 0

@@ -1,0 +1,96 @@
+"""Unit tests for answer comparison and error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.algebra.aggregates import count, max_, sum_
+from repro.algebra.builder import scan
+from repro.algebra.expressions import col
+from repro.engine.table import Table
+from repro.experiments.metrics import answer_structure, compare_answers, strip_limit
+
+
+def answer(groups, values):
+    return Table("ans", {"g": np.asarray(groups), "v": np.asarray(values, dtype=float)})
+
+
+class TestCompareAnswers:
+    def test_identical_answers(self):
+        exact = answer([1, 2], [10.0, 20.0])
+        metrics = compare_answers(exact, exact, ["g"], ["v"])
+        assert metrics.groups_missed == 0
+        assert metrics.aggregation_error == 0.0
+
+    def test_missed_and_extra_groups(self):
+        exact = answer([1, 2, 3], [10, 20, 30])
+        approx = answer([1, 4], [10, 40])
+        metrics = compare_answers(exact, approx, ["g"], ["v"])
+        assert metrics.groups_missed == 2
+        assert metrics.extra_groups == 1
+        assert metrics.missed_fraction == pytest.approx(2 / 3)
+
+    def test_relative_error(self):
+        exact = answer([1], [100.0])
+        approx = answer([1], [110.0])
+        metrics = compare_answers(exact, approx, ["g"], ["v"])
+        assert metrics.aggregation_error == pytest.approx(0.10)
+        assert metrics.within(0.15)
+        assert not metrics.within(0.05)
+
+    def test_zero_truth_handled(self):
+        exact = answer([1], [0.0])
+        approx = answer([1], [0.0])
+        assert compare_answers(exact, approx, ["g"], ["v"]).aggregation_error == 0.0
+
+    def test_scalar_answers(self):
+        exact = Table("a", {"v": np.array([100.0])})
+        approx = Table("b", {"v": np.array([90.0])})
+        metrics = compare_answers(exact, approx, [], ["v"])
+        assert metrics.aggregation_error == pytest.approx(0.10)
+
+    def test_per_aggregate_errors(self):
+        exact = Table("a", {"g": np.array([1]), "v": np.array([100.0]), "w": np.array([10.0])})
+        approx = Table("b", {"g": np.array([1]), "v": np.array([110.0]), "w": np.array([10.0])})
+        metrics = compare_answers(exact, approx, ["g"], ["v", "w"])
+        assert metrics.per_aggregate_error["v"] == pytest.approx(0.10)
+        assert metrics.per_aggregate_error["w"] == 0.0
+
+
+class TestPlanHelpers:
+    def test_strip_limit(self, sales_db):
+        q = (
+            scan(sales_db, "sales")
+            .groupby("s_item")
+            .agg(sum_(col("s_amount"), "rev"))
+            .orderby("rev", desc=True)
+            .limit(10)
+            .build("q")
+        )
+        from repro.algebra.logical import Aggregate
+
+        assert isinstance(strip_limit(q.plan), Aggregate)
+
+    def test_strip_limit_noop(self, sales_db):
+        q = scan(sales_db, "sales").groupby("s_item").agg(count("n")).build("q")
+        assert strip_limit(q.plan) is q.plan
+
+    def test_answer_structure(self, sales_db):
+        q = (
+            scan(sales_db, "sales")
+            .groupby("s_item", "s_day")
+            .agg(sum_(col("s_amount"), "rev"), count("n"))
+            .build("q")
+        )
+        groups, aggs = answer_structure(q.plan)
+        assert groups == ("s_item", "s_day")
+        assert aggs == ("rev", "n")
+
+    def test_answer_structure_excludes_min_max(self, sales_db):
+        q = (
+            scan(sales_db, "sales")
+            .groupby("s_item")
+            .agg(max_(col("s_amount"), "m"), count("n"))
+            .build("q")
+        )
+        _groups, aggs = answer_structure(q.plan)
+        assert aggs == ("n",)

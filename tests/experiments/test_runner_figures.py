@@ -1,0 +1,117 @@
+"""Integration tests for the experiment runner and figure generators."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    figure2,
+    figure8a_performance,
+    figure8b_error,
+    figure8c_correlation,
+    figure9_unrolling,
+    table4_qo_times,
+    table5_sampler_placement,
+    table7_sampler_frequency,
+)
+from repro.experiments.report import cdf, format_percentile_table, format_table, percentile_row
+from repro.workloads.tpcds import query_by_name
+
+
+@pytest.fixture(scope="module")
+def outcomes(tiny_tpcds):
+    runner = ExperimentRunner(tiny_tpcds)
+    names = ["q02", "q07", "q12", "q15", "q18", "q20"]
+    return runner.run_suite([query_by_name(tiny_tpcds, n) for n in names])
+
+
+class TestRunner:
+    def test_outcome_fields(self, outcomes):
+        for outcome in outcomes:
+            assert outcome.machine_hours_gain > 0
+            assert outcome.runtime_gain > 0
+            assert outcome.passes_baseline >= 1.0
+            assert outcome.qo_time_quickr >= 0
+
+    def test_unapproximable_has_no_samplers(self, outcomes):
+        q18 = next(o for o in outcomes if o.name == "q18")
+        assert not o_approx(q18)
+        assert q18.sampler_count == 0
+        assert q18.machine_hours_gain == pytest.approx(1.0)
+
+    def test_full_answer_differs_only_for_limit_queries(self, outcomes):
+        q20 = next(o for o in outcomes if o.name == "q20")
+        # The full-answer comparison never misses MORE than the limited one.
+        assert q20.error_full.groups_missed <= max(1, q20.error.groups_exact)
+
+    def test_summary_keys(self, outcomes):
+        for outcome in outcomes:
+            summary = outcome.summary()
+            assert {"query", "approximable", "samplers", "mh_gain"} <= set(summary)
+
+
+def o_approx(outcome):
+    return outcome.approximable
+
+
+class TestFigureGenerators:
+    def test_figure2(self):
+        data = figure2(num_queries=2_000, seed=3)
+        assert data["pb_at_half_cluster_time"] < data["total_pb"]
+        assert set(data["measured"]) == set(data["paper"])
+
+    def test_table4(self, outcomes):
+        data = table4_qo_times(outcomes)
+        assert data["baseline_qo_seconds"][50] >= 0
+        assert data["quickr_qo_seconds"][50] >= 0
+
+    def test_table5(self, outcomes):
+        data = table5_sampler_placement(outcomes)
+        assert abs(sum(data["samplers_per_query"].values()) - 1.0) < 1e-9
+        assert 0 <= data["unapproximable_fraction"] <= 1
+
+    def test_table7(self, outcomes):
+        data = table7_sampler_frequency(outcomes)
+        assert set(data["distribution_across_samplers"]) == {"uniform", "distinct", "universe"}
+
+    def test_figure8a(self, outcomes):
+        data = figure8a_performance(outcomes)
+        assert data["median"]["machine_hours"] >= 1.0
+        values, fractions = data["cdf"]["machine_hours"]
+        assert len(values) == len(outcomes)
+
+    def test_figure8b(self, outcomes):
+        data = figure8b_error(outcomes)
+        assert 0 <= data["fraction_within_10pct"] <= 1
+        assert data["fraction_no_missed_groups_full"] >= data["fraction_no_missed_groups"] - 1e-9
+
+    def test_figure8c(self, outcomes):
+        data = figure8c_correlation(outcomes, num_buckets=3)
+        assert len(data["buckets"]) <= 3
+        gains = [b["gain_bucket_mean"] for b in data["buckets"]]
+        assert gains == sorted(gains)
+
+    def test_figure9(self, tiny_tpcds):
+        data = figure9_unrolling(tiny_tpcds, query_by_name(tiny_tpcds, "q12"))
+        if data["approximable"] and data["samplers"]:
+            assert data["unrolled_kind"] in ("uniform", "distinct", "universe")
+            assert data["steps"]
+
+
+class TestReportHelpers:
+    def test_percentile_row(self):
+        row = percentile_row([1, 2, 3, 4, 5], (50,))
+        assert row[50] == 3.0
+
+    def test_cdf(self):
+        values, fractions = cdf([3, 1, 2])
+        np.testing.assert_array_equal(values, [1, 2, 3])
+        assert fractions[-1] == 1.0
+
+    def test_format_table(self):
+        text = format_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}], title="T")
+        assert "T" in text and "22" in text
+
+    def test_format_percentile_table(self):
+        text = format_percentile_table({"metric1": [1, 2, 3]}, (50,))
+        assert "metric1" in text and "50th" in text

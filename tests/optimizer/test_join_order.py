@@ -1,0 +1,78 @@
+"""Unit tests for cost-based join reordering."""
+
+import numpy as np
+import pytest
+
+from repro.algebra.aggregates import count, sum_
+from repro.algebra.builder import scan
+from repro.algebra.expressions import col
+from repro.algebra.logical import Join
+from repro.engine.executor import Executor
+from repro.optimizer.join_order import flatten_join_tree, reorder_joins
+from repro.stats.catalog import Catalog
+from repro.stats.derivation import StatsDeriver
+
+
+@pytest.fixture()
+def deriver(tiny_tpcds):
+    return StatsDeriver(Catalog(tiny_tpcds))
+
+
+def three_way(db):
+    return (
+        scan(db, "store_sales")
+        .join(scan(db, "item"), on=[("ss_item_sk", "i_item_sk")])
+        .join(scan(db, "date_dim"), on=[("ss_sold_date_sk", "d_date_sk")])
+        .join(scan(db, "store"), on=[("ss_store_sk", "s_store_sk")])
+        .node
+    )
+
+
+class TestFlatten:
+    def test_flattens_chain(self, tiny_tpcds):
+        flat = flatten_join_tree(three_way(tiny_tpcds))
+        assert flat is not None
+        leaves, edges = flat
+        assert len(leaves) == 4
+        assert len(edges) == 3
+
+    def test_two_way_not_reordered(self, tiny_tpcds):
+        plan = scan(tiny_tpcds, "store_sales").join(
+            scan(tiny_tpcds, "item"), on=[("ss_item_sk", "i_item_sk")]
+        ).node
+        assert flatten_join_tree(plan) is None
+
+    def test_non_join_returns_none(self, tiny_tpcds):
+        assert flatten_join_tree(scan(tiny_tpcds, "item").node) is None
+
+
+class TestReorder:
+    def test_result_is_connected_join_tree(self, tiny_tpcds, deriver):
+        reordered = reorder_joins(three_way(tiny_tpcds), deriver)
+        assert isinstance(reordered, Join)
+        assert set(reordered.output_columns()) == set(three_way(tiny_tpcds).output_columns())
+
+    def test_semantics_preserved(self, tiny_tpcds, deriver):
+        plan = three_way(tiny_tpcds)
+        from repro.algebra.logical import Aggregate
+
+        agg = lambda p: Aggregate(p, ("i_category",), [count("n"), sum_(col("ss_net_profit"), "s")])
+        ex = Executor(tiny_tpcds)
+        original = ex.execute(agg(plan)).table
+        reordered = ex.execute(agg(reorder_joins(plan, deriver))).table
+        a = dict(zip(original.column("i_category").tolist(), original.column("n").tolist()))
+        b = dict(zip(reordered.column("i_category").tolist(), reordered.column("n").tolist()))
+        assert a == b
+
+    def test_reorder_inside_larger_plan(self, tiny_tpcds, deriver):
+        q = (
+            scan(tiny_tpcds, "store_sales")
+            .join(scan(tiny_tpcds, "item"), on=[("ss_item_sk", "i_item_sk")])
+            .join(scan(tiny_tpcds, "date_dim"), on=[("ss_sold_date_sk", "d_date_sk")])
+            .join(scan(tiny_tpcds, "store"), on=[("ss_store_sk", "s_store_sk")])
+            .groupby("i_category")
+            .agg(count("n"))
+            .build("q")
+        )
+        reordered = reorder_joins(q.plan, deriver)
+        assert reordered.output_columns() == q.plan.output_columns()

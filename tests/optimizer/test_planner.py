@@ -1,0 +1,54 @@
+"""Integration tests for the end-to-end planner."""
+
+import numpy as np
+import pytest
+
+from repro.engine.executor import Executor
+from repro.optimizer.planner import QuickrPlanner
+from repro.workloads.tpcds import query_by_name
+
+
+class TestBaselinePlanning:
+    def test_baseline_has_no_samplers(self, tiny_tpcds):
+        from repro.algebra.analysis import count_samplers
+
+        planner = QuickrPlanner(tiny_tpcds)
+        baseline = planner.plan_baseline(query_by_name(tiny_tpcds, "q01"))
+        assert count_samplers(baseline.plan) == 0
+
+    def test_baseline_semantics_match_raw_plan(self, tiny_tpcds):
+        planner = QuickrPlanner(tiny_tpcds)
+        query = query_by_name(tiny_tpcds, "q07")
+        executor = Executor(tiny_tpcds)
+        raw = executor.execute(query.plan).table
+        optimized = executor.execute(planner.plan_baseline(query).plan).table
+        key = lambda t, i: (t.column("i_category_id")[i], t.column("i_category")[i])
+        a = {key(raw, i): raw.column("total")[i] for i in range(raw.num_rows)}
+        b = {key(optimized, i): optimized.column("total")[i] for i in range(optimized.num_rows)}
+        assert a.keys() == b.keys()
+        for group in a:
+            assert a[group] == pytest.approx(b[group])
+
+    def test_qo_time_positive(self, tiny_tpcds):
+        planner = QuickrPlanner(tiny_tpcds)
+        assert planner.plan_baseline(query_by_name(tiny_tpcds, "q01")).qo_time_seconds > 0
+
+
+class TestQuickrPlanning:
+    def test_plan_and_baseline_share_relational_prep(self, tiny_tpcds):
+        planner = QuickrPlanner(tiny_tpcds)
+        query = query_by_name(tiny_tpcds, "q02")
+        result = planner.plan(query)
+        baseline = planner.plan_baseline(query)
+        from repro.core.dominance import core_of
+
+        if result.approximable:
+            # Stripping samplers from the Quickr plan should give a plan over
+            # the same relations as the baseline (modulo successor rewrites).
+            assert core_of(result.plan).output_columns() == baseline.plan.output_columns()
+
+    def test_reorder_toggle(self, tiny_tpcds):
+        query = query_by_name(tiny_tpcds, "q01")
+        with_reorder = QuickrPlanner(tiny_tpcds, reorder=True).plan_baseline(query)
+        without = QuickrPlanner(tiny_tpcds, reorder=False).plan_baseline(query)
+        assert with_reorder.plan.output_columns() == without.plan.output_columns()

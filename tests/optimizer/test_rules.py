@@ -1,0 +1,109 @@
+"""Unit tests for relational rewrites (select push-down, project pruning)."""
+
+import numpy as np
+
+from repro.algebra.aggregates import count, sum_
+from repro.algebra.builder import scan
+from repro.algebra.expressions import col
+from repro.algebra.logical import Join, Project, Scan, Select
+from repro.engine.executor import Executor
+from repro.optimizer.rules import (
+    fuse_adjacent_selects,
+    normalize,
+    prune_identity_projects,
+    push_selects_down,
+    split_conjuncts,
+)
+
+
+class TestSplitConjuncts:
+    def test_and_splits(self):
+        pred = (col("a") > 1) & (col("b") > 2) & (col("c") > 3)
+        assert len(split_conjuncts(pred)) == 3
+
+    def test_or_stays_whole(self):
+        pred = (col("a") > 1) | (col("b") > 2)
+        assert len(split_conjuncts(pred)) == 1
+
+
+class TestPushdown:
+    def test_select_sinks_below_join(self, sales_db):
+        plan = (
+            scan(sales_db, "sales")
+            .join(scan(sales_db, "item"), on=[("s_item", "i_item")])
+            .where(col("i_cat") == 2)
+            .node
+        )
+        pushed = push_selects_down(plan)
+        assert isinstance(pushed, Join)
+        # The predicate now sits on the item side.
+        right = pushed.right
+        assert isinstance(right, Select)
+
+    def test_conjuncts_split_across_sides(self, sales_db):
+        plan = (
+            scan(sales_db, "sales")
+            .join(scan(sales_db, "item"), on=[("s_item", "i_item")])
+            .where((col("i_cat") == 2) & (col("s_qty") > 5))
+            .node
+        )
+        pushed = push_selects_down(plan)
+        assert isinstance(pushed, Join)
+        assert isinstance(pushed.left, Select) and isinstance(pushed.right, Select)
+
+    def test_cross_side_predicate_stays_above(self, sales_db):
+        plan = (
+            scan(sales_db, "sales")
+            .join(scan(sales_db, "item"), on=[("s_item", "i_item")])
+            .where(col("s_amount") > col("i_price"))
+            .node
+        )
+        pushed = push_selects_down(plan)
+        assert isinstance(pushed, Select)
+
+    def test_select_pushes_through_rename(self, sales_db):
+        plan = (
+            scan(sales_db, "sales")
+            .rename(qty="s_qty")
+            .where(col("qty") > 5)
+            .node
+        )
+        pushed = push_selects_down(plan)
+        assert isinstance(pushed, Project)
+        assert isinstance(pushed.child, Select)
+
+    def test_semantics_preserved(self, sales_db):
+        q = (
+            scan(sales_db, "sales")
+            .join(scan(sales_db, "item"), on=[("s_item", "i_item")])
+            .where((col("i_cat") == 2) & (col("s_qty") > 5))
+            .groupby("s_item")
+            .agg(sum_(col("s_amount"), "rev"))
+            .build("q")
+        )
+        ex = Executor(sales_db)
+        original = ex.execute(q.plan).table
+        rewritten = ex.execute(normalize(q.plan)).table
+        a = dict(zip(original.column("s_item").tolist(), original.column("rev").tolist()))
+        b = dict(zip(rewritten.column("s_item").tolist(), rewritten.column("rev").tolist()))
+        assert a == b
+
+
+class TestFuseAndPrune:
+    def test_adjacent_selects_fused(self, sales_db):
+        base = scan(sales_db, "sales").node
+        nested = Select(Select(base, col("s_qty") > 2), col("s_day") > 10)
+        fused = fuse_adjacent_selects(nested)
+        assert isinstance(fused, Select)
+        assert not isinstance(fused.child, Select)
+
+    def test_identity_project_removed(self, sales_db):
+        base = scan(sales_db, "sales").node
+        identity = Project(base, {name: col(name) for name in base.output_columns()})
+        assert isinstance(prune_identity_projects(identity), Scan)
+
+    def test_reordering_project_kept(self, sales_db):
+        base = scan(sales_db, "sales").node
+        cols = list(base.output_columns())
+        reordered = Project(base, {name: col(name) for name in reversed(cols)})
+        assert isinstance(prune_identity_projects(reordered), Project)

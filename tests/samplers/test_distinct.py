@@ -1,0 +1,120 @@
+"""Unit tests for the distinct (stratified) sampler."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.algebra.expressions import Func, col
+from repro.engine.table import Table
+from repro.errors import SamplerError
+from repro.samplers.distinct import DistinctSpec, stratum_codes
+
+
+@pytest.fixture()
+def skewed_table(rng):
+    """A table with strata of very different sizes."""
+    keys = np.concatenate(
+        [
+            np.zeros(5, dtype=int),        # tiny stratum: below delta
+            np.full(40, 1),                # reservoir regime
+            np.full(5_000, 2),             # bernoulli regime
+            rng.integers(3, 23, 2_000),    # medium strata
+        ]
+    )
+    rng.shuffle(keys)
+    return Table("t", {"k": keys, "x": rng.exponential(5.0, len(keys))})
+
+
+class TestStratificationGuarantee:
+    def test_min_rows_per_stratum(self, skewed_table):
+        spec = DistinctSpec(["k"], delta=10, p=0.05, seed=1)
+        out = spec.apply(skewed_table)
+        kept = collections.Counter(out.column("k").tolist())
+        original = collections.Counter(skewed_table.column("k").tolist())
+        for key, freq in original.items():
+            assert kept[key] >= min(10, freq), f"stratum {key}"
+
+    def test_small_strata_kept_entirely_with_weight_one(self, skewed_table):
+        spec = DistinctSpec(["k"], delta=10, p=0.05, seed=1)
+        out = spec.apply(skewed_table)
+        mask = out.column("k") == 0  # the 5-row stratum
+        assert mask.sum() == 5
+        assert np.all(out.weights()[mask] == 1.0)
+
+    def test_large_strata_thinned(self, skewed_table):
+        spec = DistinctSpec(["k"], delta=10, p=0.05, seed=1)
+        out = spec.apply(skewed_table)
+        big = (out.column("k") == 2).sum()
+        assert big < 5_000 * 0.2  # heavily reduced
+
+    def test_no_strata_missed(self, skewed_table):
+        out = DistinctSpec(["k"], delta=3, p=0.01, seed=2).apply(skewed_table)
+        assert set(np.unique(out.column("k"))) == set(np.unique(skewed_table.column("k")))
+
+
+class TestUnbiasedness:
+    def test_sum_unbiased_across_seeds(self, skewed_table):
+        truth = skewed_table.column("x").sum()
+        estimates = []
+        for seed in range(40):
+            out = DistinctSpec(["k"], delta=10, p=0.1, seed=seed).apply(skewed_table)
+            estimates.append(float((out.weights() * out.column("x")).sum()))
+        standard_error = np.std(estimates) / np.sqrt(len(estimates))
+        assert abs(np.mean(estimates) - truth) < 4 * standard_error + 0.01 * truth
+
+    def test_per_stratum_count_unbiased(self, skewed_table):
+        """HT count per stratum should recover the stratum frequency."""
+        truth = collections.Counter(skewed_table.column("k").tolist())
+        sums = collections.Counter()
+        trials = 30
+        for seed in range(trials):
+            out = DistinctSpec(["k"], delta=10, p=0.1, seed=seed).apply(skewed_table)
+            for key, weight in zip(out.column("k").tolist(), out.weights().tolist()):
+                sums[key] += weight
+        for key in truth:
+            assert sums[key] / trials == pytest.approx(truth[key], rel=0.25)
+
+
+class TestFunctionStrata:
+    def test_stratify_on_expression(self, rng):
+        """The paper's skewed-SUM example: stratify on ceil(Y/100)."""
+        y = np.concatenate([np.ones(1000), np.full(3, 1000.0)])
+        rng.shuffle(y)
+        t = Table("t", {"y": y})
+        bucket = Func("bucket", lambda v: np.ceil(v / 100.0), [col("y")])
+        out = DistinctSpec([bucket], delta=2, p=0.05, seed=3).apply(t)
+        # All three outlier values must be present.
+        assert (out.column("y") == 1000.0).sum() == 3
+
+    def test_column_names_expands_expressions(self):
+        bucket = Func("bucket", lambda v: v, [col("y")])
+        spec = DistinctSpec(["k", bucket], delta=2, p=0.1)
+        assert spec.column_names() == ("k", "y")
+
+
+class TestValidation:
+    def test_needs_columns(self):
+        with pytest.raises(SamplerError):
+            DistinctSpec([], delta=1, p=0.1)
+
+    def test_positive_delta(self):
+        with pytest.raises(SamplerError):
+            DistinctSpec(["k"], delta=0, p=0.1)
+
+    def test_probability_bounds(self):
+        with pytest.raises(SamplerError):
+            DistinctSpec(["k"], delta=1, p=2.0)
+
+    def test_empty_table(self):
+        t = Table("t", {"k": np.array([], dtype=int)})
+        out = DistinctSpec(["k"], delta=1, p=0.5).apply(t)
+        assert out.num_rows == 0
+
+
+class TestStratumCodes:
+    def test_codes_group_equal_rows(self):
+        t = Table("t", {"a": np.array([1, 2, 1]), "b": np.array([9, 9, 9])})
+        codes = stratum_codes(t, ["a", "b"])
+        assert codes[0] == codes[2]
+        assert codes[0] != codes[1]

@@ -1,0 +1,171 @@
+"""Tests for the streaming (row-at-a-time, partitionable) samplers — the
+paper's cluster operating mode — and their agreement with the vectorized
+implementations."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.engine.table import Table
+from repro.errors import SamplerError
+from repro.samplers.distinct import DistinctSpec
+from repro.samplers.streaming import (
+    StreamingDistinct,
+    StreamingUniform,
+    StreamingUniverse,
+    run_partitioned,
+    run_streaming,
+)
+from repro.samplers.universe import UniverseSpec
+
+
+@pytest.fixture()
+def stream_table(rng):
+    n = 4_000
+    return Table("t", {"k": rng.integers(0, 30, n), "x": rng.exponential(3.0, n)})
+
+
+class TestStreamingUniform:
+    def test_fraction_and_weights(self, stream_table):
+        out = run_streaming(StreamingUniform(0.3, np.random.default_rng(1)), stream_table)
+        assert out.num_rows / stream_table.num_rows == pytest.approx(0.3, abs=0.05)
+        assert np.all(out.weights() == pytest.approx(1 / 0.3))
+
+    def test_unbiased(self, stream_table):
+        truth = stream_table.column("x").sum()
+        estimates = []
+        for seed in range(30):
+            out = run_streaming(StreamingUniform(0.2, np.random.default_rng(seed)), stream_table)
+            estimates.append(float((out.weights() * out.column("x")).sum()))
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(SamplerError):
+            StreamingUniform(0.0)
+
+
+class TestStreamingUniverse:
+    def test_matches_vectorized_exactly(self, stream_table):
+        """Both implementations hash the same values with the same seed, so
+        they must select the *identical* row set."""
+        spec = UniverseSpec(["k"], 0.3, seed=7)
+        vectorized = spec.apply(stream_table)
+        streaming = run_streaming(StreamingUniverse([0], 0.3, seed=7), stream_table)
+        assert sorted(streaming.column("x").tolist()) == sorted(vectorized.column("x").tolist())
+
+    def test_partition_invariance(self, stream_table):
+        whole = run_streaming(StreamingUniverse([0], 0.25, seed=3), stream_table)
+        parts = run_partitioned(
+            lambda _delta: StreamingUniverse([0], 0.25, seed=3), stream_table, 4
+        )
+        assert sorted(parts.column("x").tolist()) == sorted(whole.column("x").tolist())
+
+
+class TestStreamingDistinct:
+    def test_stratification_guarantee(self, stream_table):
+        sampler = StreamingDistinct([0], delta=8, p=0.05, rng=np.random.default_rng(4))
+        out = run_streaming(sampler, stream_table)
+        kept = collections.Counter(out.column("k").tolist())
+        original = collections.Counter(stream_table.column("k").tolist())
+        for key, freq in original.items():
+            assert kept[key] >= min(8, freq)
+
+    def test_unbiased_sum(self, stream_table):
+        truth = stream_table.column("x").sum()
+        estimates = []
+        for seed in range(30):
+            sampler = StreamingDistinct([0], delta=8, p=0.1, rng=np.random.default_rng(seed))
+            out = run_streaming(sampler, stream_table)
+            estimates.append(float((out.weights() * out.column("x")).sum()))
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.08)
+
+    def test_reservoir_weights_for_medium_strata(self, rng):
+        """A stratum in (delta, delta + S/p]: end-of-stream flush carries
+        weight (freq - delta) / kept."""
+        keys = np.full(30, 0)
+        t = Table("t", {"k": keys, "x": np.arange(30.0)})
+        sampler = StreamingDistinct([0], delta=10, p=0.1, reservoir_size=10, rng=rng)
+        out = run_streaming(sampler, t)
+        weights = collections.Counter(out.weights().tolist())
+        assert weights[1.0] == 10          # frequency-check region
+        assert weights[2.0] == 10          # (30-10)/10 = 2 for the reservoir
+
+    def test_bernoulli_regime_weights(self, rng):
+        keys = np.zeros(5_000, dtype=int)
+        t = Table("t", {"k": keys, "x": np.ones(5_000)})
+        sampler = StreamingDistinct([0], delta=10, p=0.1, reservoir_size=10, rng=rng)
+        out = run_streaming(sampler, t)
+        # After the reservoir flush, rows pass at p with weight 1/p.
+        assert (out.weights() == 10.0).sum() > 0
+        estimate = float(out.weights().sum())
+        assert estimate == pytest.approx(5_000, rel=0.15)
+
+    def test_agreement_with_vectorized_estimates(self, stream_table):
+        """Streaming and vectorized distinct samplers agree in expectation."""
+        truth = stream_table.column("x").sum()
+        streaming_est, vector_est = [], []
+        for seed in range(20):
+            s_out = run_streaming(
+                StreamingDistinct([0], delta=10, p=0.1, rng=np.random.default_rng(seed)),
+                stream_table,
+            )
+            v_out = DistinctSpec(["k"], delta=10, p=0.1, seed=seed).apply(stream_table)
+            streaming_est.append(float((s_out.weights() * s_out.column("x")).sum()))
+            vector_est.append(float((v_out.weights() * v_out.column("x")).sum()))
+        assert np.mean(streaming_est) == pytest.approx(truth, rel=0.1)
+        assert np.mean(vector_est) == pytest.approx(truth, rel=0.1)
+
+
+class TestMemoryBoundedMode:
+    def test_sketch_limits_tracked_strata(self, rng):
+        """With many distinct light values, the sketch-backed sampler tracks
+        far fewer strata than exist."""
+        n = 30_000
+        keys = np.concatenate(
+            [rng.integers(0, 10_000, n // 2), np.zeros(n // 2, dtype=int)]
+        )
+        rng.shuffle(keys)
+        t = Table("t", {"k": keys, "x": np.ones(n)})
+        bounded = StreamingDistinct(
+            [0], delta=10, p=0.1, rng=rng, memory_bounded=True, tau=1e-3, support=1e-2
+        )
+        out = run_streaming(bounded, t)
+        assert bounded.tracked_strata < 2_000  # far below 10k distinct values
+        # The heavy stratum is still thinned.
+        zeros_kept = (out.column("k") == 0).sum()
+        assert zeros_kept < n // 2 * 0.2
+        # Estimate stays unbiased: light rows pass with weight one.
+        assert float(out.weights().sum()) == pytest.approx(n, rel=0.1)
+
+
+class TestPartitionedDistinct:
+    def test_delta_adjustment_keeps_guarantee(self, stream_table):
+        """Union of D instances with delta' = ceil(delta/D) + eps still
+        passes ~delta rows per stratum."""
+        delta, instances = 12, 4
+        seeds = iter(range(100))
+
+        def make(instance_delta):
+            return StreamingDistinct(
+                [0], delta=instance_delta, p=0.05, rng=np.random.default_rng(next(seeds))
+            )
+
+        out = run_partitioned(make, stream_table, instances, delta=delta)
+        kept = collections.Counter(out.column("k").tolist())
+        original = collections.Counter(stream_table.column("k").tolist())
+        for key, freq in original.items():
+            assert kept[key] >= min(delta // 2, freq)
+
+    def test_partition_validation(self, stream_table):
+        with pytest.raises(SamplerError):
+            run_partitioned(lambda d: StreamingUniform(0.5), stream_table, 0)
+
+
+class TestWeightedInputRejected:
+    def test_pre_weighted_input_rejected(self, stream_table):
+        from repro.engine.table import WEIGHT_COLUMN
+
+        weighted = stream_table.with_columns({WEIGHT_COLUMN: np.ones(stream_table.num_rows)})
+        with pytest.raises(SamplerError):
+            run_streaming(StreamingUniform(0.5), weighted)

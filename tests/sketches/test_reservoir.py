@@ -1,0 +1,52 @@
+"""Unit tests for bounded reservoir sampling."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplerError
+from repro.sketches.reservoir import Reservoir
+
+
+class TestBasics:
+    def test_keeps_everything_below_capacity(self, rng):
+        r = Reservoir(10, rng)
+        for i in range(7):
+            r.offer(i)
+        assert sorted(r.peek()) == list(range(7))
+
+    def test_never_exceeds_capacity(self, rng):
+        r = Reservoir(5, rng)
+        for i in range(1_000):
+            r.offer(i)
+        assert len(r) == 5
+        assert r.items_seen == 1_000
+
+    def test_drain_clears(self, rng):
+        r = Reservoir(3, rng)
+        for i in range(10):
+            r.offer(i)
+        items = r.drain()
+        assert len(items) == 3
+        assert len(r) == 0 and r.items_seen == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(SamplerError):
+            Reservoir(0)
+
+
+class TestUniformity:
+    def test_inclusion_probability_uniform(self):
+        """Each of n items should land in the reservoir ~ k/n of the time."""
+        n, k, trials = 50, 10, 2_000
+        counts = collections.Counter()
+        master = np.random.default_rng(0)
+        for _ in range(trials):
+            r = Reservoir(k, np.random.default_rng(master.integers(1 << 30)))
+            for i in range(n):
+                r.offer(i)
+            counts.update(r.peek())
+        expected = trials * k / n
+        for i in range(n):
+            assert counts[i] == pytest.approx(expected, rel=0.25)

@@ -1,0 +1,89 @@
+"""Unit tests for the statistics catalog (paper Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.table import Database, Table
+from repro.errors import CatalogError
+from repro.stats.catalog import Catalog
+
+
+@pytest.fixture()
+def db(rng):
+    database = Database()
+    n = 10_000
+    values = np.concatenate([np.zeros(2_000, dtype=int), rng.integers(1, 100, 8_000)])
+    rng.shuffle(values)
+    database.register(
+        Table(
+            "t",
+            {
+                "k": values,
+                "g": rng.integers(0, 10, n),
+                "x": rng.normal(50.0, 10.0, n),
+                "label": np.array(["a", "b"] * (n // 2)),
+            },
+        )
+    )
+    return database
+
+
+class TestCollection:
+    def test_row_count(self, db):
+        assert Catalog(db).row_count("t") == 10_000
+
+    def test_distinct_single_column(self, db):
+        catalog = Catalog(db)
+        assert catalog.distinct("t", ["g"]) == 10
+        assert catalog.distinct("t", ["k"]) == 100
+
+    def test_distinct_column_set_exact(self, db):
+        catalog = Catalog(db)
+        table = db.table("t")
+        truth = len({(a, b) for a, b in zip(table.column("g"), table.column("k"))})
+        assert catalog.distinct("t", ["g", "k"]) == truth
+
+    def test_distinct_empty_set_is_one(self, db):
+        assert Catalog(db).distinct("t", []) == 1
+
+    def test_numeric_stats(self, db):
+        stats = Catalog(db).stats("t").column("x")
+        assert stats.mean == pytest.approx(50.0, abs=1.0)
+        assert stats.variance == pytest.approx(100.0, rel=0.2)
+        assert stats.min_value is not None and stats.max_value is not None
+
+    def test_string_column_has_no_numeric_stats(self, db):
+        stats = Catalog(db).stats("t").column("label")
+        assert stats.mean is None
+        assert stats.distinct == 2
+
+    def test_heavy_hitters_found(self, db):
+        stats = Catalog(db).stats("t").column("k")
+        assert 0 in stats.heavy_hitters
+        assert stats.heavy_hitters[0] == 2_000
+
+    def test_value_skew(self, db):
+        skew = Catalog(db).value_skew("t", "x")
+        assert skew == pytest.approx(10.0 / 50.0, rel=0.2)
+
+
+class TestLaziness:
+    def test_collected_on_first_access(self, db):
+        catalog = Catalog(db)
+        assert catalog.collected_tables() == ()
+        catalog.stats("t")
+        assert catalog.collected_tables() == ("t",)
+
+    def test_set_distinct_cached(self, db):
+        catalog = Catalog(db)
+        first = catalog.distinct("t", ["g", "k"])
+        assert catalog.distinct("t", ["g", "k"]) == first
+        assert frozenset({"g", "k"}) in catalog.stats("t")._set_distinct_cache
+
+    def test_missing_table_raises(self, db):
+        with pytest.raises(CatalogError):
+            Catalog(db).stats("missing")
+
+    def test_missing_column_raises(self, db):
+        with pytest.raises(CatalogError):
+            Catalog(db).stats("t").column("missing")

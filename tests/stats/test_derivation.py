@@ -1,0 +1,131 @@
+"""Unit tests for statistics derivation through plan operators."""
+
+import numpy as np
+import pytest
+
+from repro.algebra.aggregates import count, sum_
+from repro.algebra.builder import scan
+from repro.algebra.expressions import col
+from repro.algebra.logical import SamplerNode
+from repro.samplers.distinct import DistinctSpec
+from repro.samplers.uniform import UniformSpec
+from repro.stats.catalog import Catalog
+from repro.stats.derivation import StatsDeriver, estimate_selectivity
+
+
+@pytest.fixture()
+def deriver(sales_db):
+    return StatsDeriver(Catalog(sales_db))
+
+
+class TestScanAndSelect:
+    def test_scan_rows(self, sales_db, deriver):
+        node = scan(sales_db, "sales").node
+        assert deriver.stats_for(node).rows == sales_db.table("sales").num_rows
+
+    def test_equality_selectivity(self, sales_db, deriver):
+        node = scan(sales_db, "sales").where(col("s_item") == 3).node
+        stats = deriver.stats_for(node)
+        assert stats.rows == pytest.approx(20_000 / 40, rel=0.6)
+
+    def test_range_selectivity_uses_min_max(self, sales_db, deriver):
+        node = scan(sales_db, "sales").where(col("s_day") < 73).node
+        # s_day uniform over [0, 365): roughly 20% pass.
+        assert deriver.stats_for(node).rows == pytest.approx(4_000, rel=0.3)
+
+    def test_conjunction_multiplies(self, sales_db, deriver):
+        base = scan(sales_db, "sales")
+        one = deriver.stats_for(base.where(col("s_item") == 3).node).rows
+        both = deriver.stats_for(
+            base.where((col("s_item") == 3) & (col("s_day") < 73)).node
+        ).rows
+        assert both < one
+
+    def test_isin_selectivity(self, sales_db, deriver):
+        node = scan(sales_db, "sales").where(col("s_item").isin([1, 2, 3, 4])).node
+        assert deriver.stats_for(node).rows == pytest.approx(2_000, rel=0.4)
+
+
+class TestJoinsAndAggregates:
+    def test_fk_join_preserves_fact_cardinality(self, sales_db, deriver):
+        node = scan(sales_db, "sales").join(scan(sales_db, "item"), on=[("s_item", "i_item")]).node
+        assert deriver.stats_for(node).rows == pytest.approx(20_000, rel=0.05)
+
+    def test_aggregate_rows_equal_groups(self, sales_db, deriver):
+        node = scan(sales_db, "sales").groupby("s_item").agg(count("n")).node
+        assert deriver.stats_for(node).rows == 40
+
+    def test_aggregate_groups_capped_by_rows(self, sales_db, deriver):
+        node = scan(sales_db, "sales").groupby("s_cust", "s_day", "s_item").agg(count("n")).node
+        assert deriver.stats_for(node).rows <= 20_000
+
+    def test_limit_caps_rows(self, sales_db, deriver):
+        node = scan(sales_db, "sales").limit(10).node
+        assert deriver.stats_for(node).rows == 10
+
+
+class TestDistinctEstimates:
+    def test_single_column_exact(self, sales_db, deriver):
+        stats = deriver.stats_for(scan(sales_db, "sales").node)
+        assert stats.distinct(["s_item"]) == 40
+
+    def test_cross_table_product(self, sales_db, deriver):
+        node = scan(sales_db, "sales").join(scan(sales_db, "item"), on=[("s_item", "i_item")]).node
+        stats = deriver.stats_for(node)
+        # i_cat has 5 values, s_day 365: independence product.
+        assert stats.distinct_independent(["i_cat", "s_day"]) == pytest.approx(5 * 365, rel=0.01)
+
+    def test_distinct_uncapped_by_rows(self, sales_db, deriver):
+        stats = deriver.stats_for(scan(sales_db, "sales").node)
+        product = stats.distinct_independent(["s_cust", "s_day", "s_item"])
+        assert product > 20_000  # 500 * 365 * 40 >> rows
+
+    def test_lineage_through_project(self, sales_db, deriver):
+        node = scan(sales_db, "sales").derive(double=col("s_amount") * 2).node
+        stats = deriver.stats_for(node)
+        assert stats.lineage["double"] == ("sales", frozenset({"s_amount"}))
+
+    def test_heavy_hitters_scaled(self, sales_db, deriver):
+        node = scan(sales_db, "sales").node
+        hh = deriver.stats_for(node).heavy_hitters("s_item")
+        # Uniform item keys: every value is near the heavy-hitter threshold.
+        assert all(freq > 0 for freq in hh.values()) or hh == {}
+
+
+class TestSamplerFractions:
+    def test_uniform_fraction(self, sales_db, deriver):
+        base = scan(sales_db, "sales").node
+        node = SamplerNode(base, UniformSpec(0.05, seed=1))
+        assert deriver.stats_for(node).rows == pytest.approx(1_000, rel=0.01)
+
+    def test_distinct_fraction_includes_leak(self, sales_db, deriver):
+        base = scan(sales_db, "sales").node
+        node = SamplerNode(base, DistinctSpec(["s_item"], delta=50, p=0.01, seed=1))
+        rows = deriver.stats_for(node).rows
+        # p * 20000 + 50 * 40 strata = 200 + 2000.
+        assert rows == pytest.approx(2_200, rel=0.1)
+
+    def test_memoization_by_key(self, sales_db, deriver):
+        node1 = scan(sales_db, "sales").where(col("s_qty") > 5).node
+        node2 = scan(sales_db, "sales").where(col("s_qty") > 5).node
+        assert deriver.stats_for(node1) is deriver.stats_for(node2)
+
+
+class TestSelectivityFunction:
+    def test_udf_default(self, sales_db, deriver):
+        from repro.algebra.expressions import Func
+
+        stats = deriver.stats_for(scan(sales_db, "sales").node)
+        pred = Func("f", lambda x: x > 0, [col("s_qty")])
+        assert estimate_selectivity(pred, stats) == pytest.approx(1 / 3)
+
+    def test_not_inverts(self, sales_db, deriver):
+        stats = deriver.stats_for(scan(sales_db, "sales").node)
+        sel = estimate_selectivity(col("s_item") == 3, stats)
+        inv = estimate_selectivity(~(col("s_item") == 3), stats)
+        assert sel + inv == pytest.approx(1.0)
+
+    def test_or_bounded_by_one(self, sales_db, deriver):
+        stats = deriver.stats_for(scan(sales_db, "sales").node)
+        pred = (col("s_day") < 400) | (col("s_qty") > 0)
+        assert estimate_selectivity(pred, stats) <= 1.0

@@ -1,0 +1,33 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_plan_args(self):
+        args = build_parser().parse_args(["plan", "q12", "--scale", "0.1"])
+        assert args.query == "q12" and args.scale == 0.1
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_plan_command(self, capsys):
+        assert main(["plan", "q02", "--scale", "0.08"]) == 0
+        out = capsys.readouterr().out
+        assert "approximable" in out and "plan:" in out
+
+    def test_plan_unknown_query(self, capsys):
+        assert main(["plan", "q99", "--scale", "0.08"]) == 2
+
+    def test_plan_execute(self, capsys):
+        assert main(["plan", "q15", "--scale", "0.08", "--execute"]) == 0
+        assert "machine-hours gain" in capsys.readouterr().out
+
+    def test_trace_command(self, capsys):
+        assert main(["trace", "--queries", "2000"]) == 0
+        assert "Figure 2b" in capsys.readouterr().out

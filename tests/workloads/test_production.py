@@ -1,0 +1,67 @@
+"""Tests for the synthetic production trace (Figure 2 calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.production import (
+    PAPER_FIGURE2B,
+    generate_trace,
+    input_usage_cdf,
+    shape_percentiles,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(num_queries=5_000, num_inputs=1_000, seed=1)
+
+
+class TestGeneration:
+    def test_trace_size(self, trace):
+        assert len(trace.queries) == 5_000
+        assert len(trace.input_sizes_pb) == 1_000
+
+    def test_total_input_near_120pb(self, trace):
+        assert trace.total_input_pb() == pytest.approx(120.0, rel=0.01)
+
+    def test_deterministic(self):
+        a = generate_trace(num_queries=500, num_inputs=100, seed=5)
+        b = generate_trace(num_queries=500, num_inputs=100, seed=5)
+        assert a.queries[17].operators == b.queries[17].operators
+
+    def test_every_query_touches_inputs(self, trace):
+        assert all(q.input_ids for q in trace.queries)
+
+
+class TestFigure2a:
+    def test_cdf_monotone(self, trace):
+        pb, hours = input_usage_cdf(trace)
+        assert np.all(np.diff(pb) >= 0)
+        assert np.all(np.diff(hours) >= -1e-12)
+        assert hours[-1] == pytest.approx(1.0)
+
+    def test_heavy_tail(self, trace):
+        """Half the cluster time concentrates on a small slice of inputs."""
+        pb, hours = input_usage_cdf(trace)
+        half_idx = int(np.searchsorted(hours, 0.5))
+        assert pb[half_idx] < 0.5 * trace.total_input_pb()
+
+
+class TestFigure2bCalibration:
+    def test_medians_within_factor_two_of_paper(self, trace):
+        measured = shape_percentiles(trace)
+        for metric in ("passes", "operators", "depth", "joins", "qcs_plus_qvs", "udfs"):
+            paper = PAPER_FIGURE2B[metric][50]
+            got = measured[metric][50]
+            assert paper / 2.2 <= got <= paper * 2.2, (metric, got, paper)
+
+    def test_tails_heavier_than_medians(self, trace):
+        measured = shape_percentiles(trace)
+        for metric, values in measured.items():
+            assert values[95] >= values[50], metric
+
+    def test_complexity_correlation(self, trace):
+        """Deep queries should tend to have more joins (shared factor)."""
+        depth = np.array([q.depth for q in trace.queries])
+        joins = np.array([q.joins for q in trace.queries])
+        assert np.corrcoef(depth, joins)[0, 1] > 0.1

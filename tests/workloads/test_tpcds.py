@@ -1,0 +1,82 @@
+"""Tests for the TPC-DS workload: schema fidelity, key integrity, queries."""
+
+import numpy as np
+import pytest
+
+from repro.engine.executor import Executor
+from repro.workloads.tpcds import (
+    EXPECTED_UNAPPROXIMABLE,
+    QUERY_BUILDERS,
+    TABLE_COLUMNS,
+    generate_tpcds,
+    queries,
+    scaled_rows,
+)
+
+
+class TestSchema:
+    def test_all_tables_present(self, tiny_tpcds):
+        for table in TABLE_COLUMNS:
+            assert table in tiny_tpcds
+
+    def test_columns_match_schema(self, tiny_tpcds):
+        for table, columns in TABLE_COLUMNS.items():
+            assert set(tiny_tpcds.columns(table)) == set(columns)
+
+    def test_scaled_rows_monotone(self):
+        assert scaled_rows("store_sales", 1.0) > scaled_rows("store_sales", 0.1)
+
+    def test_deterministic_generation(self):
+        a = generate_tpcds(scale=0.05, seed=9)
+        b = generate_tpcds(scale=0.05, seed=9)
+        np.testing.assert_array_equal(
+            a.table("store_sales").column("ss_item_sk"),
+            b.table("store_sales").column("ss_item_sk"),
+        )
+
+
+class TestReferentialIntegrity:
+    def test_fact_foreign_keys_resolve(self, tiny_tpcds):
+        ss = tiny_tpcds.table("store_sales")
+        assert ss.column("ss_item_sk").max() < tiny_tpcds.table("item").num_rows
+        assert ss.column("ss_sold_date_sk").max() < tiny_tpcds.table("date_dim").num_rows
+        assert ss.column("ss_customer_sk").max() < tiny_tpcds.table("customer").num_rows
+
+    def test_returns_reference_sales(self, tiny_tpcds):
+        """Every store return's (ticket, item) exists in store_sales."""
+        ss = tiny_tpcds.table("store_sales")
+        sr = tiny_tpcds.table("store_returns")
+        sale_keys = set(zip(ss.column("ss_ticket_number").tolist(), ss.column("ss_item_sk").tolist()))
+        return_keys = set(zip(sr.column("sr_ticket_number").tolist(), sr.column("sr_item_sk").tolist()))
+        assert return_keys <= sale_keys
+
+    def test_web_returns_reference_web_sales(self, tiny_tpcds):
+        ws = tiny_tpcds.table("web_sales")
+        wr = tiny_tpcds.table("web_returns")
+        assert set(wr.column("wr_order_number").tolist()) <= set(ws.column("ws_order_number").tolist())
+
+    def test_item_keys_have_heavy_hitters(self, tiny_tpcds):
+        """Item popularity is skewed (the catalog must see heavy hitters)."""
+        counts = np.bincount(tiny_tpcds.table("store_sales").column("ss_item_sk"))
+        assert counts.max() > 3 * np.median(counts[counts > 0])
+
+
+class TestQuerySuite:
+    def test_twenty_four_queries(self, tiny_tpcds):
+        assert len(queries(tiny_tpcds)) == 24
+        assert len(QUERY_BUILDERS) == 24
+
+    def test_every_query_executes(self, tiny_tpcds):
+        executor = Executor(tiny_tpcds)
+        for query in queries(tiny_tpcds):
+            result = executor.execute(query)
+            assert result.table.num_rows >= 0, query.name
+
+    def test_expected_unapproximable_subset_is_valid(self):
+        assert EXPECTED_UNAPPROXIMABLE <= set(QUERY_BUILDERS)
+
+    def test_q12_is_figure1_shape(self, tiny_tpcds):
+        from repro.algebra.analysis import count_joins
+
+        q12 = QUERY_BUILDERS["q12"](tiny_tpcds)
+        assert count_joins(q12.plan) == 4  # three facts + item + date

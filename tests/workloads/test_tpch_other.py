@@ -1,0 +1,53 @@
+"""Tests for the TPC-H and AMPLab-style workloads."""
+
+import pytest
+
+from repro.engine.executor import Executor
+from repro.workloads import other, tpch
+
+
+@pytest.fixture(scope="module")
+def tpch_db():
+    return tpch.generate_tpch(scale=0.1, seed=4)
+
+
+@pytest.fixture(scope="module")
+def other_db():
+    return other.generate_other(scale=0.1, seed=4)
+
+
+class TestTpch:
+    def test_schema(self, tpch_db):
+        for table, columns in tpch.TABLE_COLUMNS.items():
+            assert set(tpch_db.columns(table)) == set(columns)
+
+    def test_lineitems_reference_orders(self, tpch_db):
+        li = tpch_db.table("lineitem")
+        assert li.column("l_orderkey").max() < tpch_db.table("orders").num_rows
+
+    def test_every_query_executes(self, tpch_db):
+        executor = Executor(tpch_db)
+        for query in tpch.queries(tpch_db):
+            assert executor.execute(query).table.num_rows >= 0, query.name
+
+    def test_ten_queries(self, tpch_db):
+        assert len(tpch.queries(tpch_db)) == 10
+
+
+class TestOther:
+    def test_tables(self, other_db):
+        assert "rankings" in other_db and "uservisits" in other_db
+
+    def test_every_query_executes(self, other_db):
+        executor = Executor(other_db)
+        for query in other.queries(other_db):
+            assert executor.execute(query).table.num_rows >= 0, query.name
+
+    def test_queries_are_simpler_than_tpcds(self, other_db, tiny_tpcds):
+        """Table 9's contrast: 'Other' queries have fewer joins."""
+        from repro.algebra.analysis import count_joins
+        from repro.workloads import tpcds
+
+        other_joins = max(count_joins(q.plan) for q in other.queries(other_db))
+        tpcds_joins = max(count_joins(q.plan) for q in tpcds.queries(tiny_tpcds))
+        assert other_joins < tpcds_joins
