@@ -8,10 +8,15 @@ is — fact-fact universe plans gain several-fold, star queries gain
 modestly, unapproximable queries sit at 1x.
 """
 
+from time import perf_counter
+
 import numpy as np
 
+from repro.engine.executor import Executor
 from repro.experiments.figures import figure8a_performance
 from repro.experiments.report import format_table
+from repro.optimizer.planner import QuickrPlanner
+from repro.parallel import ParallelOptions, available_parallelism
 
 
 def test_figure8a_performance(benchmark, outcomes):
@@ -43,3 +48,83 @@ def test_figure8a_performance(benchmark, outcomes):
     assert data["fraction_mh_gain_over_3x"] >= 0.08   # a real >3x tail exists
     assert values.max() >= 3.0                         # best queries gain severalfold
     assert data["fraction_regressed"] <= 0.25
+
+
+DEGREE = 4
+
+
+def test_figure8a_parallel_speedup(benchmark, tpcds_db, tpcds_queries):
+    """Partition-parallel execution of the Figure 8a workload.
+
+    Correctness bar: every parallelized uniform/universe plan must be
+    bit-identical to its serial run (row merge restores exact serial order;
+    counter-based samplers make identical per-row decisions). Performance
+    bar: the cluster model must predict >= 2x at D=4 for the median
+    parallelized query; measured wall-clock speedup is additionally
+    asserted >= 2x when the host actually has >= 4 usable cores.
+    """
+    planner = QuickrPlanner(tpcds_db)
+    plans = [(q.name, planner.plan(q)) for q in tpcds_queries]
+
+    serial_exec = Executor(tpcds_db)
+    parallel_exec = Executor(
+        tpcds_db,
+        parallelism=DEGREE,
+        parallel_options=ParallelOptions(pool="auto", merge="rows"),
+    )
+
+    t0 = perf_counter()
+    serial_results = {name: serial_exec.execute(planned.plan) for name, planned in plans}
+    serial_seconds = perf_counter() - t0
+
+    t0 = perf_counter()
+    parallel_results = benchmark.pedantic(
+        lambda: {name: parallel_exec.execute(planned.plan) for name, planned in plans},
+        rounds=1,
+        iterations=1,
+    )
+    parallel_seconds = perf_counter() - t0
+
+    rows = []
+    modeled = []
+    mismatched = []
+    for name, planned in plans:
+        serial, parallel = serial_results[name], parallel_results[name]
+        metrics = parallel.parallel
+        parallelized = metrics.strategy != "serial-fallback"
+        deterministic = parallelized and "distinct" not in planned.sampler_kinds()
+        if deterministic:
+            same = serial.table.num_rows == parallel.table.num_rows and all(
+                np.array_equal(
+                    serial.table.column(c),
+                    parallel.table.column(c),
+                    equal_nan=serial.table.column(c).dtype.kind == "f",
+                )
+                for c in serial.table.column_names
+            )
+            if not same:
+                mismatched.append(name)
+        if parallelized:
+            modeled.append(metrics.modeled_speedup)
+        rows.append(
+            {
+                "query": name,
+                "strategy": metrics.strategy,
+                "modeled": f"{metrics.modeled_speedup:.2f}x",
+                "identical": "yes" if deterministic else ("n/a" if not parallelized else "stat"),
+            }
+        )
+
+    print(f"\n=== Figure 8a workload at parallelism={DEGREE} ===")
+    print(format_table(rows))
+    cores = available_parallelism()
+    measured = serial_seconds / max(parallel_seconds, 1e-9)
+    print(f"serial {serial_seconds:.2f}s, parallel {parallel_seconds:.2f}s "
+          f"-> measured speedup {measured:.2f}x on {cores} core(s); "
+          f"median modeled speedup {np.median(modeled):.2f}x")
+
+    assert not mismatched, f"parallel answers diverged from serial: {mismatched}"
+    assert len(modeled) >= len(plans) // 2      # most queries actually parallelize
+    assert np.median(modeled) >= 2.0            # cluster model: >= 2x at D=4
+    if cores >= DEGREE:
+        assert measured >= 2.0, f"wall-clock speedup {measured:.2f}x below 2x on {cores} cores"

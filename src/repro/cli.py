@@ -5,6 +5,7 @@ Usage::
     python -m repro plan q12               # show ASALQA's plan for a query
     python -m repro evaluate --scale 0.3   # run the TPC-DS evaluation
     python -m repro trace                  # regenerate the Figure 2 analysis
+    python -m repro speedup --parallelism 4  # partition-parallel speedup report
 
 The CLI operates on the built-in TPC-DS-style workload; it exists so a
 reader can poke at the system without writing a script.
@@ -44,9 +45,11 @@ def _cmd_plan(args) -> int:
     show(result.plan)
 
     if args.execute:
-        executor = Executor(db)
+        executor = Executor(db, parallelism=args.parallelism)
         exact = executor.execute(result.baseline_plan)
         approx = executor.execute(result.plan)
+        if approx.parallel is not None:
+            print(f"\nparallel execution: {approx.parallel.summary()}")
         gain = exact.cost.machine_hours / max(approx.cost.machine_hours, 1e-9)
         print(f"\nmachine-hours gain: {gain:.2f}x  "
               f"(answer rows {approx.table.num_rows} vs exact {exact.table.num_rows})")
@@ -62,7 +65,7 @@ def _cmd_evaluate(args) -> int:
     from repro.workloads.tpcds import generate_tpcds, queries
 
     db = generate_tpcds(scale=args.scale, seed=args.seed)
-    runner = ExperimentRunner(db)
+    runner = ExperimentRunner(db, parallelism=args.parallelism)
     outcomes = runner.run_suite(queries(db))
 
     print(format_table([o.summary() for o in outcomes], title="per-query outcomes"))
@@ -94,6 +97,62 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_speedup(args) -> int:
+    from repro.engine.executor import Executor
+    from repro.experiments.report import format_table
+    from repro.optimizer.planner import QuickrPlanner
+    from repro.parallel import ParallelOptions, available_parallelism
+    from repro.workloads.tpcds import QUERY_BUILDERS, generate_tpcds, queries, query_by_name
+
+    db = generate_tpcds(scale=args.scale, seed=args.seed)
+    planner = QuickrPlanner(db)
+    if args.query:
+        if args.query not in QUERY_BUILDERS:
+            print(f"unknown query {args.query!r}; available: {', '.join(QUERY_BUILDERS)}")
+            return 2
+        targets = [query_by_name(db, args.query)]
+    else:
+        targets = queries(db)
+
+    options = ParallelOptions(
+        pool=args.pool, merge=args.merge, measure_serial_baseline=True
+    )
+    executor = Executor(db, parallelism=args.parallelism, parallel_options=options)
+    rows = []
+    for query in targets:
+        result = executor.execute(planner.plan(query).plan)
+        metrics = result.parallel
+        if metrics is None:  # parallelism <= 1 runs the plain serial path
+            rows.append(
+                {
+                    "query": query.name,
+                    "strategy": "serial",
+                    "pool": "-",
+                    "modeled": "1.00x",
+                    "measured": "-",
+                    "wall_s": "-",
+                }
+            )
+            continue
+        measured = metrics.measured_speedup
+        rows.append(
+            {
+                "query": query.name,
+                "strategy": metrics.strategy,
+                "pool": metrics.pool_mode,
+                "modeled": f"{metrics.modeled_speedup:.2f}x",
+                "measured": f"{measured:.2f}x" if measured is not None else "-",
+                "wall_s": f"{metrics.wall_clock_seconds:.3f}",
+            }
+        )
+    print(format_table(rows, title=f"partition-parallel speedup (D={args.parallelism})"))
+    cores = available_parallelism()
+    if cores < args.parallelism:
+        print(f"\nnote: only {cores} usable core(s); measured speedup is "
+              "bounded by hardware, modeled speedup shows the cluster-model ceiling")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -106,12 +165,25 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--scale", type=float, default=0.3)
     plan.add_argument("--seed", type=int, default=1)
     plan.add_argument("--execute", action="store_true", help="also run the plans and report gain")
+    plan.add_argument("--parallelism", type=int, default=1,
+                      help="degree of partition parallelism for --execute")
     plan.set_defaults(func=_cmd_plan)
 
     evaluate = sub.add_parser("evaluate", help="run the full TPC-DS evaluation")
     evaluate.add_argument("--scale", type=float, default=0.3)
     evaluate.add_argument("--seed", type=int, default=1)
+    evaluate.add_argument("--parallelism", type=int, default=1,
+                          help="degree of partition parallelism for query execution")
     evaluate.set_defaults(func=_cmd_evaluate)
+
+    speedup = sub.add_parser("speedup", help="measure partition-parallel speedup per query")
+    speedup.add_argument("--query", default=None, help="single query name (default: all)")
+    speedup.add_argument("--scale", type=float, default=0.3)
+    speedup.add_argument("--seed", type=int, default=1)
+    speedup.add_argument("--parallelism", type=int, default=4)
+    speedup.add_argument("--pool", default="auto", choices=["auto", "process", "thread", "inline"])
+    speedup.add_argument("--merge", default="rows", choices=["rows", "partial"])
+    speedup.set_defaults(func=_cmd_speedup)
 
     trace = sub.add_parser("trace", help="regenerate the Figure 2 production-trace analysis")
     trace.add_argument("--queries", type=int, default=20_000)

@@ -1,16 +1,28 @@
 """Plan executor: runs a (possibly sampled) logical plan over a database.
 
-Execution is vectorized and single-process, but every operator's input and
-output cardinalities are recorded and replayed through the stage-based
-cluster cost model (:mod:`repro.engine.costmodel`), yielding the metrics the
-paper reports — machine-hours, runtime, shuffled data, intermediate data and
-effective passes — for the *measured* cardinalities of this run.
+Execution is vectorized and, by default, single-process; pass
+``parallelism=N`` to run partition-parallel through
+:class:`repro.parallel.ParallelExecutor` (the paper's deployment mode —
+samplers are single-pass, bounded-memory and partitionable, Section 4.1).
+Every operator's input and output cardinalities are recorded and replayed
+through the stage-based cluster cost model (:mod:`repro.engine.costmodel`),
+yielding the metrics the paper reports — machine-hours, runtime, shuffled
+data, intermediate data and effective passes — for the *measured*
+cardinalities of this run.
+
+The executor attaches a reserved lineage column per scan (the base-row
+position). Lineage gives each intermediate row a stable identity across any
+partitioning of the input, which makes the uniform sampler's decisions
+counter-based (identical serial or parallel) and lets the parallel merge
+restore exact serial row order. Lineage is stripped from final answers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
+
+import numpy as np
 
 from repro.algebra.builder import Query
 from repro.algebra.logical import (
@@ -27,11 +39,27 @@ from repro.algebra.logical import (
 )
 from repro.engine import operators
 from repro.engine.costmodel import cost_plan
-from repro.engine.metrics import ClusterConfig, PlanCost
-from repro.engine.table import Database, Table
+from repro.engine.metrics import ClusterConfig, ParallelMetrics, PlanCost
+from repro.engine.table import Database, Table, rowid_column_name
 from repro.errors import PlanError
 
-__all__ = ["ExecutionResult", "Executor"]
+__all__ = ["ExecutionResult", "Executor", "scan_indices"]
+
+
+def scan_indices(plan: LogicalNode) -> Dict[int, int]:
+    """Map ``id(scan_node) -> pre-order scan index`` for lineage naming.
+
+    Returns an empty map (disabling lineage) if any Scan *object* appears
+    more than once in the tree — identical objects on both sides of a join
+    would collide on lineage column names.
+    """
+    indices: Dict[int, int] = {}
+    for node in plan.walk():
+        if isinstance(node, Scan):
+            if id(node) in indices:
+                return {}
+            indices[id(node)] = len(indices)
+    return indices
 
 
 @dataclass
@@ -41,6 +69,11 @@ class ExecutionResult:
     table: Table
     cost: PlanCost
     cardinalities: Dict[int, int]
+    #: Measured wall-clock of the execution (seconds); None when not timed.
+    wall_clock_seconds: Optional[float] = None
+    #: Populated by the parallel executor: partitioning strategy, worker
+    #: timings, modeled and measured speedup.
+    parallel: Optional[ParallelMetrics] = None
 
     @property
     def answer(self) -> Table:
@@ -48,35 +81,118 @@ class ExecutionResult:
 
 
 class Executor:
-    """Executes logical plans against a :class:`Database`."""
+    """Executes logical plans against a :class:`Database`.
 
-    def __init__(self, database: Database, config: Optional[ClusterConfig] = None):
+    Parameters
+    ----------
+    database:
+        Catalog of base tables.
+    config:
+        Cluster cost-model knobs.
+    parallelism:
+        Degree of partition parallelism. ``1`` (default) runs serially;
+        ``N > 1`` routes execution through
+        :class:`repro.parallel.ParallelExecutor` with ``N`` partitions.
+    parallel_options:
+        Optional :class:`repro.parallel.ParallelOptions` forwarded to the
+        parallel executor (pool mode, merge mode, partition strategy).
+    attach_rowids:
+        Attach per-scan lineage columns during execution (default True).
+        Lineage is what makes uniform-sampler decisions partition-invariant;
+        disabling it restores purely positional randomness.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        config: Optional[ClusterConfig] = None,
+        parallelism: int = 1,
+        parallel_options=None,
+        attach_rowids: bool = True,
+    ):
         self.database = database
         self.config = config or ClusterConfig()
+        self.parallelism = int(parallelism)
+        self.parallel_options = parallel_options
+        self.attach_rowids = bool(attach_rowids)
+        self._parallel = None
+        self._scan_indices: Dict[int, int] = {}
 
     def execute(self, query) -> ExecutionResult:
         """Run a :class:`Query` or bare plan node; returns answer + cost."""
+        if self.parallelism > 1:
+            return self._parallel_executor().execute(query)
         plan = query.plan if isinstance(query, Query) else query
-        cardinalities: Dict[int, int] = {}
-        table = self._run(plan, cardinalities)
+        table, cardinalities = self.run_plan(plan)
         cost = cost_plan(plan, lambda node: cardinalities[id(node)], self.config)
-        return ExecutionResult(table=table, cost=cost, cardinalities=cardinalities)
+        return ExecutionResult(table=table.drop_lineage(), cost=cost, cardinalities=cardinalities)
 
-    def _run(self, node: LogicalNode, cardinalities: Dict[int, int]) -> Table:
-        table = self._dispatch(node, cardinalities)
+    def run_plan(
+        self, plan: LogicalNode, overrides: Optional[Dict[int, Table]] = None
+    ) -> Tuple[Table, Dict[int, int]]:
+        """Run a plan, returning the raw result (lineage intact) and the
+        per-node cardinalities.
+
+        ``overrides`` maps ``id(node) -> Table``: when a node is found in the
+        map its subtree is not executed and the given table is used as its
+        output. The parallel executor uses this to run the merged partition
+        result through the serial successor (aggregation and above).
+        """
+        cardinalities: Dict[int, int] = {}
+        self._scan_indices = scan_indices(plan) if self.attach_rowids else {}
+        table = self._run(plan, cardinalities, overrides)
+        return table, cardinalities
+
+    def _parallel_executor(self):
+        if self._parallel is None:
+            from repro.parallel.executor import ParallelExecutor
+
+            self._parallel = ParallelExecutor(
+                self.database,
+                self.config,
+                parallelism=self.parallelism,
+                options=self.parallel_options,
+            )
+        return self._parallel
+
+    def _run(
+        self,
+        node: LogicalNode,
+        cardinalities: Dict[int, int],
+        overrides: Optional[Dict[int, Table]] = None,
+    ) -> Table:
+        if overrides and id(node) in overrides:
+            table = overrides[id(node)]
+        else:
+            table = self._dispatch(node, cardinalities, overrides)
         cardinalities[id(node)] = table.num_rows
         return table
 
-    def _dispatch(self, node: LogicalNode, cardinalities: Dict[int, int]) -> Table:
+    def _dispatch(
+        self,
+        node: LogicalNode,
+        cardinalities: Dict[int, int],
+        overrides: Optional[Dict[int, Table]] = None,
+    ) -> Table:
         if isinstance(node, Scan):
             base = self.database.table(node.table)
-            return base.project(node.output_columns())
+            out = base.project(node.output_columns())
+            index = self._scan_indices.get(id(node))
+            if index is not None and not out.has_lineage():
+                out = out.with_columns(
+                    {rowid_column_name(index): np.arange(out.num_rows, dtype=np.int64)}
+                )
+            return out
         if isinstance(node, Select):
-            return operators.execute_select(self._run(node.child, cardinalities), node.predicate)
+            return operators.execute_select(
+                self._run(node.child, cardinalities, overrides), node.predicate
+            )
         if isinstance(node, Project):
-            return operators.execute_project(self._run(node.child, cardinalities), node.mapping)
+            return operators.execute_project(
+                self._run(node.child, cardinalities, overrides), node.mapping
+            )
         if isinstance(node, SamplerNode):
-            child = self._run(node.child, cardinalities)
+            child = self._run(node.child, cardinalities, overrides)
             spec = node.spec
             if not hasattr(spec, "apply"):
                 raise PlanError(
@@ -84,11 +200,11 @@ class Executor:
                 )
             return spec.apply(child)
         if isinstance(node, Join):
-            left = self._run(node.left, cardinalities)
-            right = self._run(node.right, cardinalities)
+            left = self._run(node.left, cardinalities, overrides)
+            right = self._run(node.right, cardinalities, overrides)
             return operators.execute_join(left, right, node.left_keys, node.right_keys, node.how)
         if isinstance(node, Aggregate):
-            child = self._run(node.child, cardinalities)
+            child = self._run(node.child, cardinalities, overrides)
             return operators.execute_aggregate(
                 child,
                 node.group_by,
@@ -98,10 +214,12 @@ class Executor:
                 universe_variance=getattr(node, "universe_variance", None),
             )
         if isinstance(node, OrderBy):
-            return operators.execute_orderby(self._run(node.child, cardinalities), node.keys, node.descending)
+            return operators.execute_orderby(
+                self._run(node.child, cardinalities, overrides), node.keys, node.descending
+            )
         if isinstance(node, Limit):
-            return operators.execute_limit(self._run(node.child, cardinalities), node.n)
+            return operators.execute_limit(self._run(node.child, cardinalities, overrides), node.n)
         if isinstance(node, UnionAll):
-            tables = [self._run(child, cardinalities) for child in node.children]
+            tables = [self._run(child, cardinalities, overrides) for child in node.children]
             return operators.execute_union_all(tables)
         raise PlanError(f"executor cannot handle node {type(node).__name__}")

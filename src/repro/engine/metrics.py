@@ -16,7 +16,7 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-__all__ = ["ClusterConfig", "StageCost", "PlanCost"]
+__all__ = ["ClusterConfig", "StageCost", "PlanCost", "ParallelMetrics", "modeled_speedup"]
 
 
 @dataclass(frozen=True)
@@ -141,3 +141,78 @@ class PlanCost:
             "effective_passes": self.effective_passes,
             "stages": len(self.stages),
         }
+
+
+def modeled_speedup(
+    cost: PlanCost, parallelism: int, config: Optional[ClusterConfig] = None
+) -> float:
+    """Cluster-model speedup of running a measured plan at ``parallelism``.
+
+    Per stage, a one-worker run takes ``startup + work`` while a ``D``-way
+    partition-parallel run divides the row work but still pays one task
+    startup per wave (Amdahl's serial fraction):
+
+        serial   runtime = sum_s (startup + work_s)
+        parallel runtime = sum_s (startup + work_s / D)
+
+    Stage ``cpu_work`` folds in ``dop * task_startup``, so the startup share
+    is recovered from the stage's recorded dop. This is the *modeled*
+    companion to the measured wall-clock speedup in
+    :class:`ParallelMetrics` — comparing the two shows how far the Python
+    substrate is from the hardware ceiling.
+    """
+    if parallelism <= 1 or not cost.stages:
+        return 1.0
+    config = config or ClusterConfig()
+    serial = 0.0
+    parallel = 0.0
+    for stage in cost.stages:
+        work = max(0.0, stage.cpu_work - stage.dop * config.task_startup)
+        serial += config.task_startup + work
+        parallel += config.task_startup + work / parallelism
+    if parallel <= 0:
+        return 1.0
+    return serial / parallel
+
+
+@dataclass
+class ParallelMetrics:
+    """What the parallel executor did and how it paid off.
+
+    ``measured_speedup`` is serial wall-clock over parallel wall-clock for
+    the same plan (populated when the caller timed a serial reference run);
+    ``modeled_speedup`` is the cluster cost model's prediction for the same
+    degree of parallelism.
+    """
+
+    parallelism: int
+    strategy: str = "serial-fallback"
+    pool_mode: str = "inline"
+    merge_mode: str = "rows"
+    partitioned_tables: Tuple[str, ...] = ()
+    reason: str = ""
+    wall_clock_seconds: float = 0.0
+    serial_wall_clock_seconds: Optional[float] = None
+    modeled_speedup: float = 1.0
+    worker_seconds: Tuple[float, ...] = ()
+
+    @property
+    def measured_speedup(self) -> Optional[float]:
+        if self.serial_wall_clock_seconds is None or self.wall_clock_seconds <= 0:
+            return None
+        return self.serial_wall_clock_seconds / self.wall_clock_seconds
+
+    def summary(self) -> dict:
+        out = {
+            "parallelism": self.parallelism,
+            "strategy": self.strategy,
+            "pool": self.pool_mode,
+            "merge": self.merge_mode,
+            "modeled_speedup": round(self.modeled_speedup, 2),
+            "wall_clock_s": round(self.wall_clock_seconds, 4),
+        }
+        if self.measured_speedup is not None:
+            out["measured_speedup"] = round(self.measured_speedup, 2)
+        if self.reason:
+            out["note"] = self.reason
+        return out

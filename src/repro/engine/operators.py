@@ -20,6 +20,7 @@ import numpy as np
 from repro.algebra.aggregates import AggKind, AggSpec
 from repro.algebra.expressions import Expr
 from repro.engine.table import WEIGHT_COLUMN, Table
+from repro.errors import SchemaError
 from repro.errors import PlanError
 
 __all__ = [
@@ -117,24 +118,35 @@ def execute_join(
     for name in right.data_column_names():
         columns[name] = right.column(name)[right_idx]
 
-    if how in ("left", "right"):
-        outer, inner_idx, outer_keys = (left, left_idx, left.data_column_names()) if how == "left" else (
-            right,
-            right_idx,
-            right.data_column_names(),
+    # Lineage rides along: an output row's identity is the pair of its input
+    # rows' identities. Names are disjoint by construction (one per scan).
+    clash = set(left.lineage_column_names()) & set(right.lineage_column_names())
+    if clash:
+        raise SchemaError(
+            f"join inputs share lineage columns {sorted(clash)}; a scan node "
+            "appears on both sides of the join"
         )
+    for name in left.lineage_column_names():
+        columns[name] = left.column(name)[left_idx]
+    for name in right.lineage_column_names():
+        columns[name] = right.column(name)[right_idx]
+
+    if how in ("left", "right"):
+        outer, inner, inner_idx = (left, right, left_idx) if how == "left" else (right, left, right_idx)
+        outer_keys = outer.data_column_names() + outer.lineage_column_names()
         matched = np.zeros(outer.num_rows, dtype=bool)
         matched[inner_idx] = True
         missing = np.flatnonzero(~matched)
         if len(missing):
             for name in outer_keys:
                 columns[name] = np.concatenate([columns[name], outer.column(name)[missing]])
-            other_names = (
-                right.data_column_names() if how == "left" else left.data_column_names()
-            )
-            for name in other_names:
+            for name in inner.data_column_names():
                 fill = np.full(len(missing), np.nan)
                 columns[name] = np.concatenate([columns[name].astype(np.float64), fill])
+            for name in inner.lineage_column_names():
+                # Unmatched rows have no partner; -1 marks the absent lineage.
+                fill = np.full(len(missing), -1, dtype=np.int64)
+                columns[name] = np.concatenate([columns[name], fill])
             left_idx = np.concatenate([left_idx, missing]) if how == "left" else left_idx
             right_idx = np.concatenate([right_idx, missing]) if how == "right" else right_idx
     elif how != "inner":
@@ -342,6 +354,10 @@ def execute_union_all(tables: Sequence[Table]) -> Table:
     aligned = []
     any_weights = any(t.has_weights() for t in tables)
     for t in tables:
+        # Lineage does not survive a union: children carry lineage from
+        # different scans, so there is no common identity space. Samplers
+        # above a union fall back to positional randomness.
+        t = t.drop_lineage()
         if any_weights and not t.has_weights():
             t = t.with_columns({WEIGHT_COLUMN: np.ones(t.num_rows)})
         aligned.append(t)

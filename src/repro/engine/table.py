@@ -20,11 +20,31 @@ import numpy as np
 
 from repro.errors import CatalogError, SchemaError
 
-__all__ = ["WEIGHT_COLUMN", "Table", "Database"]
+__all__ = ["WEIGHT_COLUMN", "ROWID_PREFIX", "rowid_column_name", "Table", "Database"]
 
 #: Reserved name for the sampler weight column (paper Section 4.1: "each
 #: sampler appends a metadata column representing the weight of the row").
 WEIGHT_COLUMN = "__w__"
+
+#: Prefix of the reserved row-lineage columns attached by the executor at
+#: each scan. Lineage gives every intermediate row a stable identity (the
+#: positions of its contributing base rows), which is what lets the parallel
+#: executor (:mod:`repro.parallel`) (a) drive counter-based samplers that
+#: make identical per-row decisions no matter how the input is partitioned
+#: and (b) restore the exact serial row order when merging partition outputs.
+ROWID_PREFIX = "__rid"
+
+
+def rowid_column_name(scan_index: int) -> str:
+    """Lineage column name for the ``scan_index``-th scan (pre-order).
+
+    Names are zero-padded so that lexicographically sorting the lineage
+    column names of any intermediate table yields pre-order scan order —
+    which is exactly the significance order for reconstructing serial row
+    order (a join emits rows in (left position, right position) order, and
+    pre-order visits left scans before right scans).
+    """
+    return f"{ROWID_PREFIX}{scan_index:03d}__"
 
 
 class Table:
@@ -57,8 +77,22 @@ class Table:
         return tuple(self._columns.keys())
 
     def data_column_names(self) -> Tuple[str, ...]:
-        """Column names excluding the reserved weight column."""
-        return tuple(c for c in self._columns if c != WEIGHT_COLUMN)
+        """Column names excluding the reserved weight and lineage columns."""
+        return tuple(
+            c for c in self._columns if c != WEIGHT_COLUMN and not c.startswith(ROWID_PREFIX)
+        )
+
+    def lineage_column_names(self) -> Tuple[str, ...]:
+        """Reserved lineage columns in significance order (see
+        :func:`rowid_column_name`)."""
+        return tuple(sorted(c for c in self._columns if c.startswith(ROWID_PREFIX)))
+
+    def has_lineage(self) -> bool:
+        return any(c.startswith(ROWID_PREFIX) for c in self._columns)
+
+    def lineage_columns(self) -> Tuple[np.ndarray, ...]:
+        """Lineage value arrays in significance order."""
+        return tuple(self._columns[c] for c in self.lineage_column_names())
 
     def has_column(self, name: str) -> bool:
         return name in self._columns
@@ -89,11 +123,26 @@ class Table:
         return Table(name or self.name, renamed)
 
     def project(self, names: Sequence[str], name: Optional[str] = None) -> "Table":
-        """Keep only the given columns, preserving the weight column."""
+        """Keep only the given columns, preserving weight/lineage columns."""
         out = {n: self.column(n) for n in names}
         if self.has_weights() and WEIGHT_COLUMN not in out:
             out[WEIGHT_COLUMN] = self._columns[WEIGHT_COLUMN]
+        for lineage in self.lineage_column_names():
+            if lineage not in out:
+                out[lineage] = self._columns[lineage]
         return Table(name or self.name, out)
+
+    def drop_columns(self, names: Sequence[str], name: Optional[str] = None) -> "Table":
+        """Remove the given columns (missing names are ignored)."""
+        doomed = set(names)
+        kept = {c: arr for c, arr in self._columns.items() if c not in doomed}
+        return Table(name or self.name, kept)
+
+    def drop_lineage(self) -> "Table":
+        """Remove all reserved lineage columns (no-op if none present)."""
+        if not self.has_lineage():
+            return self
+        return self.drop_columns(self.lineage_column_names())
 
     def take(self, selector: np.ndarray, name: Optional[str] = None) -> "Table":
         """Row subset by boolean mask or index array."""
@@ -108,12 +157,43 @@ class Table:
             order = order[::-1]
         return self.take(order)
 
-    def partition(self, num_partitions: int) -> list:
-        """Round-robin split into ``num_partitions`` tables (parallel input)."""
+    def partition(
+        self,
+        num_partitions: int,
+        by: Optional[Sequence[str]] = None,
+        seed: int = 0,
+    ) -> list:
+        """Split into ``num_partitions`` tables (parallel input).
+
+        With ``by=None`` the split is round-robin on row position. With
+        ``by=[columns...]`` rows are hash-partitioned on the named column
+        set: every row whose key tuple hashes to partition ``p`` lands in
+        partition ``p``, so equal keys always share a partition. That is the
+        property co-partitioned joins and stratification-aligned distinct
+        samplers need. All reserved columns (``__w__`` weights, ``__rid*``
+        lineage) ride along unchanged, preserving the Horvitz-Thompson
+        weight invariant across the split.
+        """
         if num_partitions <= 1 or self.num_rows == 0:
             return [self]
-        idx = np.arange(self.num_rows)
-        return [self.take(idx[p::num_partitions]) for p in range(num_partitions)]
+        if by is None:
+            idx = np.arange(self.num_rows)
+            return [self.take(idx[p::num_partitions]) for p in range(num_partitions)]
+        assignments = self.partition_assignments(by, num_partitions, seed)
+        return [self.take(assignments == p) for p in range(num_partitions)]
+
+    def partition_assignments(
+        self, by: Sequence[str], num_partitions: int, seed: int = 0
+    ) -> np.ndarray:
+        """Per-row hash-partition assignment in ``[0, num_partitions)``."""
+        if not by:
+            raise SchemaError("hash partitioning requires at least one column")
+        # Local import: repro.samplers.hashing is a leaf module, but its
+        # package __init__ imports this module, so a top-level import cycles.
+        from repro.samplers.hashing import hash_columns
+
+        hashes = hash_columns([self.column(c) for c in by], seed)
+        return (hashes % np.uint64(num_partitions)).astype(np.int64)
 
     @staticmethod
     def concat(tables: Sequence["Table"], name: Optional[str] = None) -> "Table":

@@ -77,12 +77,16 @@ class ExperimentRunner:
         database: Database,
         options: Optional[AsalqaOptions] = None,
         cluster: Optional[ClusterConfig] = None,
+        parallelism: int = 1,
+        parallel_options=None,
     ):
         cluster = cluster or (options.cluster if options else ClusterConfig())
         if options is None:
             options = AsalqaOptions(cluster=cluster)
         self.planner = QuickrPlanner(database, options)
-        self.executor = Executor(database, cluster)
+        self.executor = Executor(
+            database, cluster, parallelism=parallelism, parallel_options=parallel_options
+        )
 
     def run_query(self, query: Query) -> QueryOutcome:
         baseline = self.planner.plan_baseline(query)

@@ -1,0 +1,49 @@
+"""Partition-parallel execution of sampled plans.
+
+The paper's samplers are single-pass, bounded-memory and partitionable
+(Section 4.1) so sampled plans parallelize like any other first-pass
+operator. This package supplies the pieces:
+
+- :mod:`repro.parallel.partitioner` — round-robin and hash input splits;
+- :mod:`repro.parallel.plan` — precursor/successor split, strategy choice,
+  worker plan rewriting;
+- :mod:`repro.parallel.pool` — process/thread/inline worker pools;
+- :mod:`repro.parallel.merge` — exact row-order merge and mergeable
+  partial-aggregate states (plus sketch folds);
+- :mod:`repro.parallel.executor` — the orchestrating
+  :class:`ParallelExecutor`, reached from
+  :class:`repro.engine.executor.Executor` via ``parallelism=N``.
+"""
+
+from repro.parallel.executor import ParallelExecutor, ParallelOptions
+from repro.parallel.merge import (
+    finalize_partial,
+    merge_heavy_hitters,
+    merge_kmv,
+    merge_partials,
+    merge_rows,
+    partial_aggregate,
+)
+from repro.parallel.partitioner import HASH, ROUND_ROBIN, Partitioner, co_partitioners
+from repro.parallel.plan import PlanAnalysis, analyze_plan, build_worker_plan
+from repro.parallel.pool import WorkerPool, available_parallelism
+
+__all__ = [
+    "ParallelExecutor",
+    "ParallelOptions",
+    "Partitioner",
+    "co_partitioners",
+    "ROUND_ROBIN",
+    "HASH",
+    "PlanAnalysis",
+    "analyze_plan",
+    "build_worker_plan",
+    "WorkerPool",
+    "available_parallelism",
+    "merge_rows",
+    "partial_aggregate",
+    "merge_partials",
+    "finalize_partial",
+    "merge_heavy_hitters",
+    "merge_kmv",
+]

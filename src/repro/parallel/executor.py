@@ -1,0 +1,233 @@
+"""Partition-parallel plan execution (the paper's deployment mode).
+
+Quickr's samplers are built to the operating requirements of Section 4.1 —
+one pass, bounded memory, partitionable — precisely so that a sampled plan
+can run as ordinary partition-parallel vertices in a cluster. This module
+reproduces that execution mode in-process:
+
+1. :func:`repro.parallel.plan.analyze_plan` picks the precursor subtree and
+   a partitioning strategy (or explains why the plan must run serially);
+2. each base table behind a precursor scan is partitioned (or broadcast)
+   with its global lineage attached, and a :class:`WorkerPool` runs the
+   rewritten precursor once per partition;
+3. the partition outputs are merged — by exact row order (bit-identical to
+   serial) or by partial-aggregate states — and the serial executor runs
+   the remainder of the plan over the merged result.
+
+Per-operator cardinalities are stitched back together (worker sums below
+the split, the serial run above it), so the cluster cost model sees the
+same plan profile a serial run would produce, and
+:class:`~repro.engine.metrics.ParallelMetrics` reports both the modeled
+and, when a serial reference run is requested, the measured speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.algebra.builder import Query
+from repro.engine.costmodel import cost_plan
+from repro.engine.executor import ExecutionResult, Executor, scan_indices
+from repro.engine.metrics import ClusterConfig, ParallelMetrics, modeled_speedup
+from repro.engine.table import Database, Table, rowid_column_name
+from repro.errors import PlanError
+from repro.parallel.merge import (
+    finalize_partial,
+    merge_partials,
+    merge_rows,
+    partial_aggregate,
+)
+from repro.parallel.partitioner import HASH, Partitioner
+from repro.parallel.plan import (
+    DEFAULT_MIN_PARTITION_ROWS,
+    PARTITION_HASH_SEED,
+    analyze_plan,
+    build_worker_plan,
+    worker_table_name,
+)
+from repro.parallel.pool import WorkerPool
+
+__all__ = ["ParallelOptions", "ParallelExecutor"]
+
+_MERGE_MODES = ("rows", "partial")
+
+
+@dataclass
+class ParallelOptions:
+    """Knobs of the parallel executor.
+
+    ``merge="rows"`` ships sampled rows and reproduces the serial answer
+    bit-for-bit; ``merge="partial"`` runs classic two-phase aggregation
+    (identical estimates up to floating-point reassociation, group order by
+    first appearance across partitions). ``measure_serial_baseline`` also
+    times a serial reference run so ``ParallelMetrics.measured_speedup`` is
+    populated — it doubles the work, so it is off by default.
+    """
+
+    pool: str = "auto"
+    merge: str = "rows"
+    min_partition_rows: int = DEFAULT_MIN_PARTITION_ROWS
+    max_workers: Optional[int] = None
+    measure_serial_baseline: bool = False
+
+    def __post_init__(self):
+        if self.merge not in _MERGE_MODES:
+            raise PlanError(f"unknown merge mode {self.merge!r}; expected one of {_MERGE_MODES}")
+
+
+class ParallelExecutor:
+    """Runs plans partition-parallel over a :class:`Database`."""
+
+    def __init__(
+        self,
+        database: Database,
+        config: Optional[ClusterConfig] = None,
+        parallelism: int = 2,
+        options: Optional[ParallelOptions] = None,
+    ):
+        if parallelism < 1:
+            raise PlanError(f"parallelism must be positive, got {parallelism}")
+        self.database = database
+        self.config = config or ClusterConfig()
+        self.parallelism = int(parallelism)
+        self.options = options or ParallelOptions()
+
+    def execute(self, query) -> ExecutionResult:
+        plan = query.plan if isinstance(query, Query) else query
+        start = perf_counter()
+        if self.parallelism == 1:
+            return self._serial_fallback(plan, "parallelism=1", start)
+
+        indices = scan_indices(plan)
+        analysis = analyze_plan(
+            plan, self.database, indices, min_partition_rows=self.options.min_partition_rows
+        )
+        if not analysis.ok:
+            return self._serial_fallback(plan, analysis.reason, start)
+
+        degree = self.parallelism
+        split = analysis.split
+        aggregate = analysis.aggregate
+        merge_mode = self.options.merge
+        if merge_mode == "partial" and aggregate is None:
+            merge_mode = "rows"  # nothing to two-phase; ship rows instead
+
+        # Partition (or broadcast) each scan's base table, with the scan's
+        # global lineage attached *before* the split so workers see absolute
+        # base-row positions.
+        partitions: Dict[str, List[Table]] = {}
+        for entry in analysis.scans:
+            base = self.database.table(entry.table)
+            wname = worker_table_name(entry.scan_index)
+            lineaged = base.with_columns(
+                {rowid_column_name(entry.scan_index): np.arange(base.num_rows, dtype=np.int64)},
+                name=wname,
+            )
+            if entry.mode == "broadcast":
+                parts = [lineaged] * degree
+            elif entry.mode == "partition-hash":
+                parts = Partitioner(
+                    degree, HASH, entry.hash_columns, seed=PARTITION_HASH_SEED
+                ).split(lineaged)
+            else:
+                parts = Partitioner(degree).split(lineaged)
+            partitions[wname] = parts
+
+        worker_plans = [
+            build_worker_plan(split, indices, pid, degree, analysis.aligned_sampler_ids)
+            for pid in range(degree)
+        ]
+        config = self.config
+        do_partial = merge_mode == "partial"
+        compute_ci = getattr(aggregate, "compute_ci", False)
+        universe_rescale = getattr(aggregate, "universe_rescale", None)
+        universe_variance = getattr(aggregate, "universe_variance", None)
+
+        def run_partition(pid: int):
+            t0 = perf_counter()
+            worker_db = Database()
+            for parts in partitions.values():
+                worker_db.register(parts[pid])
+            table, cards = Executor(worker_db, config).run_plan(worker_plans[pid])
+            card_list = [cards[id(node)] for node in worker_plans[pid].walk()]
+            if do_partial:
+                payload = partial_aggregate(
+                    table, aggregate, compute_ci=compute_ci, universe_variance=universe_variance
+                )
+            else:
+                payload = table
+            return perf_counter() - t0, card_list, payload
+
+        pool = WorkerPool(self.options.pool, self.options.max_workers)
+        results = pool.map(run_partition, range(degree))
+        worker_seconds = tuple(r[0] for r in results)
+        card_lists = [r[1] for r in results]
+        payloads = [r[2] for r in results]
+
+        # Precursor cardinalities: sum worker counts position-by-position
+        # (worker plans mirror the split subtree node-for-node in pre-order).
+        cardinalities: Dict[int, int] = {}
+        for i, node in enumerate(split.walk()):
+            cardinalities[id(node)] = sum(cards[i] for cards in card_lists)
+
+        if do_partial:
+            merged_state = merge_partials(payloads)
+            finalized = finalize_partial(
+                merged_state,
+                aggregate,
+                compute_ci=compute_ci,
+                universe_rescale=universe_rescale,
+                universe_variance=universe_variance,
+            )
+            overrides = {id(aggregate): finalized}
+        else:
+            overrides = {id(split): merge_rows(payloads)}
+
+        table, upper_cards = Executor(self.database, config).run_plan(plan, overrides)
+        cardinalities.update(upper_cards)
+        cost = cost_plan(plan, lambda node: cardinalities[id(node)], config)
+        elapsed = perf_counter() - start
+
+        serial_seconds = None
+        if self.options.measure_serial_baseline:
+            t0 = perf_counter()
+            Executor(self.database, config).execute(plan)
+            serial_seconds = perf_counter() - t0
+
+        metrics = ParallelMetrics(
+            parallelism=degree,
+            strategy=analysis.strategy,
+            pool_mode=pool.resolve_mode(),
+            merge_mode=merge_mode,
+            partitioned_tables=analysis.partitioned_tables,
+            wall_clock_seconds=elapsed,
+            serial_wall_clock_seconds=serial_seconds,
+            modeled_speedup=modeled_speedup(cost, degree, config),
+            worker_seconds=worker_seconds,
+        )
+        return ExecutionResult(
+            table=table.drop_lineage(),
+            cost=cost,
+            cardinalities=cardinalities,
+            wall_clock_seconds=elapsed,
+            parallel=metrics,
+        )
+
+    def _serial_fallback(self, plan, reason: str, start: float) -> ExecutionResult:
+        """Run serially, reporting why parallel execution was declined."""
+        result = Executor(self.database, self.config).execute(plan)
+        elapsed = perf_counter() - start
+        result.wall_clock_seconds = elapsed
+        result.parallel = ParallelMetrics(
+            parallelism=self.parallelism,
+            strategy="serial-fallback",
+            pool_mode="inline",
+            merge_mode=self.options.merge,
+            reason=reason,
+            wall_clock_seconds=elapsed,
+        )
+        return result

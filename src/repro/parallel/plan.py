@@ -1,0 +1,300 @@
+"""Plan analysis and surgery for partition-parallel execution.
+
+The parallel executor splits a plan into:
+
+* a **precursor** — the largest aggregate-free subtree of scans, selects,
+  projects, inner joins and (physical) samplers. This is the data-heavy,
+  single-pass part of the plan the paper parallelizes across partitions;
+* a **successor** — the aggregation and everything above it, which runs
+  once over the merged partition outputs.
+
+``analyze_plan`` finds the split point, decides which scans to partition and
+how (see :mod:`repro.parallel.partitioner`), and reports *why* a plan cannot
+be parallelized when it can't — the executor then falls back to serial
+execution, mirroring the paper's "default option" philosophy (an
+inapplicable optimization degrades to the baseline, never to an error).
+
+``build_worker_plan`` rewrites the precursor for one worker: every scan is
+pointed at that worker's partition (or broadcast copy) of its input, and
+every stateful sampler is replaced by its partition-local spec
+(:meth:`SamplerSpec.for_partition`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra.builder import Query
+from repro.algebra.logical import (
+    Aggregate,
+    Join,
+    LogicalNode,
+    Project,
+    SamplerNode,
+    Scan,
+    Select,
+)
+from repro.engine.table import Database
+from repro.samplers.distinct import DistinctSpec
+
+__all__ = [
+    "ScanPartitioning",
+    "PlanAnalysis",
+    "analyze_plan",
+    "build_worker_plan",
+    "worker_table_name",
+]
+
+#: Scans this small are always broadcast rather than partitioned.
+DEFAULT_MIN_PARTITION_ROWS = 4_096
+
+#: Seed for partition-routing hashes (distinct from sampler seeds so the
+#: partition layout is independent of sampler decisions).
+PARTITION_HASH_SEED = 0x9A77
+
+
+def worker_table_name(scan_index: int) -> str:
+    """Catalog name a worker registers the ``scan_index``-th scan's input
+    under. One name per scan occurrence (not per base table), so self-joins
+    and repeated dimension scans never collide."""
+    return f"__scan{scan_index:03d}__"
+
+
+@dataclass(frozen=True)
+class ScanPartitioning:
+    """How one scan's base table is distributed across workers."""
+
+    scan_index: int
+    table: str
+    mode: str  # "partition-rr" | "partition-hash" | "broadcast"
+    hash_columns: Tuple[str, ...] = ()
+
+
+@dataclass
+class PlanAnalysis:
+    """Outcome of :func:`analyze_plan`."""
+
+    ok: bool
+    reason: str
+    strategy: str = "serial-fallback"
+    split: Optional[LogicalNode] = None
+    aggregate: Optional[Aggregate] = None
+    scans: List[ScanPartitioning] = field(default_factory=list)
+    #: ids of SamplerNodes whose per-value state is partition-aligned
+    #: (the input is hash-partitioned on their own column set).
+    aligned_sampler_ids: frozenset = frozenset()
+
+    @property
+    def partitioned_tables(self) -> Tuple[str, ...]:
+        return tuple(s.table for s in self.scans if s.mode != "broadcast")
+
+
+_CLEAN_NODES = (Scan, Select, Project, SamplerNode, Join)
+
+
+def _clean(node: LogicalNode) -> Optional[str]:
+    """None if the subtree is partitionable; else the reason it isn't."""
+    for sub in node.walk():
+        if not isinstance(sub, _CLEAN_NODES):
+            return f"operator {type(sub).__name__} is not partition-pure"
+        if isinstance(sub, Join) and sub.how != "inner":
+            return f"{sub.how}-outer join needs a global view of unmatched rows"
+        if isinstance(sub, SamplerNode) and not hasattr(sub.spec, "apply"):
+            return "plan still carries logical sampler state (run ASALQA costing first)"
+    return None
+
+
+def _find_split(plan: LogicalNode) -> Tuple[Optional[LogicalNode], Optional[Aggregate], str]:
+    """Locate the precursor subtree and the aggregate directly above it."""
+    aggregates = [n for n in plan.walk() if isinstance(n, Aggregate)]
+    if not aggregates:
+        why = _clean(plan)
+        if why is None:
+            return plan, None, ""
+        return None, None, why
+    # Bottom-most aggregate: one whose subtree contains no other aggregate.
+    for agg in aggregates:
+        inner = [n for n in agg.child.walk() if isinstance(n, Aggregate)]
+        if inner:
+            continue
+        why = _clean(agg.child)
+        if why is None:
+            return agg.child, agg, ""
+        return None, None, why
+    return None, None, "nested aggregates with no partitionable precursor"
+
+
+def _trace_to_scan(
+    node: LogicalNode, columns: Tuple[str, ...]
+) -> Optional[Tuple[Scan, Tuple[str, ...]]]:
+    """Follow pass-through columns down to a single scan, if possible.
+
+    Returns the scan and the column names *at the scan* that carry the given
+    output columns, or None when the columns are computed, split across
+    inputs, or renamed through a non-identity projection.
+    """
+    if isinstance(node, Scan):
+        if set(columns) <= set(node.output_columns()):
+            return node, columns
+        return None
+    if isinstance(node, (Select, SamplerNode)):
+        return _trace_to_scan(node.children[0], columns)
+    if isinstance(node, Project):
+        passthrough = node.identity_passthrough()
+        if not all(c in passthrough for c in columns):
+            return None
+        return _trace_to_scan(node.child, tuple(passthrough[c] for c in columns))
+    if isinstance(node, Join):
+        left_cols = set(node.left.output_columns())
+        if set(columns) <= left_cols:
+            return _trace_to_scan(node.left, columns)
+        right_cols = set(node.right.output_columns())
+        if set(columns) <= right_cols:
+            return _trace_to_scan(node.right, columns)
+        return None
+    return None
+
+
+def analyze_plan(
+    plan,
+    database: Database,
+    scan_indices: Dict[int, int],
+    min_partition_rows: int = DEFAULT_MIN_PARTITION_ROWS,
+) -> PlanAnalysis:
+    """Decide whether and how to run ``plan`` partition-parallel.
+
+    Strategy preference, mirroring what a cluster optimizer would pick:
+
+    1. **hash on stratification columns** when the precursor carries a
+       distinct sampler whose (plain-column) strata trace to one scan — the
+       sampler then runs with exact per-stratum state in every worker;
+    2. **hash co-partitioning on join keys** when the topmost join's keys
+       trace to a scan on both sides and both scans are large (fact-fact);
+    3. **round-robin on the largest scan**, broadcasting everything else
+       (the fact/dimension star-join layout).
+    """
+    plan = plan.plan if isinstance(plan, Query) else plan
+    if not scan_indices:
+        return PlanAnalysis(
+            ok=False, reason="a scan appears on both sides of a join (shared node); lineage is ambiguous"
+        )
+
+    split, aggregate, why = _find_split(plan)
+    if split is None:
+        return PlanAnalysis(ok=False, reason=why)
+
+    scans = [n for n in split.walk() if isinstance(n, Scan)]
+    if not scans:
+        return PlanAnalysis(ok=False, reason="no scans under the aggregate")
+    rows = {id(s): database.table(s.table).num_rows for s in scans}
+    largest = max(scans, key=lambda s: rows[id(s)])
+    if rows[id(largest)] < min_partition_rows:
+        return PlanAnalysis(
+            ok=False,
+            reason=f"largest input ({largest.table}, {rows[id(largest)]} rows) below "
+            f"the {min_partition_rows}-row parallel threshold",
+        )
+
+    def scan_entry(scan: Scan, mode: str, cols: Tuple[str, ...] = ()) -> ScanPartitioning:
+        return ScanPartitioning(scan_indices[id(scan)], scan.table, mode, cols)
+
+    # 1. Stratification-aligned hash partitioning for a distinct sampler.
+    for node in split.walk():
+        if isinstance(node, SamplerNode) and isinstance(node.spec, DistinctSpec):
+            plain = node.spec.plain_column_names()
+            if not plain:
+                continue
+            traced = _trace_to_scan(node.child, plain)
+            if traced is None:
+                continue
+            scan, source_cols = traced
+            if rows[id(scan)] < min_partition_rows:
+                continue
+            entries = [
+                scan_entry(s, "partition-hash" if s is scan else "broadcast",
+                           source_cols if s is scan else ())
+                for s in scans
+            ]
+            return PlanAnalysis(
+                ok=True,
+                reason="",
+                strategy=f"hash[distinct:{','.join(source_cols)}]",
+                split=split,
+                aggregate=aggregate,
+                scans=entries,
+                aligned_sampler_ids=frozenset({id(node)}),
+            )
+
+    # 2. Co-partitioned fact-fact join.
+    for node in split.walk():
+        if not isinstance(node, Join):
+            continue
+        left_traced = _trace_to_scan(node.left, node.left_keys)
+        right_traced = _trace_to_scan(node.right, node.right_keys)
+        if left_traced is None or right_traced is None:
+            continue
+        (lscan, lcols), (rscan, rcols) = left_traced, right_traced
+        if lscan is rscan:
+            continue
+        if min(rows[id(lscan)], rows[id(rscan)]) < min_partition_rows:
+            continue
+        entries = []
+        for s in scans:
+            if s is lscan:
+                entries.append(scan_entry(s, "partition-hash", lcols))
+            elif s is rscan:
+                entries.append(scan_entry(s, "partition-hash", rcols))
+            else:
+                entries.append(scan_entry(s, "broadcast"))
+        return PlanAnalysis(
+            ok=True,
+            reason="",
+            strategy=f"hash[join:{','.join(lcols)}={','.join(rcols)}]",
+            split=split,
+            aggregate=aggregate,
+            scans=entries,
+        )
+
+    # 3. Round-robin the largest scan, broadcast the rest.
+    entries = [
+        scan_entry(s, "partition-rr" if s is largest else "broadcast") for s in scans
+    ]
+    return PlanAnalysis(
+        ok=True,
+        reason="",
+        strategy=f"round-robin[{largest.table}]",
+        split=split,
+        aggregate=aggregate,
+        scans=entries,
+    )
+
+
+def build_worker_plan(
+    split: LogicalNode,
+    scan_indices: Dict[int, int],
+    partition_index: int,
+    num_partitions: int,
+    aligned_sampler_ids: frozenset,
+) -> LogicalNode:
+    """The precursor as one worker runs it.
+
+    Scans are retargeted at the worker's catalog (one entry per scan
+    occurrence, see :func:`worker_table_name`); samplers are swapped for
+    their partition-local specs. Structure is preserved node-for-node so
+    pre-order positions still line up with the parent's precursor — that is
+    what lets the parent merge per-node cardinalities back in.
+    """
+
+    def rebuild(node: LogicalNode) -> LogicalNode:
+        if isinstance(node, Scan):
+            return Scan(worker_table_name(scan_indices[id(node)]), node.output_columns())
+        children = [rebuild(child) for child in node.children]
+        if isinstance(node, SamplerNode):
+            spec = node.spec.for_partition(
+                partition_index, num_partitions, aligned=id(node) in aligned_sampler_ids
+            )
+            return SamplerNode(children[0], spec)
+        return node.with_children(children)
+
+    return rebuild(split)

@@ -1,0 +1,94 @@
+"""Worker pools for partition-parallel execution.
+
+Three interchangeable backends behind one ``map``:
+
+* ``process`` — a fork-based process pool, the real-parallelism mode. The
+  work function and its inputs are published through a module global
+  *before* the pool is created, so forked children inherit them by memory
+  image and only a partition index crosses the pipe per task. That keeps
+  plans picklable-free (plans may close over arbitrary predicates) while
+  results (tables, partial aggregates) still return via pickle.
+* ``thread`` — a thread pool; real concurrency only where NumPy releases
+  the GIL, but portable and cheap. The fallback where fork is unavailable.
+* ``inline`` — sequential in-process execution; the debugging/CI mode and
+  the degenerate single-worker case.
+
+``auto`` picks ``process`` when the platform supports fork, else ``thread``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.errors import PlanError
+
+__all__ = ["WorkerPool", "available_parallelism"]
+
+#: Fork-inherited payload for process workers: (work function, items).
+_PAYLOAD: Optional[tuple] = None
+
+
+def _run_index(index: int):
+    fn, items = _PAYLOAD
+    return fn(items[index])
+
+
+def available_parallelism() -> int:
+    """Usable CPU count (honors the scheduler affinity mask when exposed)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _fork_available() -> bool:
+    import multiprocessing as mp
+
+    return "fork" in mp.get_all_start_methods()
+
+
+class WorkerPool:
+    """Maps a function over partition inputs with a chosen backend."""
+
+    MODES = ("auto", "process", "thread", "inline")
+
+    def __init__(self, mode: str = "auto", max_workers: Optional[int] = None):
+        if mode not in self.MODES:
+            raise PlanError(f"unknown pool mode {mode!r}; expected one of {self.MODES}")
+        if max_workers is not None and max_workers < 1:
+            raise PlanError(f"max_workers must be positive, got {max_workers}")
+        self.mode = mode
+        self.max_workers = max_workers
+
+    def resolve_mode(self) -> str:
+        if self.mode != "auto":
+            return self.mode
+        return "process" if _fork_available() else "thread"
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Apply ``fn`` to every item, returning results in item order."""
+        items = list(items)
+        if not items:
+            return []
+        mode = self.resolve_mode()
+        workers = min(self.max_workers or available_parallelism(), len(items))
+        if mode == "inline" or (mode == "thread" and workers == 1):
+            return [fn(item) for item in items]
+        if mode == "process":
+            if not _fork_available():
+                raise PlanError("process pool requires the fork start method; use thread/inline")
+            import multiprocessing as mp
+
+            global _PAYLOAD
+            previous = _PAYLOAD
+            _PAYLOAD = (fn, items)
+            try:
+                ctx = mp.get_context("fork")
+                with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+                    return list(pool.map(_run_index, range(len(items))))
+            finally:
+                _PAYLOAD = previous
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))

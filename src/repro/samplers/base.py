@@ -53,6 +53,19 @@ class SamplerSpec:
             raise SamplerError(f"sampling probability must be in (0, 1], got {p}")
         return float(p)
 
+    def for_partition(self, partition_index: int, num_partitions: int, aligned: bool) -> "SamplerSpec":
+        """The spec a parallel worker should run on one input partition.
+
+        Uniform and universe samplers are stateless across rows — their
+        per-row decisions do not depend on the rest of the stream — so the
+        unmodified spec is correct on any partition (paper Section 4.1's
+        partitionability requirement). Stateful samplers (distinct)
+        override this. ``aligned`` is True when the partitioner hashed on
+        the sampler's own column set, guaranteeing that the rows any
+        per-value state cares about share a partition.
+        """
+        return self
+
 
 class PassThroughSpec(SamplerSpec):
     """The do-not-sample decision (Section 4.2.6's default option).

@@ -27,6 +27,7 @@ rendition.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence, Union
 
 import numpy as np
@@ -151,6 +152,45 @@ class DistinctSpec(SamplerSpec):
             weights[chosen] = 1.0 / self.p
 
         return attach_weights(table, mask, weights)
+
+    def for_partition(self, partition_index: int, num_partitions: int, aligned: bool) -> "DistinctSpec":
+        """Partition-local spec for a parallel run (paper Section 4.1.2).
+
+        The distinct sampler is stateful per stratum, so each worker gets an
+        independent RNG stream (derived from the query seed and partition
+        index) and, depending on the partitioning, an adjusted delta:
+
+        * ``aligned`` (input hash-partitioned on the stratification
+          columns): every stratum lives wholly in one partition, so the
+          per-instance delta is the query delta and the ``>= min(delta,
+          freq)`` guarantee holds exactly after the union.
+        * unaligned (round-robin): strata are spread across the ``D``
+          instances, so each runs with ``delta' = ceil(delta/D) + eps``,
+          ``eps = ceil(delta/D)`` — the paper's degree-of-parallelism
+          correction for the common case of near-even spread.
+        """
+        if num_partitions <= 1:
+            return self
+        if aligned:
+            delta = self.delta
+        else:
+            per_instance = math.ceil(self.delta / num_partitions)
+            delta = per_instance + math.ceil(self.delta / num_partitions)
+        seed = (self.seed * 1_000_003 + partition_index + 1) & 0x7FFF_FFFF
+        return DistinctSpec(
+            self.columns, delta, self.p, seed=seed, reservoir_size=self.reservoir_size
+        )
+
+    def plain_column_names(self):
+        """Stratification columns when all are plain names, else None.
+
+        Hash-partitioning the input on the stratification columns is only
+        stratum-aligned when strata are plain columns — an expression
+        stratum groups many column values into one stratum, which a hash of
+        the raw columns would split."""
+        if any(isinstance(c, Expr) for c in self.columns):
+            return None
+        return tuple(self.columns)
 
     def expected_fraction(self) -> float:
         """Optimistic expected pass fraction; the cost model refines this

@@ -5,6 +5,14 @@
 passed is binomial; each row is picked at most once. Unlike fixed-size
 reservoir alternatives this is streaming and partitionable with zero state,
 which is what lets Quickr drop it anywhere in a parallel plan.
+
+When the input carries row lineage (attached per scan by the executor), the
+Bernoulli draw for a row is a *counter-based* pseudo-random value — a keyed
+hash of the row's lineage tuple — instead of a positional RNG stream. The
+decision then depends only on the row's identity, never on how the input
+was split, so a partition-parallel run keeps exactly the same rows as a
+serial run under the same seed. Without lineage (direct ``apply`` on a bare
+table) the classic positional RNG stream is used.
 """
 
 from __future__ import annotations
@@ -13,8 +21,14 @@ import numpy as np
 
 from repro.engine.table import Table
 from repro.samplers.base import SamplerSpec, attach_weights
+from repro.samplers.hashing import hash_columns
 
 __all__ = ["UniformSpec"]
+
+#: Seed salt separating the uniform sampler's hash stream from the universe
+#: sampler's (both use the same keyed mixer; the salt keeps a uniform and a
+#: universe sampler with equal seeds statistically independent).
+_UNIFORM_SALT = 0x51AC_0B5E
 
 
 class UniformSpec(SamplerSpec):
@@ -28,8 +42,13 @@ class UniformSpec(SamplerSpec):
         self.seed = int(seed)
 
     def apply(self, table: Table) -> Table:
-        rng = np.random.default_rng(self.seed)
-        mask = rng.random(table.num_rows) < self.p
+        lineage = table.lineage_columns()
+        if lineage:
+            points = hash_columns(lineage, self.seed ^ _UNIFORM_SALT).astype(np.float64)
+            mask = points < self.p * float(2**64)
+        else:
+            rng = np.random.default_rng(self.seed)
+            mask = rng.random(table.num_rows) < self.p
         weights = np.full(table.num_rows, 1.0 / self.p)
         return attach_weights(table, mask, weights)
 

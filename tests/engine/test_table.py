@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.engine.table import WEIGHT_COLUMN, Database, Table
+from repro.engine.table import WEIGHT_COLUMN, Database, Table, rowid_column_name
 from repro.errors import CatalogError, SchemaError
 
 
@@ -98,6 +98,69 @@ class TestPartitionConcat:
     def test_concat_empty_rejected(self):
         with pytest.raises(SchemaError):
             Table.concat([])
+
+    def test_hash_partition_covers_input(self):
+        t = Table("t", {"k": np.arange(100) % 7, "v": np.arange(100)})
+        parts = t.partition(4, by=["k"])
+        assert sum(p.num_rows for p in parts) == 100
+        merged = Table.concat([p for p in parts if p.num_rows])
+        assert sorted(merged.column("v").tolist()) == list(range(100))
+
+    def test_hash_partition_colocates_equal_keys(self):
+        t = Table("t", {"k": np.arange(200) % 13, "v": np.arange(200)})
+        assignments = t.partition_assignments(["k"], 4)
+        # same key value -> same partition index, always
+        for key in range(13):
+            assert len(set(assignments[t.column("k") == key].tolist())) == 1
+
+    def test_hash_partition_seed_changes_layout(self):
+        t = Table("t", {"k": np.arange(1000)})
+        a = t.partition_assignments(["k"], 4, seed=0)
+        b = t.partition_assignments(["k"], 4, seed=1)
+        assert not np.array_equal(a, b)
+
+    def test_hash_partition_requires_columns(self):
+        with pytest.raises(SchemaError):
+            make().partition_assignments([], 4)
+
+    def test_partition_preserves_weight_invariant(self):
+        gen = np.random.default_rng(0)
+        t = Table("t", {"x": gen.normal(size=101)}).with_columns(
+            {WEIGHT_COLUMN: gen.uniform(1, 5, 101)}
+        )
+        total = float((t.weights() * t.column("x")).sum())
+        for by in (None, ["x"]):
+            parts = t.partition(4, by=by)
+            split_total = sum(float((p.weights() * p.column("x")).sum()) for p in parts)
+            np.testing.assert_allclose(split_total, total)
+
+
+class TestLineage:
+    def test_lineage_columns_recognized(self):
+        t = make(5).with_columns({rowid_column_name(0): np.arange(5)})
+        assert t.has_lineage()
+        assert t.lineage_column_names() == (rowid_column_name(0),)
+        assert rowid_column_name(0) not in t.data_column_names()
+
+    def test_lineage_names_sort_in_scan_order(self):
+        names = [rowid_column_name(i) for i in (2, 0, 11, 1)]
+        assert sorted(names) == [rowid_column_name(i) for i in (0, 1, 2, 11)]
+
+    def test_project_preserves_lineage(self):
+        t = make(4).with_columns({rowid_column_name(1): np.arange(4)})
+        assert t.project(["a"]).has_lineage()
+
+    def test_drop_lineage(self):
+        t = make(4).with_columns({rowid_column_name(0): np.arange(4)})
+        out = t.drop_lineage()
+        assert not out.has_lineage()
+        assert out.column_names == ("a", "b")
+
+    def test_partition_carries_lineage(self):
+        t = make(10).with_columns({rowid_column_name(0): np.arange(10)})
+        parts = t.partition(3)
+        recovered = np.sort(np.concatenate([p.column(rowid_column_name(0)) for p in parts]))
+        np.testing.assert_array_equal(recovered, np.arange(10))
 
 
 class TestRowsInterface:

@@ -1,0 +1,225 @@
+"""Serial-vs-parallel equivalence (the parallel subsystem's acceptance bar).
+
+Uniform and universe samplers make per-row decisions from row identity
+(lineage hash) or key value alone, so a partition-parallel run with the row
+merge must reproduce the serial answer *bit for bit* — same rows, same
+order, same floating-point results. The distinct sampler draws fresh
+per-partition randomness, so only its stratification guarantee
+(``n >= min(delta, freq)`` rows per stratum) and statistical accuracy are
+required to survive the merge.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algebra.aggregates import avg, count, count_distinct, max_, min_, sum_
+from repro.algebra.builder import from_node, scan
+from repro.algebra.expressions import col
+from repro.algebra.logical import SamplerNode
+from repro.engine.executor import Executor
+from repro.parallel import ParallelOptions
+from repro.samplers.distinct import DistinctSpec
+from repro.samplers.uniform import UniformSpec
+from repro.samplers.universe import UniverseSpec
+
+DEGREE = 4
+POOLS = ("inline", "thread", "process")
+
+
+def sampled(builder, spec):
+    return from_node(SamplerNode(builder.node, spec))
+
+
+def run_both(db, query, pool="inline", merge="rows"):
+    serial = Executor(db).execute(query)
+    parallel = Executor(
+        db,
+        parallelism=DEGREE,
+        parallel_options=ParallelOptions(pool=pool, merge=merge, min_partition_rows=1_000),
+    ).execute(query)
+    assert parallel.parallel is not None
+    return serial, parallel
+
+
+def assert_bit_identical(serial, parallel):
+    s, p = serial.table, parallel.table
+    assert s.column_names == p.column_names
+    assert s.num_rows == p.num_rows
+    for c in s.column_names:
+        np.testing.assert_array_equal(s.column(c), p.column(c), err_msg=c)
+
+
+def assert_same_estimates(serial, parallel, sort_keys):
+    """Order-normalized comparison with floating-point tolerance (the
+    partial merge reassociates sums and orders groups by first appearance)."""
+    s, p = serial.table, parallel.table
+    assert set(s.column_names) == set(p.column_names)
+    assert s.num_rows == p.num_rows
+    so = np.lexsort([s.column(k) for k in reversed(sort_keys)])
+    po = np.lexsort([p.column(k) for k in reversed(sort_keys)])
+    for c in s.column_names:
+        np.testing.assert_allclose(
+            s.column(c)[so], p.column(c)[po], rtol=1e-9, atol=1e-12, err_msg=c
+        )
+
+
+@pytest.fixture(scope="module")
+def uniform_query(sales_db):
+    return (
+        sampled(scan(sales_db, "sales"), UniformSpec(0.1, seed=42))
+        .groupby("s_item")
+        .agg(sum_(col("s_amount"), "total"), count("n"), avg(col("s_qty"), "avg_qty"))
+        .orderby("s_item")
+        .build("uniform_q")
+    )
+
+
+@pytest.fixture(scope="module")
+def universe_query(sales_db):
+    return (
+        sampled(scan(sales_db, "sales"), UniverseSpec(("s_cust",), 0.25, seed=7))
+        .groupby("s_day")
+        .agg(sum_(col("s_amount"), "total"), count_distinct(col("s_cust"), "custs"))
+        .orderby("s_day")
+        .build("universe_q")
+    )
+
+
+@pytest.fixture(scope="module")
+def join_query(sales_db):
+    joined = scan(sales_db, "sales").join(scan(sales_db, "item"), on=[("s_item", "i_item")])
+    return (
+        sampled(joined, UniformSpec(0.2, seed=3))
+        .groupby("i_cat")
+        .agg(sum_(col("s_amount"), "total"), min_(col("i_price"), "mn"), max_(col("i_price"), "mx"))
+        .orderby("i_cat")
+        .build("join_q")
+    )
+
+
+class TestBitIdenticalRowMerge:
+    @pytest.mark.parametrize("pool", POOLS)
+    def test_uniform_sampler(self, sales_db, uniform_query, pool):
+        serial, parallel = run_both(sales_db, uniform_query, pool=pool)
+        assert parallel.parallel.strategy == "round-robin[sales]"
+        assert parallel.parallel.pool_mode == pool
+        assert_bit_identical(serial, parallel)
+
+    def test_universe_sampler(self, sales_db, universe_query):
+        serial, parallel = run_both(sales_db, universe_query, pool="process")
+        assert parallel.parallel.strategy == "round-robin[sales]"
+        assert_bit_identical(serial, parallel)
+
+    def test_sampled_star_join_with_broadcast(self, sales_db, join_query):
+        serial, parallel = run_both(sales_db, join_query, pool="thread")
+        assert parallel.parallel.strategy == "round-robin[sales]"
+        assert parallel.parallel.partitioned_tables == ("sales",)
+        assert_bit_identical(serial, parallel)
+
+    def test_cardinalities_and_cost_match_serial(self, sales_db, uniform_query):
+        serial, parallel = run_both(sales_db, uniform_query)
+        assert sorted(serial.cardinalities.values()) == sorted(parallel.cardinalities.values())
+        assert parallel.cost.machine_hours == pytest.approx(serial.cost.machine_hours)
+
+    def test_modeled_speedup_reported(self, sales_db, uniform_query):
+        _, parallel = run_both(sales_db, uniform_query)
+        assert parallel.parallel.modeled_speedup > 1.0
+        assert len(parallel.parallel.worker_seconds) == DEGREE
+
+
+class TestPartialMerge:
+    def test_uniform_estimates_match(self, sales_db, uniform_query):
+        serial, parallel = run_both(sales_db, uniform_query, merge="partial")
+        assert parallel.parallel.merge_mode == "partial"
+        assert_same_estimates(serial, parallel, ["s_item"])
+
+    def test_join_estimates_match(self, sales_db, join_query):
+        serial, parallel = run_both(sales_db, join_query, pool="process", merge="partial")
+        assert_same_estimates(serial, parallel, ["i_cat"])
+
+    def test_partial_downgrades_to_rows_without_aggregate(self, sales_db):
+        query = sampled(scan(sales_db, "sales"), UniformSpec(0.05, seed=8)).build("no_agg")
+        serial, parallel = run_both(sales_db, query, merge="partial")
+        assert parallel.parallel.merge_mode == "rows"
+        assert_bit_identical(serial, parallel)
+
+
+class TestDistinctSamplerGuarantee:
+    def test_stratification_survives_the_merge(self, sales_db):
+        """Aligned hash partitioning keeps every stratum whole, so the
+        per-stratum ``>= min(delta, freq)`` guarantee holds exactly after
+        the union — even though per-partition randomness differs from the
+        serial run's."""
+        delta = 8
+        query = (
+            sampled(scan(sales_db, "sales"), DistinctSpec(("s_item",), delta=delta, p=0.05, seed=5))
+            .groupby("s_item")
+            .agg(count("raw_rows"))
+            .build("distinct_q")
+        )
+        serial, parallel = run_both(sales_db, query, pool="process")
+        assert parallel.parallel.strategy == "hash[distinct:s_item]"
+
+        sales = sales_db.table("sales")
+        freq = np.bincount(sales.column("s_item"))
+        for result in (serial, parallel):
+            # every stratum present
+            assert result.table.num_rows == len(freq)
+            order = np.argsort(result.table.column("s_item"))
+            est = result.table.column("raw_rows")[order]
+            # HT count estimate stays statistically close to the truth
+            rel = np.abs(est - freq) / freq
+            assert rel.max() < 0.9  # ~3 sigma for p=0.05 on ~500-row strata
+
+    def test_low_frequency_strata_kept_exactly(self, sales_db):
+        """Strata smaller than delta must be kept in full: their HT count is
+        exact (weight 1 rows), parallel or not."""
+        gen = np.random.default_rng(11)
+        from repro.engine.table import Database, Table
+
+        db = Database()
+        # 30 strata of 3 rows (below delta) on top of 4 bulk strata.
+        rare = np.repeat(np.arange(100, 130), 3)
+        bulk = gen.integers(0, 4, 6_000)
+        values = np.concatenate([bulk, rare]).astype(np.int64)
+        gen.shuffle(values)
+        db.register(Table("t", {"s": values, "x": np.ones(len(values))}))
+        query = (
+            sampled(scan(db, "t"), DistinctSpec(("s",), delta=10, p=0.1, seed=3))
+            .groupby("s")
+            .agg(count("n"))
+            .build("rare_q")
+        )
+        _, parallel = run_both(db, query, pool="inline")
+        assert parallel.parallel.strategy == "hash[distinct:s]"
+        out = parallel.table
+        for stratum in range(100, 130):
+            mask = out.column("s") == stratum
+            assert mask.any(), f"stratum {stratum} missing"
+            assert out.column("n")[mask][0] == pytest.approx(3.0)
+
+
+class TestSerialFallback:
+    def test_small_input_falls_back_with_reason(self, sales_db):
+        query = scan(sales_db, "item").groupby("i_cat").agg(count("n")).build("tiny_q")
+        serial, parallel = run_both(sales_db, query)
+        assert parallel.parallel.strategy == "serial-fallback"
+        assert "threshold" in parallel.parallel.reason
+        assert_bit_identical(serial, parallel)
+
+    def test_union_all_falls_back(self, sales_db):
+        query = (
+            scan(sales_db, "sales")
+            .union_all(scan(sales_db, "sales"))
+            .groupby("s_item")
+            .agg(count("n"))
+            .build("union_q")
+        )
+        serial, parallel = run_both(sales_db, query)
+        assert parallel.parallel.strategy == "serial-fallback"
+        assert "not partition-pure" in parallel.parallel.reason
+        assert_bit_identical(serial, parallel)
+
+    def test_parallelism_one_is_serial(self, sales_db, uniform_query):
+        result = Executor(sales_db, parallelism=1).execute(uniform_query)
+        assert result.parallel is None

@@ -1,0 +1,175 @@
+"""Unit tests for plan analysis (precursor split, strategy choice) and
+worker-plan surgery."""
+
+import pytest
+
+from repro.algebra.aggregates import count, sum_
+from repro.algebra.builder import from_node, scan
+from repro.algebra.expressions import col
+from repro.algebra.logical import Aggregate, SamplerNode, Scan
+from repro.engine.executor import scan_indices
+from repro.parallel import analyze_plan, build_worker_plan
+from repro.parallel.plan import worker_table_name
+from repro.samplers.distinct import DistinctSpec
+from repro.samplers.uniform import UniformSpec
+
+
+def sampled(builder, spec):
+    return from_node(SamplerNode(builder.node, spec))
+
+
+def analyzed(db, plan, **kwargs):
+    return analyze_plan(plan, db, scan_indices(plan), **kwargs)
+
+
+class TestWorkerTableName:
+    def test_zero_padded_per_scan_occurrence(self):
+        assert worker_table_name(0) == "__scan000__"
+        assert worker_table_name(12) == "__scan012__"
+
+
+class TestStrategySelection:
+    def test_plain_aggregate_round_robins_the_fact_table(self, sales_db):
+        plan = scan(sales_db, "sales").groupby("s_item").agg(count("n")).build("q").plan
+        a = analyzed(sales_db, plan)
+        assert a.ok
+        assert a.strategy == "round-robin[sales]"
+        assert isinstance(a.aggregate, Aggregate)
+        assert a.split is a.aggregate.child
+        assert a.partitioned_tables == ("sales",)
+
+    def test_star_join_broadcasts_the_dimension(self, sales_db):
+        q = (
+            scan(sales_db, "sales")
+            .join(scan(sales_db, "item"), on=[("s_item", "i_item")])
+            .groupby("i_cat")
+            .agg(sum_(col("s_amount"), "total"))
+            .build("q")
+        )
+        a = analyzed(sales_db, q.plan)
+        assert a.ok and a.strategy == "round-robin[sales]"
+        modes = {e.table: e.mode for e in a.scans}
+        assert modes == {"sales": "partition-rr", "item": "broadcast"}
+
+    def test_fact_fact_join_co_partitions_on_keys(self, sales_db):
+        q = (
+            scan(sales_db, "sales")
+            .join(scan(sales_db, "returns"), on=[("s_cust", "r_cust")])
+            .groupby("s_item")
+            .agg(count("n"))
+            .build("q")
+        )
+        a = analyzed(sales_db, q.plan, min_partition_rows=1_000)
+        assert a.ok
+        assert a.strategy == "hash[join:s_cust=r_cust]"
+        by_table = {e.table: e for e in a.scans}
+        assert by_table["sales"].mode == "partition-hash"
+        assert by_table["sales"].hash_columns == ("s_cust",)
+        assert by_table["returns"].mode == "partition-hash"
+        assert by_table["returns"].hash_columns == ("r_cust",)
+
+    def test_distinct_sampler_aligns_hash_with_strata(self, sales_db):
+        q = (
+            sampled(scan(sales_db, "sales"), DistinctSpec(("s_item",), delta=8, p=0.05, seed=5))
+            .groupby("s_item")
+            .agg(count("n"))
+            .build("q")
+        )
+        a = analyzed(sales_db, q.plan)
+        assert a.ok
+        assert a.strategy == "hash[distinct:s_item]"
+        (entry,) = a.scans
+        assert entry.mode == "partition-hash" and entry.hash_columns == ("s_item",)
+        samplers = [n for n in a.split.walk() if isinstance(n, SamplerNode)]
+        assert a.aligned_sampler_ids == frozenset({id(samplers[0])})
+
+    def test_no_aggregate_splits_at_the_root(self, sales_db):
+        q = sampled(scan(sales_db, "sales"), UniformSpec(0.1, seed=1)).build("q")
+        a = analyzed(sales_db, q.plan)
+        assert a.ok
+        assert a.aggregate is None
+        assert a.split is q.plan
+
+
+class TestFallbackReasons:
+    def test_small_input_reports_threshold(self, sales_db):
+        plan = scan(sales_db, "sales").groupby("s_item").agg(count("n")).build("q").plan
+        a = analyzed(sales_db, plan, min_partition_rows=10**6)
+        assert not a.ok
+        assert "threshold" in a.reason
+        assert a.strategy == "serial-fallback"
+
+    def test_union_all_is_not_partition_pure(self, sales_db):
+        q = (
+            scan(sales_db, "sales")
+            .union_all(scan(sales_db, "sales"))
+            .groupby("s_item")
+            .agg(count("n"))
+            .build("q")
+        )
+        a = analyzed(sales_db, q.plan)
+        assert not a.ok and "not partition-pure" in a.reason
+
+    def test_outer_join_needs_global_view(self, sales_db):
+        q = (
+            scan(sales_db, "sales")
+            .join(scan(sales_db, "returns"), on=[("s_cust", "r_cust")], how="left")
+            .groupby("s_item")
+            .agg(count("n"))
+            .build("q")
+        )
+        a = analyzed(sales_db, q.plan)
+        assert not a.ok and "left-outer join" in a.reason
+
+    def test_shared_scan_object_disables_lineage(self, sales_db):
+        plan = scan(sales_db, "sales").groupby("s_item").agg(count("n")).build("q").plan
+        a = analyze_plan(plan, sales_db, {})
+        assert not a.ok and "ambiguous" in a.reason
+
+
+class TestBuildWorkerPlan:
+    def test_scans_renamed_and_structure_preserved(self, sales_db):
+        q = (
+            sampled(scan(sales_db, "sales"), UniformSpec(0.1, seed=1))
+            .join(scan(sales_db, "item"), on=[("s_item", "i_item")])
+            .groupby("i_cat")
+            .agg(count("n"))
+            .build("q")
+        )
+        indices = scan_indices(q.plan)
+        a = analyze_plan(q.plan, sales_db, indices)
+        worker = build_worker_plan(a.split, indices, 0, 4, a.aligned_sampler_ids)
+
+        original = list(a.split.walk())
+        rebuilt = list(worker.walk())
+        assert [type(n) for n in rebuilt] == [type(n) for n in original]
+        worker_scans = [n for n in rebuilt if isinstance(n, Scan)]
+        assert sorted(s.table for s in worker_scans) == [
+            worker_table_name(indices[id(s)]) for s in original if isinstance(s, Scan)
+        ]
+        for ws, os in zip(worker_scans, (n for n in original if isinstance(n, Scan))):
+            assert ws.output_columns() == os.output_columns()
+
+    def test_stateless_sampler_spec_unchanged(self, sales_db):
+        spec = UniformSpec(0.1, seed=1)
+        q = sampled(scan(sales_db, "sales"), spec).groupby("s_item").agg(count("n")).build("q")
+        indices = scan_indices(q.plan)
+        a = analyze_plan(q.plan, sales_db, indices)
+        worker = build_worker_plan(a.split, indices, 2, 4, a.aligned_sampler_ids)
+        (node,) = [n for n in worker.walk() if isinstance(n, SamplerNode)]
+        assert node.spec is spec
+
+    def test_distinct_spec_swapped_per_partition(self, sales_db):
+        spec = DistinctSpec(("s_item",), delta=8, p=0.05, seed=5)
+        q = sampled(scan(sales_db, "sales"), spec).groupby("s_item").agg(count("n")).build("q")
+        indices = scan_indices(q.plan)
+        a = analyze_plan(q.plan, sales_db, indices)
+
+        aligned = build_worker_plan(a.split, indices, 1, 4, a.aligned_sampler_ids)
+        (node,) = [n for n in aligned.walk() if isinstance(n, SamplerNode)]
+        assert node.spec.delta == spec.delta      # aligned strata: exact delta
+        assert node.spec.seed != spec.seed        # fresh per-partition stream
+
+        unaligned = build_worker_plan(a.split, indices, 1, 4, frozenset())
+        (node,) = [n for n in unaligned.walk() if isinstance(n, SamplerNode)]
+        assert node.spec.delta == 4               # ceil(8/4) + ceil(8/4)

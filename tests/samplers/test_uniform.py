@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.engine.table import Table, rowid_column_name
 from repro.errors import SamplerError
 from repro.samplers.uniform import UniformSpec
 
@@ -60,3 +61,54 @@ class TestEstimation:
             out = UniformSpec(0.1, seed=seed).apply(small_table)
             estimates.append(float(out.weights().sum()))
         assert np.mean(estimates) == pytest.approx(small_table.num_rows, rel=0.02)
+
+
+def with_lineage(table: Table, scan_index: int = 0) -> Table:
+    return table.with_columns(
+        {rowid_column_name(scan_index): np.arange(table.num_rows, dtype=np.int64)}
+    )
+
+
+class TestCounterBasedDecisions:
+    """With lineage, per-row decisions depend only on row identity — the
+    property that makes a partition-parallel run bit-identical to serial."""
+
+    def test_partition_invariance(self, small_table):
+        spec = UniformSpec(0.2, seed=11)
+        whole = spec.apply(with_lineage(small_table))
+        rid = rowid_column_name(0)
+        pieces = []
+        for part in with_lineage(small_table).partition(4):
+            pieces.append(spec.apply(part))
+        union = Table.concat(pieces).sort_by([rid])
+        np.testing.assert_array_equal(whole.column(rid), union.column(rid))
+        np.testing.assert_array_equal(whole.column("x"), union.column("x"))
+
+    def test_hash_partition_invariance(self, small_table):
+        spec = UniformSpec(0.15, seed=3)
+        lineaged = with_lineage(small_table)
+        whole = spec.apply(lineaged)
+        rid = rowid_column_name(0)
+        pieces = [spec.apply(p) for p in lineaged.partition(3, by=["g"])]
+        union = Table.concat(pieces).sort_by([rid])
+        np.testing.assert_array_equal(whole.column(rid), union.column(rid))
+
+    def test_fraction_still_close_to_p(self, small_table):
+        out = UniformSpec(0.3, seed=1).apply(with_lineage(small_table))
+        assert out.num_rows / small_table.num_rows == pytest.approx(0.3, abs=0.03)
+
+    def test_seed_still_matters_with_lineage(self, small_table):
+        a = UniformSpec(0.2, seed=1).apply(with_lineage(small_table))
+        b = UniformSpec(0.2, seed=2).apply(with_lineage(small_table))
+        assert not np.array_equal(a.column(rowid_column_name(0)), b.column(rowid_column_name(0)))
+
+    def test_sum_estimate_unbiased_with_lineage(self, small_table):
+        truth = small_table.column("x").sum()
+        lineaged = with_lineage(small_table)
+        estimates = []
+        for seed in range(80):
+            out = UniformSpec(0.1, seed=seed).apply(lineaged)
+            estimates.append(float((out.weights() * out.column("x")).sum()))
+        assert np.mean(estimates) == pytest.approx(
+            truth, abs=4 * np.std(estimates) / np.sqrt(80)
+        )

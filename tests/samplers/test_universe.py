@@ -114,6 +114,33 @@ class TestCountDistinctRescale:
         assert np.mean(estimates) == pytest.approx(truth, rel=0.1)
 
 
+class TestPartitionParallel:
+    def test_for_partition_is_identity(self):
+        """Universe decisions are value-based, hence partition-invariant."""
+        spec = UniverseSpec(["k"], 0.2, seed=1)
+        assert spec.for_partition(2, 4, aligned=False) is spec
+
+    def test_hash_subspace_agreement_across_copartitions(self, pair):
+        """Co-partitioned inputs sampled per-partition agree on one global
+        key subspace: the union of per-partition sampled joins equals the
+        sampled join of the whole inputs."""
+        left, right = pair
+        spec_l = UniverseSpec(["k"], 0.2, seed=9)
+        spec_r = UniverseSpec(["j"], 0.2, seed=9, emit_weight=False)
+        whole = operators.execute_join(spec_l.apply(left), spec_r.apply(right), ["k"], ["j"])
+
+        lparts = left.partition(4, by=["k"], seed=123)
+        rparts = right.partition(4, by=["j"], seed=123)
+        pieces = [
+            operators.execute_join(spec_l.apply(lp), spec_r.apply(rp), ["k"], ["j"])
+            for lp, rp in zip(lparts, rparts)
+        ]
+        union = Table.concat(pieces)
+        assert union.num_rows == whole.num_rows
+        np.testing.assert_allclose(np.sort(union.column("v")), np.sort(whole.column("v")))
+        np.testing.assert_allclose(union.weights().sum(), whole.weights().sum())
+
+
 class TestStringKeys:
     def test_string_columns_supported(self):
         values = np.array(["alpha", "beta", "gamma", "delta"] * 100)
