@@ -8,7 +8,6 @@
 """
 
 import numpy as np
-import pytest
 
 from repro.core.asalqa import Asalqa, AsalqaOptions
 from repro.core.costing import CostingOptions

@@ -5,7 +5,6 @@ deeper (more passes, higher Total/First-pass time), and when intermediate
 data shrinks most.
 """
 
-import numpy as np
 
 from repro.experiments.figures import figure8c_correlation
 from repro.experiments.report import format_table

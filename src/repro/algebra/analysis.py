@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Set
 
-from repro.algebra.aggregates import AggKind
 from repro.algebra.expressions import Func
 from repro.algebra.logical import (
     Aggregate,

@@ -20,7 +20,7 @@ Example
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.algebra.aggregates import AggSpec
 from repro.algebra.expressions import Col, Expr, ensure_expr

@@ -13,7 +13,7 @@ paper argues it must be for the optimizer to explore sampled plans natively
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, Sequence, Tuple
 
 from repro.algebra.aggregates import AggSpec
 from repro.algebra.expressions import Col, Expr
@@ -240,7 +240,7 @@ class Join(LogicalNode):
         return ("join", self.how, self.left_keys, self.right_keys, self.left.key(), self.right.key())
 
     def __repr__(self):
-        pairs = ", ".join(f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys))
+        pairs = ", ".join(f"{lk}={rk}" for lk, rk in zip(self.left_keys, self.right_keys))
         return f"Join[{self.how}]({pairs})"
 
 

@@ -26,11 +26,12 @@ helped by a sample of one side.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.algebra.addressing import plan_fingerprint
 from repro.algebra.analysis import query_column_set
 from repro.algebra.builder import Query
 from repro.algebra.logical import LogicalNode, Scan
@@ -263,7 +264,9 @@ class BlinkDB:
         self.seed = seed
         self.executor = Executor(database)
         # Exact answers are budget-independent; cache them across evaluate()
-        # calls (the paper's protocol sweeps budgets over the same queries).
+        # calls (the paper's protocol sweeps budgets over the same queries),
+        # keyed by canonical plan fingerprint so a resubmitted or renamed
+        # query with the same plan reuses the answer.
         self._exact_cache: Dict[str, object] = {}
 
     def evaluate(self, queries: Sequence[Query], budget_multiplier: float) -> BlinkDBReport:
@@ -292,10 +295,11 @@ class BlinkDB:
                 # quadratically worse variance). Structurally uncovered.
                 gains_all.append(1.0)
                 continue
-            exact = self._exact_cache.get(query.name)
+            fingerprint = plan_fingerprint(query.plan)
+            exact = self._exact_cache.get(fingerprint)
             if exact is None:
                 exact = self.executor.execute(query.plan)
-                self._exact_cache[query.name] = exact
+                self._exact_cache[fingerprint] = exact
             best_gain, best_error = None, None
             for sample in samples:
                 rewritten = self._substitute_scan(query.plan, sample)

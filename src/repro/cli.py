@@ -21,6 +21,7 @@ __all__ = ["main"]
 
 
 def _cmd_plan(args) -> int:
+    from repro.algebra.addressing import format_address, plan_fingerprint, walk_with_addresses
     from repro.engine.executor import Executor
     from repro.optimizer.planner import QuickrPlanner
     from repro.workloads.tpcds import QUERY_BUILDERS, generate_tpcds, query_by_name
@@ -33,16 +34,16 @@ def _cmd_plan(args) -> int:
     result = planner.plan(query_by_name(db, args.query))
 
     print(f"query {args.query}: approximable={result.approximable}")
+    print(f"plan fingerprint: {plan_fingerprint(result.plan)}")
     for decision in result.decisions:
         print(f"  {decision.spec!r}  <- {decision.reason} (support {decision.support:.1f})")
 
-    def show(node, depth=0):
-        print("  " * depth + repr(node))
-        for child in node.children:
-            show(child, depth + 1)
-
-    print("\nplan:")
-    show(result.plan)
+    print("\nplan (address  fingerprint  operator):")
+    addressed = list(walk_with_addresses(result.plan))
+    width = max(len(format_address(a)) for a, _ in addressed)
+    for address, node in addressed:
+        label = format_address(address).ljust(width)
+        print(f"  {label}  {plan_fingerprint(node)[:12]}  {'  ' * len(address)}{node!r}")
 
     if args.execute:
         executor = Executor(db, parallelism=args.parallelism)
@@ -57,8 +58,6 @@ def _cmd_plan(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
-    import numpy as np
-
     from repro.experiments.figures import figure8a_performance, figure8b_error, table7_sampler_frequency
     from repro.experiments.report import format_table
     from repro.experiments.runner import ExperimentRunner
@@ -77,6 +76,13 @@ def _cmd_evaluate(args) -> int:
     print(f"aggregates within 10%: {err['fraction_within_10pct']:.0%}; "
           f"no missed groups (full answer): {err['fraction_no_missed_groups_full']:.0%}")
     print(f"sampler mix: {', '.join(f'{k} {v:.0%}' for k, v in freq['distribution_across_samplers'].items())}")
+
+    timings = runner.executor.timings()
+    cache = timings["plan_cache"]
+    print(f"\nplan compilation: {timings['compile_seconds']:.3f}s compile vs "
+          f"{timings['execute_seconds']:.3f}s execute "
+          f"(plan cache: {cache['hits']} hits / {cache['misses']} misses / "
+          f"{cache['evictions']} evictions)")
     return 0
 
 

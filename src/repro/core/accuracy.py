@@ -35,7 +35,6 @@ from repro.algebra.logical import (
 )
 from repro.engine.operators import Z_95
 from repro.samplers.base import PassThroughSpec
-from repro.samplers.distinct import DistinctSpec
 from repro.samplers.uniform import UniformSpec
 from repro.samplers.universe import UniverseSpec
 from repro.stats.derivation import StatsDeriver

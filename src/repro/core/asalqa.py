@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.algebra.builder import Query
 from repro.algebra.logical import Join, LogicalNode, SamplerNode
@@ -200,7 +200,9 @@ class Asalqa:
 
     # -- internals ---------------------------------------------------------------
     def _cost(self, plan: LogicalNode) -> PlanCost:
-        return cost_plan(plan, lambda node: self.deriver.stats_for(node).rows, self.options.cluster)
+        return cost_plan(
+            plan, lambda node, address: self.deriver.stats_for(node).rows, self.options.cluster
+        )
 
     def _family_of(self, join: Join) -> int:
         return hash(join.key()) & 0x7FFFFFFF

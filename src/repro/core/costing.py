@@ -34,10 +34,10 @@ columns-count, probability and seed, and nested samplers are forbidden.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.algebra.logical import Join, LogicalNode, SamplerNode
+from repro.algebra.logical import LogicalNode, SamplerNode
 from repro.core.sampler_state import SamplerState
 from repro.samplers.base import PassThroughSpec, SamplerSpec
 from repro.samplers.distinct import DistinctSpec

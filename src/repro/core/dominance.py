@@ -21,14 +21,13 @@ This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.algebra.logical import LogicalNode, SamplerNode
 from repro.engine.executor import Executor
 from repro.engine.table import Database
-from repro.samplers.base import PassThroughSpec
 from repro.samplers.distinct import DistinctSpec
 from repro.samplers.uniform import UniformSpec
 from repro.samplers.universe import UniverseSpec

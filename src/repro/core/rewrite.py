@@ -27,8 +27,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro.algebra.aggregates import AggKind, AggSpec
-from repro.algebra.logical import Aggregate, Join, LogicalNode, Project, SamplerNode
+from repro.algebra.aggregates import AggKind
+from repro.algebra.logical import Aggregate, Join, LogicalNode, SamplerNode
 from repro.samplers.base import PassThroughSpec
 from repro.samplers.universe import UniverseSpec
 

@@ -25,7 +25,7 @@ requirement).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import FrozenSet, Optional
 
 __all__ = ["SamplerState"]

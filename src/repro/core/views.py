@@ -11,9 +11,12 @@ cache that pays for itself after the first query.
 
 Correctness requirements implemented here:
 
-* **Structural identity** — a view matches only a sub-plan with the exact
-  same key (same core expression *and* same sampler spec, including seed,
-  so universe families stay consistent across queries).
+* **Structural identity** — views are keyed by the canonical plan
+  fingerprint (:func:`repro.algebra.addressing.plan_fingerprint`): the same
+  core expression *and* the same sampler spec, including seed (so universe
+  families stay consistent across queries), with commutative plan parts
+  canonicalized — a later query that writes the same join with its inputs
+  swapped still hits the view.
 * **Staleness** — views are tagged with the epochs of the base tables they
   read; bumping a table's epoch (data changed) invalidates its views.
 * **Budget** — the store holds at most ``max_rows`` across views and
@@ -23,9 +26,10 @@ Correctness requirements implemented here:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.algebra.addressing import plan_fingerprint
 from repro.algebra.analysis import base_tables
 from repro.algebra.logical import LogicalNode, SamplerNode, Scan
 from repro.engine.table import Table
@@ -36,9 +40,9 @@ __all__ = ["SampledView", "ViewStore", "MaterializingExecutor"]
 
 @dataclass
 class SampledView:
-    """One cached sampler output."""
+    """One cached sampler output, keyed by its canonical plan fingerprint."""
 
-    key: tuple
+    key: str
     table: Table
     source_tables: frozenset
     epochs: Tuple[Tuple[str, int], ...]
@@ -56,7 +60,7 @@ class ViewStore:
 
     def __init__(self, max_rows: int = 1_000_000):
         self.max_rows = int(max_rows)
-        self._views: Dict[tuple, SampledView] = {}
+        self._views: Dict[str, SampledView] = {}
         self._epochs: Dict[str, int] = {}
 
     # -- epochs -----------------------------------------------------------------
@@ -89,7 +93,7 @@ class ViewStore:
             return None
         sources = frozenset(base_tables(plan))
         view = SampledView(
-            key=plan.key(),
+            key=plan_fingerprint(plan),
             table=table,
             source_tables=sources,
             epochs=tuple(sorted((name, self.epoch_of(name)) for name in sources)),
@@ -101,8 +105,8 @@ class ViewStore:
         return view
 
     def get(self, plan: LogicalNode) -> Optional[SampledView]:
-        """A fresh view for this exact sub-plan, or None."""
-        view = self._views.get(plan.key())
+        """A fresh view for this (canonically identical) sub-plan, or None."""
+        view = self._views.get(plan_fingerprint(plan))
         if view is None:
             return None
         current = tuple(sorted((name, self.epoch_of(name)) for name in view.source_tables))
@@ -142,8 +146,6 @@ class MaterializingExecutor:
 
     def execute(self, query):
         from repro.algebra.builder import Query
-        from repro.engine.costmodel import cost_plan
-        from repro.engine.executor import ExecutionResult
 
         plan = query.plan if isinstance(query, Query) else query
         rewritten, reused = self._rewrite(plan)
@@ -172,7 +174,9 @@ class MaterializingExecutor:
         return visit(plan), reused
 
     def _register_view(self, view: SampledView) -> str:
-        name = f"__view_{abs(hash(view.key)) % 10**12}"
+        # The fingerprint is stable across processes and runs, so the view's
+        # catalog name is too (unlike hash(), which is salted per process).
+        name = f"__view_{view.key[:12]}"
         database = self.executor.database
         if name not in database:
             database.register(Table(name, view.table.to_dict()))
@@ -180,7 +184,6 @@ class MaterializingExecutor:
 
     def _harvest(self, plan: LogicalNode, result) -> None:
         """Materialize every executed sampler output into the store."""
-        from repro.engine.executor import Executor
 
         for node in plan.walk():
             if isinstance(node, SamplerNode) and hasattr(node.spec, "apply"):

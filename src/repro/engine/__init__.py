@@ -3,12 +3,22 @@
 from repro.engine.costmodel import cost_plan
 from repro.engine.executor import ExecutionResult, Executor
 from repro.engine.metrics import ClusterConfig, PlanCost, StageCost
+from repro.engine.physical import (
+    OperatorMetrics,
+    PhysicalPlan,
+    PlanCache,
+    compile_plan,
+)
 from repro.engine.table import WEIGHT_COLUMN, Database, Table
 
 __all__ = [
     "cost_plan",
     "ExecutionResult",
     "Executor",
+    "OperatorMetrics",
+    "PhysicalPlan",
+    "PlanCache",
+    "compile_plan",
     "ClusterConfig",
     "PlanCost",
     "StageCost",

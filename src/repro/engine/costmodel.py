@@ -7,9 +7,10 @@ hours, critical-path runtime, shuffled rows, intermediate rows and effective
 passes over data.
 
 The model is deliberately shared between optimization and measurement:
-``cost_plan(plan, rows_of, ...)`` takes a cardinality oracle, which is the
-statistics-based estimator during optimization and the actual executed row
-counts during measurement.
+``cost_plan(plan, rows_of, ...)`` takes a cardinality oracle
+``rows_of(node, address)`` — keyed by the node's stable structural address
+(:mod:`repro.algebra.addressing`) — which is the statistics-based estimator
+during optimization and the actual executed row counts during measurement.
 
 Two behaviours from the paper are captured structurally:
 
@@ -27,6 +28,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro.algebra.addressing import NodeAddress
 from repro.algebra.logical import (
     Aggregate,
     Join,
@@ -59,7 +61,7 @@ class _Pipeline:
 
 
 class _CostWalk:
-    def __init__(self, rows_of: Callable[[LogicalNode], float], config: ClusterConfig):
+    def __init__(self, rows_of: Callable[[LogicalNode, NodeAddress], float], config: ClusterConfig):
         self.rows_of = rows_of
         self.config = config
         self.result = PlanCost()
@@ -86,29 +88,29 @@ class _CostWalk:
         return pipe.ready + duration
 
     # -- node dispatch ---------------------------------------------------------
-    def visit(self, node: LogicalNode) -> _Pipeline:
+    def visit(self, node: LogicalNode, address: NodeAddress = ()) -> _Pipeline:
         if isinstance(node, Scan):
-            return self._visit_scan(node)
+            return self._visit_scan(node, address)
         if isinstance(node, Select):
-            return self._visit_rowlocal(node, self.config.select_cost, "select")
+            return self._visit_rowlocal(node, address, self.config.select_cost, "select")
         if isinstance(node, Project):
-            return self._visit_rowlocal(node, self.config.project_cost, "project")
+            return self._visit_rowlocal(node, address, self.config.project_cost, "project")
         if isinstance(node, SamplerNode):
-            return self._visit_sampler(node)
+            return self._visit_sampler(node, address)
         if isinstance(node, Join):
-            return self._visit_join(node)
+            return self._visit_join(node, address)
         if isinstance(node, Aggregate):
-            return self._visit_aggregate(node)
+            return self._visit_aggregate(node, address)
         if isinstance(node, OrderBy):
-            return self._visit_orderby(node)
+            return self._visit_orderby(node, address)
         if isinstance(node, Limit):
-            return self._visit_limit(node)
+            return self._visit_limit(node, address)
         if isinstance(node, UnionAll):
-            return self._visit_union(node)
+            return self._visit_union(node, address)
         raise PlanError(f"cost model cannot handle node {type(node).__name__}")
 
-    def _visit_scan(self, node: Scan) -> _Pipeline:
-        rows = float(self.rows_of(node))
+    def _visit_scan(self, node: Scan, address: NodeAddress) -> _Pipeline:
+        rows = float(self.rows_of(node, address))
         self.result.job_input_rows += rows
         return _Pipeline(
             input_rows=rows,
@@ -119,27 +121,29 @@ class _CostWalk:
             ops=[f"scan({node.table})"],
         )
 
-    def _visit_rowlocal(self, node: LogicalNode, per_row: float, label: str) -> _Pipeline:
-        pipe = self.visit(node.children[0])
+    def _visit_rowlocal(
+        self, node: LogicalNode, address: NodeAddress, per_row: float, label: str
+    ) -> _Pipeline:
+        pipe = self.visit(node.children[0], address + (0,))
         pipe.cpu += pipe.rows * per_row
-        pipe.rows = float(self.rows_of(node))
+        pipe.rows = float(self.rows_of(node, address))
         pipe.ops.append(label)
         return pipe
 
-    def _visit_sampler(self, node: SamplerNode) -> _Pipeline:
-        pipe = self.visit(node.child)
+    def _visit_sampler(self, node: SamplerNode, address: NodeAddress) -> _Pipeline:
+        pipe = self.visit(node.child, address + (0,))
         spec_cost = getattr(node.spec, "cost_per_row", 0.2)
         kind = getattr(node.spec, "kind", "sampler")
         pipe.cpu += pipe.rows * (spec_cost + self.config.language_boundary_cost)
-        pipe.rows = float(self.rows_of(node))
+        pipe.rows = float(self.rows_of(node, address))
         pipe.samplers.append(kind)
         pipe.ops.append(f"sampler[{kind}]")
         return pipe
 
-    def _visit_join(self, node: Join) -> _Pipeline:
-        left = self.visit(node.left)
-        right = self.visit(node.right)
-        out_rows = float(self.rows_of(node))
+    def _visit_join(self, node: Join, address: NodeAddress) -> _Pipeline:
+        left = self.visit(node.left, address + (0,))
+        right = self.visit(node.right, address + (1,))
+        out_rows = float(self.rows_of(node, address))
         smaller, larger = (left, right) if left.rows <= right.rows else (right, left)
 
         if smaller.rows <= self.config.broadcast_threshold:
@@ -167,9 +171,9 @@ class _CostWalk:
             ops=["shuffle-join"],
         )
 
-    def _visit_aggregate(self, node: Aggregate) -> _Pipeline:
-        pipe = self.visit(node.child)
-        groups = float(self.rows_of(node))
+    def _visit_aggregate(self, node: Aggregate, address: NodeAddress) -> _Pipeline:
+        pipe = self.visit(node.child, address + (0,))
+        groups = float(self.rows_of(node, address))
         dop = self.config.dop_for_rows(pipe.input_rows)
         partial_rows = min(pipe.rows, groups * dop)
         pipe.cpu += pipe.rows * self.config.partial_agg_cost
@@ -185,28 +189,28 @@ class _CostWalk:
             ops=["final-agg"],
         )
 
-    def _visit_orderby(self, node: OrderBy) -> _Pipeline:
-        pipe = self.visit(node.child)
+    def _visit_orderby(self, node: OrderBy, address: NodeAddress) -> _Pipeline:
+        pipe = self.visit(node.child, address + (0,))
         rows = pipe.rows
         ready = self._close(pipe, shuffled_rows=rows)
         log_factor = math.log2(rows + 2.0)
         return _Pipeline(
             input_rows=rows,
-            rows=float(self.rows_of(node)),
+            rows=float(self.rows_of(node, address)),
             cpu=rows * self.config.sort_cost * log_factor / 8.0,
             ready=ready,
             pass_index=pipe.pass_index + 1,
             ops=["sort"],
         )
 
-    def _visit_limit(self, node: Limit) -> _Pipeline:
-        pipe = self.visit(node.child)
-        pipe.rows = float(self.rows_of(node))
+    def _visit_limit(self, node: Limit, address: NodeAddress) -> _Pipeline:
+        pipe = self.visit(node.child, address + (0,))
+        pipe.rows = float(self.rows_of(node, address))
         pipe.ops.append("limit")
         return pipe
 
-    def _visit_union(self, node: UnionAll) -> _Pipeline:
-        pipes = [self.visit(child) for child in node.children]
+    def _visit_union(self, node: UnionAll, address: NodeAddress) -> _Pipeline:
+        pipes = [self.visit(child, address + (i,)) for i, child in enumerate(node.children)]
         merged = pipes[0]
         for extra in pipes[1:]:
             merged.input_rows += extra.input_rows
@@ -216,25 +220,26 @@ class _CostWalk:
             merged.pass_index = max(merged.pass_index, extra.pass_index)
             merged.samplers.extend(extra.samplers)
             merged.ops.extend(extra.ops)
-        merged.rows = float(self.rows_of(node))
+        merged.rows = float(self.rows_of(node, address))
         merged.ops.append("union-all")
         return merged
 
 
 def cost_plan(
     plan: LogicalNode,
-    rows_of: Callable[[LogicalNode], float],
+    rows_of: Callable[[LogicalNode, NodeAddress], float],
     config: Optional[ClusterConfig] = None,
 ) -> PlanCost:
     """Cost a plan end-to-end.
 
-    ``rows_of`` maps each plan node to its output cardinality (estimated or
+    ``rows_of`` maps each plan node — identified by the node object and its
+    stable structural address — to its output cardinality (estimated or
     measured). Returns a :class:`PlanCost` with per-stage detail.
     """
     config = config or ClusterConfig()
     walk = _CostWalk(rows_of, config)
-    final = walk.visit(plan)
+    final = walk.visit(plan, ())
     finish = walk._close(final, shuffled_rows=0.0)
-    walk.result.job_output_rows = float(rows_of(plan))
+    walk.result.job_output_rows = float(rows_of(plan, ()))
     walk.result._runtime = finish
     return walk.result

@@ -1,65 +1,45 @@
-"""Plan executor: runs a (possibly sampled) logical plan over a database.
+"""Plan executor: compiles and runs (possibly sampled) logical plans.
 
-Execution is vectorized and, by default, single-process; pass
-``parallelism=N`` to run partition-parallel through
-:class:`repro.parallel.ParallelExecutor` (the paper's deployment mode —
-samplers are single-pass, bounded-memory and partitionable, Section 4.1).
-Every operator's input and output cardinalities are recorded and replayed
-through the stage-based cluster cost model (:mod:`repro.engine.costmodel`),
-yielding the metrics the paper reports — machine-hours, runtime, shuffled
-data, intermediate data and effective passes — for the *measured*
-cardinalities of this run.
+Execution is a two-step service: :meth:`Executor.compile` lowers the
+logical tree into a :class:`~repro.engine.physical.PhysicalPlan` (stable
+node addresses, lineage assignment, operator pipeline — see
+:mod:`repro.engine.physical`), and the compiled plan executes iteratively.
+Compiled plans are cached in a fingerprint-keyed LRU, so repeated queries —
+the experiment runner's per-trial re-executions, warm production traffic —
+pay compilation once. Pass ``parallelism=N`` to run partition-parallel
+through :class:`repro.parallel.ParallelExecutor` (the paper's deployment
+mode — samplers are single-pass, bounded-memory and partitionable,
+Section 4.1).
 
-The executor attaches a reserved lineage column per scan (the base-row
-position). Lineage gives each intermediate row a stable identity across any
-partitioning of the input, which makes the uniform sampler's decisions
-counter-based (identical serial or parallel) and lets the parallel merge
-restore exact serial row order. Lineage is stripped from final answers.
+Every operator's input and output cardinalities are recorded, keyed by the
+operator's structural address, and replayed through the stage-based cluster
+cost model (:mod:`repro.engine.costmodel`), yielding the metrics the paper
+reports — machine-hours, runtime, shuffled data, intermediate data and
+effective passes — for the *measured* cardinalities of this run.
+
+The compiled plan attaches a reserved lineage column per scan occurrence
+(the base-row position). Lineage gives each intermediate row a stable
+identity across any partitioning of the input, which makes the uniform
+sampler's decisions counter-based (identical serial or parallel) and lets
+the parallel merge restore exact serial row order. Lineage is stripped from
+final answers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, Optional, Tuple
 
-import numpy as np
-
+from repro.algebra.addressing import NodeAddress, plan_fingerprint
 from repro.algebra.builder import Query
-from repro.algebra.logical import (
-    Aggregate,
-    Join,
-    Limit,
-    LogicalNode,
-    OrderBy,
-    Project,
-    SamplerNode,
-    Scan,
-    Select,
-    UnionAll,
-)
-from repro.engine import operators
+from repro.algebra.logical import LogicalNode
 from repro.engine.costmodel import cost_plan
 from repro.engine.metrics import ClusterConfig, ParallelMetrics, PlanCost
-from repro.engine.table import Database, Table, rowid_column_name
-from repro.errors import PlanError
+from repro.engine.physical import OperatorMetrics, PhysicalPlan, PlanCache, compile_plan
+from repro.engine.table import Database, Table
 
-__all__ = ["ExecutionResult", "Executor", "scan_indices"]
-
-
-def scan_indices(plan: LogicalNode) -> Dict[int, int]:
-    """Map ``id(scan_node) -> pre-order scan index`` for lineage naming.
-
-    Returns an empty map (disabling lineage) if any Scan *object* appears
-    more than once in the tree — identical objects on both sides of a join
-    would collide on lineage column names.
-    """
-    indices: Dict[int, int] = {}
-    for node in plan.walk():
-        if isinstance(node, Scan):
-            if id(node) in indices:
-                return {}
-            indices[id(node)] = len(indices)
-    return indices
+__all__ = ["ExecutionResult", "Executor"]
 
 
 @dataclass
@@ -68,12 +48,19 @@ class ExecutionResult:
 
     table: Table
     cost: PlanCost
-    cardinalities: Dict[int, int]
+    #: Output rows per operator, keyed by the operator's structural address.
+    cardinalities: Dict[NodeAddress, int]
     #: Measured wall-clock of the execution (seconds); None when not timed.
     wall_clock_seconds: Optional[float] = None
     #: Populated by the parallel executor: partitioning strategy, worker
     #: timings, modeled and measured speedup.
     parallel: Optional[ParallelMetrics] = None
+    #: Time spent compiling (or fetching the compiled plan); None untimed.
+    compile_seconds: Optional[float] = None
+    #: Whether the compiled plan came from the executor's plan cache.
+    plan_cache_hit: bool = False
+    #: Per-operator rows-in/rows-out and wall time, in execution order.
+    operators: Tuple[OperatorMetrics, ...] = ()
 
     @property
     def answer(self) -> Table:
@@ -81,7 +68,7 @@ class ExecutionResult:
 
 
 class Executor:
-    """Executes logical plans against a :class:`Database`.
+    """Compiles and executes logical plans against a :class:`Database`.
 
     Parameters
     ----------
@@ -100,6 +87,9 @@ class Executor:
         Attach per-scan lineage columns during execution (default True).
         Lineage is what makes uniform-sampler decisions partition-invariant;
         disabling it restores purely positional randomness.
+    plan_cache_size:
+        Capacity of the fingerprint-keyed compiled-plan LRU (0 disables
+        caching).
     """
 
     def __init__(
@@ -109,39 +99,123 @@ class Executor:
         parallelism: int = 1,
         parallel_options=None,
         attach_rowids: bool = True,
+        plan_cache_size: int = 128,
     ):
         self.database = database
         self.config = config or ClusterConfig()
         self.parallelism = int(parallelism)
         self.parallel_options = parallel_options
         self.attach_rowids = bool(attach_rowids)
+        self.plan_cache = PlanCache(capacity=int(plan_cache_size))
+        self.compile_seconds = 0.0
+        self.execute_seconds = 0.0
         self._parallel = None
-        self._scan_indices: Dict[int, int] = {}
 
+    # -- compilation ----------------------------------------------------------
+    def compile(self, plan: LogicalNode) -> Tuple[PhysicalPlan, bool]:
+        """Compiled plan for ``plan`` plus whether it was a cache hit.
+
+        The cache key is the canonical fingerprint, so a structurally
+        equivalent plan (e.g. commuted inner-join inputs) reuses the cached
+        compilation of its canonical representative.
+        """
+        plan = plan.plan if isinstance(plan, Query) else plan
+        fingerprint = plan_fingerprint(plan)
+        cached = self.plan_cache.get(fingerprint)
+        if cached is not None and cached.attach_rowids == self.attach_rowids:
+            return cached, True
+        physical = compile_plan(plan, attach_rowids=self.attach_rowids, fingerprint=fingerprint)
+        self.plan_cache.put(fingerprint, physical)
+        return physical, False
+
+    def _compile_exact(self, plan: LogicalNode) -> PhysicalPlan:
+        """Like :meth:`compile`, but guarantees the compiled plan's node
+        addresses match ``plan``'s exact structure (not a commuted cache
+        representative) — required when the caller keys overrides by
+        address."""
+        physical, hit = self.compile(plan)
+        if hit and physical.logical.key() != plan.key():
+            physical = compile_plan(
+                plan, attach_rowids=self.attach_rowids, fingerprint=physical.fingerprint
+            )
+        return physical
+
+    # -- execution ------------------------------------------------------------
     def execute(self, query) -> ExecutionResult:
         """Run a :class:`Query` or bare plan node; returns answer + cost."""
         if self.parallelism > 1:
             return self._parallel_executor().execute(query)
         plan = query.plan if isinstance(query, Query) else query
-        table, cardinalities = self.run_plan(plan)
-        cost = cost_plan(plan, lambda node: cardinalities[id(node)], self.config)
-        return ExecutionResult(table=table.drop_lineage(), cost=cost, cardinalities=cardinalities)
+
+        t0 = perf_counter()
+        physical, cache_hit = self.compile(plan)
+        compile_s = perf_counter() - t0
+        self.compile_seconds += compile_s
+
+        t0 = perf_counter()
+        table, cardinalities, op_metrics = physical.execute(
+            self.database, record_metrics=True
+        )
+        execute_s = perf_counter() - t0
+        self.execute_seconds += execute_s
+
+        # Cost the compiled logical tree: on a canonical cache hit its
+        # addresses (not necessarily the submitted object's) key the
+        # cardinalities.
+        cost = cost_plan(
+            physical.logical, lambda node, address: cardinalities[address], self.config
+        )
+        return ExecutionResult(
+            table=table.drop_lineage(),
+            cost=cost,
+            cardinalities=cardinalities,
+            wall_clock_seconds=execute_s,
+            compile_seconds=compile_s,
+            plan_cache_hit=cache_hit,
+            operators=op_metrics,
+        )
 
     def run_plan(
-        self, plan: LogicalNode, overrides: Optional[Dict[int, Table]] = None
-    ) -> Tuple[Table, Dict[int, int]]:
+        self, plan: LogicalNode, overrides: Optional[Dict[NodeAddress, Table]] = None
+    ) -> Tuple[Table, Dict[NodeAddress, int]]:
         """Run a plan, returning the raw result (lineage intact) and the
-        per-node cardinalities.
+        per-address cardinalities.
 
-        ``overrides`` maps ``id(node) -> Table``: when a node is found in the
-        map its subtree is not executed and the given table is used as its
-        output. The parallel executor uses this to run the merged partition
-        result through the serial successor (aggregation and above).
+        ``overrides`` maps a node address to a table: that subtree is not
+        executed and the given table is used as its output. The parallel
+        executor uses this to run the merged partition result through the
+        serial successor (aggregation and above). Override addresses refer
+        to ``plan``'s own structure, so the compiled plan is guaranteed to
+        share it.
         """
-        cardinalities: Dict[int, int] = {}
-        self._scan_indices = scan_indices(plan) if self.attach_rowids else {}
-        table = self._run(plan, cardinalities, overrides)
+        t0 = perf_counter()
+        if overrides:
+            physical = self._compile_exact(plan)
+        else:
+            physical, _ = self.compile(plan)
+        self.compile_seconds += perf_counter() - t0
+
+        t0 = perf_counter()
+        table, cardinalities, _ = physical.execute(self.database, overrides=overrides)
+        self.execute_seconds += perf_counter() - t0
         return table, cardinalities
+
+    # -- reporting ------------------------------------------------------------
+    def timings(self) -> dict:
+        """Cumulative compile/execute split and plan-cache statistics."""
+        out = {
+            "compile_seconds": self.compile_seconds,
+            "execute_seconds": self.execute_seconds,
+            "plan_cache": self.plan_cache.stats(),
+        }
+        if self._parallel is not None:
+            serial = self._parallel.serial_executor
+            out["compile_seconds"] += serial.compile_seconds
+            out["execute_seconds"] += serial.execute_seconds
+            for key, value in serial.plan_cache.stats().items():
+                if key != "capacity":
+                    out["plan_cache"][key] += value
+        return out
 
     def _parallel_executor(self):
         if self._parallel is None:
@@ -154,72 +228,3 @@ class Executor:
                 options=self.parallel_options,
             )
         return self._parallel
-
-    def _run(
-        self,
-        node: LogicalNode,
-        cardinalities: Dict[int, int],
-        overrides: Optional[Dict[int, Table]] = None,
-    ) -> Table:
-        if overrides and id(node) in overrides:
-            table = overrides[id(node)]
-        else:
-            table = self._dispatch(node, cardinalities, overrides)
-        cardinalities[id(node)] = table.num_rows
-        return table
-
-    def _dispatch(
-        self,
-        node: LogicalNode,
-        cardinalities: Dict[int, int],
-        overrides: Optional[Dict[int, Table]] = None,
-    ) -> Table:
-        if isinstance(node, Scan):
-            base = self.database.table(node.table)
-            out = base.project(node.output_columns())
-            index = self._scan_indices.get(id(node))
-            if index is not None and not out.has_lineage():
-                out = out.with_columns(
-                    {rowid_column_name(index): np.arange(out.num_rows, dtype=np.int64)}
-                )
-            return out
-        if isinstance(node, Select):
-            return operators.execute_select(
-                self._run(node.child, cardinalities, overrides), node.predicate
-            )
-        if isinstance(node, Project):
-            return operators.execute_project(
-                self._run(node.child, cardinalities, overrides), node.mapping
-            )
-        if isinstance(node, SamplerNode):
-            child = self._run(node.child, cardinalities, overrides)
-            spec = node.spec
-            if not hasattr(spec, "apply"):
-                raise PlanError(
-                    f"sampler spec {spec!r} is logical; run ASALQA costing to obtain a physical plan"
-                )
-            return spec.apply(child)
-        if isinstance(node, Join):
-            left = self._run(node.left, cardinalities, overrides)
-            right = self._run(node.right, cardinalities, overrides)
-            return operators.execute_join(left, right, node.left_keys, node.right_keys, node.how)
-        if isinstance(node, Aggregate):
-            child = self._run(node.child, cardinalities, overrides)
-            return operators.execute_aggregate(
-                child,
-                node.group_by,
-                node.aggs,
-                compute_ci=getattr(node, "compute_ci", False),
-                universe_rescale=getattr(node, "universe_rescale", None),
-                universe_variance=getattr(node, "universe_variance", None),
-            )
-        if isinstance(node, OrderBy):
-            return operators.execute_orderby(
-                self._run(node.child, cardinalities, overrides), node.keys, node.descending
-            )
-        if isinstance(node, Limit):
-            return operators.execute_limit(self._run(node.child, cardinalities, overrides), node.n)
-        if isinstance(node, UnionAll):
-            tables = [self._run(child, cardinalities, overrides) for child in node.children]
-            return operators.execute_union_all(tables)
-        raise PlanError(f"executor cannot handle node {type(node).__name__}")

@@ -266,7 +266,7 @@ def execute_aggregate(
         out = {k: table.column(k)[first_index[order]] for k in group_by}
     else:
         codes = np.zeros(table.num_rows, dtype=np.int64)
-        num_groups = 1 if table.num_rows else 1
+        num_groups = 1
         out = {}
 
     if table.num_rows == 0 and not group_by:

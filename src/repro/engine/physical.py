@@ -1,0 +1,366 @@
+"""Compiled physical plans: compile once, execute many times.
+
+The logical tree (:mod:`repro.algebra.logical`) is what the optimizer
+reasons about; this module is what actually runs. :func:`compile_plan`
+lowers a logical tree into a :class:`PhysicalPlan` — a post-order
+(topologically sorted) list of :class:`PhysicalOp` entries in which every
+per-run derivation has been resolved at compile time:
+
+* each Scan *occurrence* gets its pre-order ordinal and therefore its
+  lineage column name (two occurrences of one Scan object — a self-join —
+  get two distinct lineage columns, where the old per-run ``scan_indices``
+  walk gave up and silently disabled lineage);
+* each node gets its stable :data:`~repro.algebra.addressing.NodeAddress`,
+  which keys cardinalities, overrides and per-operator metrics from here on
+  (no more ``id(node)`` maps);
+* sampler specs are validated to be physical (``apply``-able) so a logical
+  plan fails at compile time with a clear error instead of mid-execution;
+* aggregate estimation annotations (``compute_ci`` etc.) are looked up once.
+
+Execution is an iterative loop over the operator list — no recursion, so
+plan depth is bounded by memory rather than the interpreter stack — and
+records per-operator rows-in/rows-out and wall time. Because the list is
+post-order, each subtree is a contiguous range ending at its root, which
+makes override skipping (used by the parallel executor to splice merged
+partition results into the upper plan) a range mask rather than a tree
+walk.
+
+:class:`PlanCache` is the fingerprint-keyed LRU that makes the executor a
+compile-once/run-many service for repeated queries.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.algebra.addressing import NodeAddress, format_address, plan_fingerprint
+from repro.algebra.logical import (
+    Aggregate,
+    Join,
+    Limit,
+    LogicalNode,
+    OrderBy,
+    Project,
+    SamplerNode,
+    Scan,
+    Select,
+    UnionAll,
+)
+from repro.engine import operators
+from repro.engine.table import Database, Table, rowid_column_name
+from repro.errors import PlanError
+
+__all__ = [
+    "OperatorMetrics",
+    "PhysicalOp",
+    "PhysicalPlan",
+    "PlanCache",
+    "compile_plan",
+]
+
+
+@dataclass(frozen=True)
+class OperatorMetrics:
+    """Measured per-operator profile from one execution."""
+
+    address: NodeAddress
+    description: str
+    rows_in: int
+    rows_out: int
+    seconds: float
+
+    def summary(self) -> dict:
+        return {
+            "address": format_address(self.address),
+            "op": self.description,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "seconds": self.seconds,
+        }
+
+
+@dataclass(frozen=True)
+class PhysicalOp:
+    """One entry of the compiled operator pipeline."""
+
+    #: Position in the post-order pipeline (execution order).
+    index: int
+    #: Stable structural address of the originating logical node.
+    address: NodeAddress
+    node: LogicalNode
+    #: Dispatch tag; one of scan/select/project/sampler/join/aggregate/
+    #: orderby/limit/union.
+    opcode: str
+    #: Pipeline slots holding this operator's direct inputs, in child order.
+    child_slots: Tuple[int, ...]
+    #: First pipeline index of this operator's subtree. Post-order puts a
+    #: subtree at the contiguous range [subtree_start, index].
+    subtree_start: int
+    #: Scans only: lineage column to attach (None when lineage is disabled).
+    lineage_column: Optional[str] = None
+    #: Aggregates only: estimation annotations resolved at compile time.
+    agg_kwargs: Optional[dict] = None
+
+    def describe(self) -> str:
+        return repr(self.node)
+
+
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """An executable, reusable compilation of one logical plan.
+
+    A compiled plan holds no run state: :meth:`execute` touches only local
+    slots, so one cached instance can serve many runs (and many threads).
+    """
+
+    logical: LogicalNode
+    fingerprint: str
+    ops: Tuple[PhysicalOp, ...]
+    address_to_index: Dict[NodeAddress, int]
+    #: Scan occurrence address -> pre-order scan ordinal.
+    scan_ordinals: Dict[NodeAddress, int]
+    attach_rowids: bool = True
+
+    @property
+    def num_operators(self) -> int:
+        return len(self.ops)
+
+    def execute(
+        self,
+        database: Database,
+        overrides: Optional[Dict[NodeAddress, Table]] = None,
+        record_metrics: bool = False,
+    ) -> Tuple[Table, Dict[NodeAddress, int], Tuple[OperatorMetrics, ...]]:
+        """Run the pipeline against ``database``.
+
+        ``overrides`` maps a node address to a pre-computed table: that
+        operator's subtree is skipped and the table used as its output (the
+        parallel executor splices merged partition results in this way).
+        Returns the raw root table (lineage intact), per-address output
+        cardinalities, and per-operator metrics (empty unless requested).
+        """
+        ops = self.ops
+        skipped = bytearray(len(ops))
+        if overrides:
+            for address in overrides:
+                root = self.address_to_index.get(address)
+                if root is None:
+                    raise PlanError(
+                        f"override address {format_address(address)} is not in this plan"
+                    )
+                for i in range(ops[root].subtree_start, root):
+                    skipped[i] = 1
+
+        slots: List[Optional[Table]] = [None] * len(ops)
+        cardinalities: Dict[NodeAddress, int] = {}
+        metrics: List[OperatorMetrics] = []
+
+        for op in ops:
+            if skipped[op.index]:
+                continue
+            started = time.perf_counter() if record_metrics else 0.0
+            if overrides and op.address in overrides:
+                table = overrides[op.address]
+                rows_in = table.num_rows
+            else:
+                inputs = [slots[slot] for slot in op.child_slots]
+                if op.opcode == "scan":
+                    rows_in = database.table(op.node.table).num_rows
+                else:
+                    rows_in = sum(t.num_rows for t in inputs)
+                table = self._dispatch(op, inputs, database)
+            # Each slot feeds exactly one parent; release inputs eagerly so
+            # peak memory tracks the live frontier, not the whole plan.
+            for slot in op.child_slots:
+                slots[slot] = None
+            slots[op.index] = table
+            cardinalities[op.address] = table.num_rows
+            if record_metrics:
+                metrics.append(
+                    OperatorMetrics(
+                        address=op.address,
+                        description=op.describe(),
+                        rows_in=rows_in,
+                        rows_out=table.num_rows,
+                        seconds=time.perf_counter() - started,
+                    )
+                )
+
+        result = slots[len(ops) - 1]
+        assert result is not None
+        return result, cardinalities, tuple(metrics)
+
+    # -- operator dispatch ----------------------------------------------------
+    def _dispatch(self, op: PhysicalOp, inputs: List[Table], database: Database) -> Table:
+        node = op.node
+        if op.opcode == "scan":
+            out = database.table(node.table).project(node.output_columns())
+            if op.lineage_column is not None and not out.has_lineage():
+                out = out.with_columns(
+                    {op.lineage_column: np.arange(out.num_rows, dtype=np.int64)}
+                )
+            return out
+        if op.opcode == "select":
+            return operators.execute_select(inputs[0], node.predicate)
+        if op.opcode == "project":
+            return operators.execute_project(inputs[0], node.mapping)
+        if op.opcode == "sampler":
+            return node.spec.apply(inputs[0])
+        if op.opcode == "join":
+            return operators.execute_join(
+                inputs[0], inputs[1], node.left_keys, node.right_keys, node.how
+            )
+        if op.opcode == "aggregate":
+            return operators.execute_aggregate(
+                inputs[0], node.group_by, node.aggs, **op.agg_kwargs
+            )
+        if op.opcode == "orderby":
+            return operators.execute_orderby(inputs[0], node.keys, node.descending)
+        if op.opcode == "limit":
+            return operators.execute_limit(inputs[0], node.n)
+        if op.opcode == "union":
+            return operators.execute_union_all(inputs)
+        raise PlanError(f"compiled plan has unknown opcode {op.opcode!r}")
+
+
+_OPCODES = (
+    (Scan, "scan"),
+    (Select, "select"),
+    (Project, "project"),
+    (SamplerNode, "sampler"),
+    (Join, "join"),
+    (Aggregate, "aggregate"),
+    (OrderBy, "orderby"),
+    (Limit, "limit"),
+    (UnionAll, "union"),
+)
+
+
+def _opcode_of(node: LogicalNode) -> str:
+    for klass, opcode in _OPCODES:
+        if isinstance(node, klass):
+            return opcode
+    raise PlanError(f"executor cannot handle node {type(node).__name__}")
+
+
+def compile_plan(
+    plan: LogicalNode,
+    attach_rowids: bool = True,
+    fingerprint: Optional[str] = None,
+) -> PhysicalPlan:
+    """Lower a logical tree into an executable :class:`PhysicalPlan`.
+
+    Raises :class:`PlanError` if the plan carries logical (uncosted)
+    sampler state or an unknown operator — compile-time, not mid-run.
+    """
+    ops: List[PhysicalOp] = []
+    address_to_index: Dict[NodeAddress, int] = {}
+    scan_ordinals: Dict[NodeAddress, int] = {}
+
+    def lower(node: LogicalNode, address: NodeAddress) -> int:
+        subtree_start = len(ops)
+        child_slots = tuple(
+            lower(child, address + (i,)) for i, child in enumerate(node.children)
+        )
+        opcode = _opcode_of(node)
+        lineage_column = None
+        agg_kwargs = None
+        if opcode == "scan":
+            ordinal = len(scan_ordinals)
+            scan_ordinals[address] = ordinal
+            if attach_rowids:
+                lineage_column = rowid_column_name(ordinal)
+        elif opcode == "sampler":
+            if not hasattr(node.spec, "apply"):
+                raise PlanError(
+                    f"sampler spec {node.spec!r} is logical; run ASALQA costing "
+                    "to obtain a physical plan"
+                )
+        elif opcode == "aggregate":
+            agg_kwargs = {
+                "compute_ci": getattr(node, "compute_ci", False),
+                "universe_rescale": getattr(node, "universe_rescale", None),
+                "universe_variance": getattr(node, "universe_variance", None),
+            }
+        index = len(ops)
+        ops.append(
+            PhysicalOp(
+                index=index,
+                address=address,
+                node=node,
+                opcode=opcode,
+                child_slots=child_slots,
+                subtree_start=subtree_start,
+                lineage_column=lineage_column,
+                agg_kwargs=agg_kwargs,
+            )
+        )
+        address_to_index[address] = index
+        return index
+
+    lower(plan, ())
+    return PhysicalPlan(
+        logical=plan,
+        fingerprint=fingerprint if fingerprint is not None else plan_fingerprint(plan),
+        ops=tuple(ops),
+        address_to_index=address_to_index,
+        scan_ordinals=scan_ordinals,
+        attach_rowids=attach_rowids,
+    )
+
+
+@dataclass
+class PlanCache:
+    """Fingerprint-keyed LRU cache of compiled plans.
+
+    ``capacity=0`` disables caching (every lookup misses). Hit, miss and
+    eviction counts are kept for reporting.
+    """
+
+    capacity: int = 128
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    _entries: "OrderedDict[str, PhysicalPlan]" = field(default_factory=OrderedDict)
+
+    def get(self, fingerprint: str) -> Optional[PhysicalPlan]:
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(fingerprint)
+        self.hits += 1
+        return entry
+
+    def put(self, fingerprint: str, physical: PhysicalPlan) -> None:
+        if self.capacity <= 0:
+            return
+        if fingerprint in self._entries:
+            self._entries.move_to_end(fingerprint)
+        self._entries[fingerprint] = physical
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -9,8 +9,7 @@ the paper reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -20,7 +19,7 @@ from repro.core.accuracy import unroll_plan
 from repro.engine.executor import Executor
 from repro.engine.table import Database
 from repro.experiments.report import cdf, fraction_at_or_above, percentile_row
-from repro.experiments.runner import ExperimentRunner, QueryOutcome
+from repro.experiments.runner import QueryOutcome
 from repro.optimizer.planner import QuickrPlanner
 from repro.workloads import production
 

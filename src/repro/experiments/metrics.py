@@ -14,13 +14,12 @@ answer"), which is how Quickr's zero-missed-groups claim is evaluated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.algebra.aggregates import AggKind
 from repro.algebra.logical import Aggregate, Limit, LogicalNode, OrderBy
-from repro.engine.operators import CI_SUFFIX
 from repro.engine.table import Table
 
 __all__ = ["ErrorMetrics", "compare_answers", "strip_limit", "answer_structure"]

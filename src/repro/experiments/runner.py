@@ -11,12 +11,12 @@ and query-optimization times.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from repro.algebra.builder import Query
-from repro.core.asalqa import AsalqaOptions, AsalqaResult
-from repro.engine.executor import ExecutionResult, Executor
+from repro.core.asalqa import AsalqaOptions
+from repro.engine.executor import Executor
 from repro.engine.metrics import ClusterConfig
 from repro.engine.table import Database
 from repro.experiments.metrics import ErrorMetrics, answer_structure, compare_answers, strip_limit

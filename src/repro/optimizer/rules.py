@@ -13,21 +13,10 @@ standard rewrites that matter for the cost profile of these workloads:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.algebra.expressions import And, Col, Expr
-from repro.algebra.logical import (
-    Aggregate,
-    Join,
-    Limit,
-    LogicalNode,
-    OrderBy,
-    Project,
-    SamplerNode,
-    Scan,
-    Select,
-    UnionAll,
-)
+from repro.algebra.logical import Join, LogicalNode, Project, Select, UnionAll
 
 __all__ = ["split_conjuncts", "push_selects_down", "prune_identity_projects", "normalize"]
 

@@ -14,9 +14,11 @@ reproduces that execution mode in-process:
    serial) or by partial-aggregate states — and the serial executor runs
    the remainder of the plan over the merged result.
 
-Per-operator cardinalities are stitched back together (worker sums below
-the split, the serial run above it), so the cluster cost model sees the
-same plan profile a serial run would produce, and
+Per-operator cardinalities are stitched back together keyed by stable
+structural addresses (worker sums below the split, the serial run above
+it) — addresses survive pickling across process boundaries, where object
+identities would not — so the cluster cost model sees the same plan
+profile a serial run would produce, and
 :class:`~repro.engine.metrics.ParallelMetrics` reports both the modeled
 and, when a serial reference run is requested, the measured speedup.
 """
@@ -29,9 +31,10 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.algebra.addressing import NodeAddress
 from repro.algebra.builder import Query
 from repro.engine.costmodel import cost_plan
-from repro.engine.executor import ExecutionResult, Executor, scan_indices
+from repro.engine.executor import ExecutionResult, Executor
 from repro.engine.metrics import ClusterConfig, ParallelMetrics, modeled_speedup
 from repro.engine.table import Database, Table, rowid_column_name
 from repro.errors import PlanError
@@ -95,6 +98,9 @@ class ParallelExecutor:
         self.config = config or ClusterConfig()
         self.parallelism = int(parallelism)
         self.options = options or ParallelOptions()
+        # One long-lived serial executor for upper-plan runs and fallbacks:
+        # its plan cache warms across repeated queries.
+        self.serial_executor = Executor(database, self.config)
 
     def execute(self, query) -> ExecutionResult:
         plan = query.plan if isinstance(query, Query) else query
@@ -102,23 +108,23 @@ class ParallelExecutor:
         if self.parallelism == 1:
             return self._serial_fallback(plan, "parallelism=1", start)
 
-        indices = scan_indices(plan)
         analysis = analyze_plan(
-            plan, self.database, indices, min_partition_rows=self.options.min_partition_rows
+            plan, self.database, min_partition_rows=self.options.min_partition_rows
         )
         if not analysis.ok:
             return self._serial_fallback(plan, analysis.reason, start)
 
         degree = self.parallelism
         split = analysis.split
+        split_address = analysis.split_address
         aggregate = analysis.aggregate
         merge_mode = self.options.merge
         if merge_mode == "partial" and aggregate is None:
             merge_mode = "rows"  # nothing to two-phase; ship rows instead
 
-        # Partition (or broadcast) each scan's base table, with the scan's
-        # global lineage attached *before* the split so workers see absolute
-        # base-row positions.
+        # Partition (or broadcast) each scan occurrence's base table, with
+        # the occurrence's global lineage attached *before* the split so
+        # workers see absolute base-row positions.
         partitions: Dict[str, List[Table]] = {}
         for entry in analysis.scans:
             base = self.database.table(entry.table)
@@ -138,7 +144,13 @@ class ParallelExecutor:
             partitions[wname] = parts
 
         worker_plans = [
-            build_worker_plan(split, indices, pid, degree, analysis.aligned_sampler_ids)
+            build_worker_plan(
+                split,
+                analysis.split_scan_ordinals,
+                pid,
+                degree,
+                analysis.aligned_sampler_addresses,
+            )
             for pid in range(degree)
         ]
         config = self.config
@@ -153,26 +165,28 @@ class ParallelExecutor:
             for parts in partitions.values():
                 worker_db.register(parts[pid])
             table, cards = Executor(worker_db, config).run_plan(worker_plans[pid])
-            card_list = [cards[id(node)] for node in worker_plans[pid].walk()]
             if do_partial:
                 payload = partial_aggregate(
                     table, aggregate, compute_ci=compute_ci, universe_variance=universe_variance
                 )
             else:
                 payload = table
-            return perf_counter() - t0, card_list, payload
+            return perf_counter() - t0, cards, payload
 
         pool = WorkerPool(self.options.pool, self.options.max_workers)
         results = pool.map(run_partition, range(degree))
         worker_seconds = tuple(r[0] for r in results)
-        card_lists = [r[1] for r in results]
+        card_maps = [r[1] for r in results]
         payloads = [r[2] for r in results]
 
-        # Precursor cardinalities: sum worker counts position-by-position
-        # (worker plans mirror the split subtree node-for-node in pre-order).
-        cardinalities: Dict[int, int] = {}
-        for i, node in enumerate(split.walk()):
-            cardinalities[id(node)] = sum(cards[i] for cards in card_lists)
+        # Precursor cardinalities: worker plans mirror the split subtree
+        # node-for-node, so worker addresses are precursor-relative and sum
+        # directly under the split's absolute prefix.
+        cardinalities: Dict[NodeAddress, int] = {}
+        for cards in card_maps:
+            for rel_address, count in cards.items():
+                absolute = split_address + rel_address
+                cardinalities[absolute] = cardinalities.get(absolute, 0) + count
 
         if do_partial:
             merged_state = merge_partials(payloads)
@@ -183,19 +197,19 @@ class ParallelExecutor:
                 universe_rescale=universe_rescale,
                 universe_variance=universe_variance,
             )
-            overrides = {id(aggregate): finalized}
+            overrides = {analysis.aggregate_address: finalized}
         else:
-            overrides = {id(split): merge_rows(payloads)}
+            overrides = {split_address: merge_rows(payloads)}
 
-        table, upper_cards = Executor(self.database, config).run_plan(plan, overrides)
+        table, upper_cards = self.serial_executor.run_plan(plan, overrides)
         cardinalities.update(upper_cards)
-        cost = cost_plan(plan, lambda node: cardinalities[id(node)], config)
+        cost = cost_plan(plan, lambda node, address: cardinalities[address], config)
         elapsed = perf_counter() - start
 
         serial_seconds = None
         if self.options.measure_serial_baseline:
             t0 = perf_counter()
-            Executor(self.database, config).execute(plan)
+            self.serial_executor.execute(plan)
             serial_seconds = perf_counter() - t0
 
         metrics = ParallelMetrics(
@@ -219,7 +233,7 @@ class ParallelExecutor:
 
     def _serial_fallback(self, plan, reason: str, start: float) -> ExecutionResult:
         """Run serially, reporting why parallel execution was declined."""
-        result = Executor(self.database, self.config).execute(plan)
+        result = self.serial_executor.execute(plan)
         elapsed = perf_counter() - start
         result.wall_clock_seconds = elapsed
         result.parallel = ParallelMetrics(

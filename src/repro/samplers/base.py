@@ -17,7 +17,6 @@ these.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 import numpy as np
 

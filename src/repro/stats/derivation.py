@@ -11,7 +11,6 @@ sampler cardinality from the sampler's expected pass fraction.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Tuple
 

@@ -16,7 +16,6 @@ absolute bytes — so the generator preserves:
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

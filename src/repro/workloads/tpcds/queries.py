@@ -32,8 +32,8 @@ from repro.algebra.aggregates import (
     sum_,
     sum_if,
 )
-from repro.algebra.builder import Query, QueryBuilder, scan
-from repro.algebra.expressions import Func, col, lit
+from repro.algebra.builder import Query, scan
+from repro.algebra.expressions import Func, col
 
 __all__ = ["QUERY_BUILDERS", "queries", "query_by_name"]
 

@@ -1,0 +1,131 @@
+"""Unit tests for stable node addresses and canonical plan fingerprints."""
+
+import pytest
+
+from repro.algebra.addressing import (
+    format_address,
+    node_at,
+    parse_address,
+    plan_fingerprint,
+    scan_ordinals,
+    walk_with_addresses,
+)
+from repro.algebra.aggregates import count, sum_
+from repro.algebra.builder import from_node, scan
+from repro.algebra.expressions import col, lit
+from repro.algebra.logical import Join, SamplerNode, Scan, Select
+from repro.errors import PlanError
+from repro.samplers.uniform import UniformSpec
+
+
+def star(db):
+    return (
+        scan(db, "sales")
+        .join(scan(db, "item"), on=[("s_item", "i_item")])
+        .groupby("i_cat")
+        .agg(sum_(col("s_amount"), "total"))
+        .build("star")
+        .plan
+    )
+
+
+class TestAddresses:
+    def test_preorder_paths(self, sales_db):
+        plan = star(sales_db)
+        addressed = list(walk_with_addresses(plan))
+        assert addressed[0] == ((), plan)
+        by_address = dict(addressed)
+        assert by_address[(0,)] is plan.children[0]
+        assert by_address[(0, 0)] is plan.children[0].children[0]
+        # addresses are unique even though traversal can revisit objects
+        assert len({a for a, _ in addressed}) == len(addressed)
+
+    def test_prefix_offsets_subtree_walks(self, sales_db):
+        plan = star(sales_db)
+        join = plan.children[0]
+        relative = dict(walk_with_addresses(join))
+        absolute = dict(walk_with_addresses(join, (0,)))
+        assert set(absolute) == {(0,) + a for a in relative}
+
+    def test_node_at_roundtrip(self, sales_db):
+        plan = star(sales_db)
+        for address, node in walk_with_addresses(plan):
+            assert node_at(plan, address) is node
+
+    def test_node_at_rejects_bad_address(self, sales_db):
+        with pytest.raises(PlanError):
+            node_at(star(sales_db), (9, 9))
+
+    def test_format_and_parse(self):
+        assert format_address(()) == "r"
+        assert format_address((0, 1, 2)) == "r.0.1.2"
+        assert parse_address("r") == ()
+        assert parse_address("r.0.1.2") == (0, 1, 2)
+        with pytest.raises(PlanError):
+            parse_address("x.1")
+        with pytest.raises(PlanError):
+            parse_address("r.one")
+
+    def test_scan_ordinals_distinguish_shared_objects(self):
+        shared = Scan("t", ("a", "b"))
+        renamed = from_node(shared).rename(x="a", y="b").node
+        join = Join(renamed, shared, ("x",), ("a",))
+        ordinals = scan_ordinals(join)
+        assert len(ordinals) == 2
+        assert sorted(ordinals.values()) == [0, 1]
+
+
+class TestFingerprints:
+    def test_deterministic_and_structural(self, sales_db):
+        a, b = star(sales_db), star(sales_db)
+        assert a is not b
+        assert plan_fingerprint(a) == plan_fingerprint(b)
+
+    def test_sampler_parameters_change_the_fingerprint(self, sales_db):
+        base = scan(sales_db, "sales").node
+        p1 = SamplerNode(base, UniformSpec(0.1, seed=1))
+        p2 = SamplerNode(base, UniformSpec(0.1, seed=2))
+        p3 = SamplerNode(base, UniformSpec(0.2, seed=1))
+        prints = {plan_fingerprint(p) for p in (p1, p2, p3)}
+        assert len(prints) == 3
+
+    def test_inner_join_commutes(self, sales_db):
+        left = scan(sales_db, "sales")
+        right = scan(sales_db, "item")
+        ab = left.join(right, on=[("s_item", "i_item")]).node
+        ba = right.join(left, on=[("i_item", "s_item")]).node
+        assert ab.key() != ba.key()  # structural keys are order-sensitive
+        assert plan_fingerprint(ab) == plan_fingerprint(ba)
+
+    def test_outer_join_does_not_commute(self, sales_db):
+        left = scan(sales_db, "sales")
+        right = scan(sales_db, "returns")
+        lr = left.join(right, on=[("s_cust", "r_cust")], how="left").node
+        rl = right.join(left, on=[("r_cust", "s_cust")], how="right").node
+        assert plan_fingerprint(lr) != plan_fingerprint(rl)
+
+    def test_conjunct_order_is_canonicalized(self, sales_db):
+        base = scan(sales_db, "sales").node
+        p = (col("s_amount") > lit(10)) & (col("s_qty") > lit(2))
+        q = (col("s_qty") > lit(2)) & (col("s_amount") > lit(10))
+        assert plan_fingerprint(Select(base, p)) == plan_fingerprint(Select(base, q))
+
+    def test_commutative_arithmetic_is_canonicalized(self, sales_db):
+        base = scan(sales_db, "sales").node
+        p = Select(base, (col("s_amount") * col("s_qty")) > lit(5))
+        q = Select(base, (col("s_qty") * col("s_amount")) > lit(5))
+        assert plan_fingerprint(p) == plan_fingerprint(q)
+        # subtraction is not commutative
+        p = Select(base, (col("s_amount") - col("s_qty")) > lit(5))
+        q = Select(base, (col("s_qty") - col("s_amount")) > lit(5))
+        assert plan_fingerprint(p) != plan_fingerprint(q)
+
+    def test_group_by_order_matters(self, sales_db):
+        a = scan(sales_db, "sales").groupby("s_item", "s_day").agg(count("n")).node
+        b = scan(sales_db, "sales").groupby("s_day", "s_item").agg(count("n")).node
+        assert plan_fingerprint(a) != plan_fingerprint(b)
+
+    def test_memoized_on_the_node(self, sales_db):
+        plan = star(sales_db)
+        first = plan_fingerprint(plan)
+        assert plan_fingerprint(plan) is first  # cached string, not recomputed

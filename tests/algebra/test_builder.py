@@ -1,12 +1,11 @@
 """Unit tests for the fluent query builder."""
 
-import numpy as np
 import pytest
 
 from repro.algebra.aggregates import count, sum_
 from repro.algebra.builder import Query, from_node, scan
 from repro.algebra.expressions import col
-from repro.algebra.logical import Aggregate, Join, Limit, OrderBy, Project, Scan, Select, UnionAll
+from repro.algebra.logical import Aggregate, Join, Limit, OrderBy, Select, UnionAll
 from repro.errors import PlanError, SchemaError
 
 

@@ -3,21 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.algebra.expressions import (
-    And,
-    BinOp,
-    Cmp,
-    Col,
-    Func,
-    IfThenElse,
-    IsIn,
-    Lit,
-    Not,
-    Or,
-    col,
-    ensure_expr,
-    lit,
-)
+from repro.algebra.expressions import And, BinOp, Col, Func, IfThenElse, Lit, col, ensure_expr, lit
 from repro.engine.table import Table
 from repro.errors import ExpressionError
 

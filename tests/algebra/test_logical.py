@@ -3,7 +3,7 @@
 import pytest
 
 from repro.algebra.aggregates import count, sum_
-from repro.algebra.expressions import Col, col
+from repro.algebra.expressions import col
 from repro.algebra.logical import (
     Aggregate,
     Join,

@@ -3,11 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.algebra.aggregates import count, count_distinct, max_, sum_
 from repro.algebra.builder import scan
 from repro.algebra.expressions import col
 from repro.core.asalqa import Asalqa, AsalqaOptions
-from repro.core.costing import CostingOptions
 from repro.engine.executor import Executor
 from repro.stats.catalog import Catalog
 from repro.workloads.tpcds import generate_tpcds, query_by_name

@@ -96,9 +96,6 @@ class TestFinalize:
 
     def test_rescaled_count_distinct_is_accurate(self, sales_db):
         sales = scan(sales_db, "sales").node
-        returns = SamplerNode(scan(sales_db, "returns").node, UniverseSpec(["r_cust"], 0.25, seed=1))
-        join = Join(sales, returns, ["s_cust"], ["r_cust"])
-        plan = Aggregate(join, (), [count_distinct(col("s_cust"), "uniq")])
         executor = Executor(sales_db)
         exact_plan = Aggregate(
             Join(sales, scan(sales_db, "returns").node, ["s_cust"], ["r_cust"]),

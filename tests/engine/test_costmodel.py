@@ -3,7 +3,6 @@
 import pytest
 
 from repro.algebra.aggregates import count, sum_
-from repro.algebra.builder import scan
 from repro.algebra.expressions import col
 from repro.algebra.logical import Aggregate, Join, SamplerNode, Scan, Select
 from repro.engine.costmodel import cost_plan
@@ -14,7 +13,7 @@ from repro.samplers.uniform import UniformSpec
 def rows_oracle(mapping):
     """Cardinality oracle from a {node_key: rows} map."""
 
-    def rows_of(node):
+    def rows_of(node, address):
         return mapping[node.key()]
 
     return rows_of

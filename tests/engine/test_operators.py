@@ -143,6 +143,12 @@ class TestExactAggregation:
         out = operators.execute_aggregate(t, ["g"], [count("n")])
         np.testing.assert_array_equal(out.column("g"), [5, 2, 9])
 
+    def test_grouped_on_empty_input_yields_zero_groups(self):
+        t = Table("t", {"g": np.array([], dtype=np.int64), "x": np.array([])})
+        out = operators.execute_aggregate(t, ["g"], [sum_(col("x"), "s"), count("n")])
+        assert out.num_rows == 0
+        assert set(out.column_names) == {"g", "s", "n"}
+
 
 class TestWeightedAggregation:
     """Table 8: estimators over a weighted sample recover true values."""
@@ -188,6 +194,25 @@ class TestWeightedAggregation:
         t = Table("t", {"g": np.zeros(4, dtype=int), "x": np.ones(4)})
         out = operators.execute_aggregate(t, ["g"], [sum_(col("x"), "s")], compute_ci=True)
         assert out.column("s" + CI_SUFFIX)[0] == 0.0
+
+    def test_grouped_on_empty_weighted_input(self):
+        # A sampler can legitimately return zero rows; the grouped path must
+        # produce an empty (not scalar) result with the estimate columns and
+        # CI columns present.
+        t = Table(
+            "t",
+            {
+                "g": np.array([], dtype=np.int64),
+                "x": np.array([]),
+                WEIGHT_COLUMN: np.array([]),
+            },
+        )
+        out = operators.execute_aggregate(
+            t, ["g"], [sum_(col("x"), "s"), count("n")], compute_ci=True
+        )
+        assert out.num_rows == 0
+        assert out.has_column("s") and out.has_column("n")
+        assert out.has_column("s" + CI_SUFFIX) and out.has_column("n" + CI_SUFFIX)
 
     def test_universe_variance_mode(self):
         # Two universe key values, perfectly correlated rows within a value.

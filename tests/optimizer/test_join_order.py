@@ -1,6 +1,5 @@
 """Unit tests for cost-based join reordering."""
 
-import numpy as np
 import pytest
 
 from repro.algebra.aggregates import count, sum_
@@ -56,7 +55,8 @@ class TestReorder:
         plan = three_way(tiny_tpcds)
         from repro.algebra.logical import Aggregate
 
-        agg = lambda p: Aggregate(p, ("i_category",), [count("n"), sum_(col("ss_net_profit"), "s")])
+        def agg(p):
+            return Aggregate(p, ("i_category",), [count("n"), sum_(col("ss_net_profit"), "s")])
         ex = Executor(tiny_tpcds)
         original = ex.execute(agg(plan)).table
         reordered = ex.execute(agg(reorder_joins(plan, deriver))).table

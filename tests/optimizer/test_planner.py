@@ -1,6 +1,5 @@
 """Integration tests for the end-to-end planner."""
 
-import numpy as np
 import pytest
 
 from repro.engine.executor import Executor
@@ -22,7 +21,8 @@ class TestBaselinePlanning:
         executor = Executor(tiny_tpcds)
         raw = executor.execute(query.plan).table
         optimized = executor.execute(planner.plan_baseline(query).plan).table
-        key = lambda t, i: (t.column("i_category_id")[i], t.column("i_category")[i])
+        def key(t, i):
+            return (t.column("i_category_id")[i], t.column("i_category")[i])
         a = {key(raw, i): raw.column("total")[i] for i in range(raw.num_rows)}
         b = {key(optimized, i): optimized.column("total")[i] for i in range(optimized.num_rows)}
         assert a.keys() == b.keys()

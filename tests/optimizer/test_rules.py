@@ -1,8 +1,7 @@
 """Unit tests for relational rewrites (select push-down, project pruning)."""
 
-import numpy as np
 
-from repro.algebra.aggregates import count, sum_
+from repro.algebra.aggregates import sum_
 from repro.algebra.builder import scan
 from repro.algebra.expressions import col
 from repro.algebra.logical import Join, Project, Scan, Select

@@ -1,13 +1,11 @@
 """Unit tests for plan analysis (precursor split, strategy choice) and
 worker-plan surgery."""
 
-import pytest
-
+from repro.algebra.addressing import scan_ordinals
 from repro.algebra.aggregates import count, sum_
 from repro.algebra.builder import from_node, scan
 from repro.algebra.expressions import col
-from repro.algebra.logical import Aggregate, SamplerNode, Scan
-from repro.engine.executor import scan_indices
+from repro.algebra.logical import Aggregate, Join, SamplerNode, Scan
 from repro.parallel import analyze_plan, build_worker_plan
 from repro.parallel.plan import worker_table_name
 from repro.samplers.distinct import DistinctSpec
@@ -16,10 +14,6 @@ from repro.samplers.uniform import UniformSpec
 
 def sampled(builder, spec):
     return from_node(SamplerNode(builder.node, spec))
-
-
-def analyzed(db, plan, **kwargs):
-    return analyze_plan(plan, db, scan_indices(plan), **kwargs)
 
 
 class TestWorkerTableName:
@@ -31,11 +25,12 @@ class TestWorkerTableName:
 class TestStrategySelection:
     def test_plain_aggregate_round_robins_the_fact_table(self, sales_db):
         plan = scan(sales_db, "sales").groupby("s_item").agg(count("n")).build("q").plan
-        a = analyzed(sales_db, plan)
+        a = analyze_plan(plan, sales_db)
         assert a.ok
         assert a.strategy == "round-robin[sales]"
         assert isinstance(a.aggregate, Aggregate)
         assert a.split is a.aggregate.child
+        assert a.split_address == a.aggregate_address + (0,)
         assert a.partitioned_tables == ("sales",)
 
     def test_star_join_broadcasts_the_dimension(self, sales_db):
@@ -46,7 +41,7 @@ class TestStrategySelection:
             .agg(sum_(col("s_amount"), "total"))
             .build("q")
         )
-        a = analyzed(sales_db, q.plan)
+        a = analyze_plan(q.plan, sales_db)
         assert a.ok and a.strategy == "round-robin[sales]"
         modes = {e.table: e.mode for e in a.scans}
         assert modes == {"sales": "partition-rr", "item": "broadcast"}
@@ -59,7 +54,7 @@ class TestStrategySelection:
             .agg(count("n"))
             .build("q")
         )
-        a = analyzed(sales_db, q.plan, min_partition_rows=1_000)
+        a = analyze_plan(q.plan, sales_db, min_partition_rows=1_000)
         assert a.ok
         assert a.strategy == "hash[join:s_cust=r_cust]"
         by_table = {e.table: e for e in a.scans}
@@ -75,26 +70,32 @@ class TestStrategySelection:
             .agg(count("n"))
             .build("q")
         )
-        a = analyzed(sales_db, q.plan)
+        a = analyze_plan(q.plan, sales_db)
         assert a.ok
         assert a.strategy == "hash[distinct:s_item]"
         (entry,) = a.scans
         assert entry.mode == "partition-hash" and entry.hash_columns == ("s_item",)
-        samplers = [n for n in a.split.walk() if isinstance(n, SamplerNode)]
-        assert a.aligned_sampler_ids == frozenset({id(samplers[0])})
+        # Exactly the sampler's (precursor-relative) address is aligned.
+        from repro.algebra.addressing import walk_with_addresses
+
+        sampler_addresses = [
+            addr for addr, n in walk_with_addresses(a.split) if isinstance(n, SamplerNode)
+        ]
+        assert a.aligned_sampler_addresses == frozenset(sampler_addresses)
 
     def test_no_aggregate_splits_at_the_root(self, sales_db):
         q = sampled(scan(sales_db, "sales"), UniformSpec(0.1, seed=1)).build("q")
-        a = analyzed(sales_db, q.plan)
+        a = analyze_plan(q.plan, sales_db)
         assert a.ok
         assert a.aggregate is None
         assert a.split is q.plan
+        assert a.split_address == ()
 
 
 class TestFallbackReasons:
     def test_small_input_reports_threshold(self, sales_db):
         plan = scan(sales_db, "sales").groupby("s_item").agg(count("n")).build("q").plan
-        a = analyzed(sales_db, plan, min_partition_rows=10**6)
+        a = analyze_plan(plan, sales_db, min_partition_rows=10**6)
         assert not a.ok
         assert "threshold" in a.reason
         assert a.strategy == "serial-fallback"
@@ -107,7 +108,7 @@ class TestFallbackReasons:
             .agg(count("n"))
             .build("q")
         )
-        a = analyzed(sales_db, q.plan)
+        a = analyze_plan(q.plan, sales_db)
         assert not a.ok and "not partition-pure" in a.reason
 
     def test_outer_join_needs_global_view(self, sales_db):
@@ -118,13 +119,41 @@ class TestFallbackReasons:
             .agg(count("n"))
             .build("q")
         )
-        a = analyzed(sales_db, q.plan)
+        a = analyze_plan(q.plan, sales_db)
         assert not a.ok and "left-outer join" in a.reason
 
-    def test_shared_scan_object_disables_lineage(self, sales_db):
-        plan = scan(sales_db, "sales").groupby("s_item").agg(count("n")).build("q").plan
-        a = analyze_plan(plan, sales_db, {})
-        assert not a.ok and "ambiguous" in a.reason
+
+class TestSharedScanObject:
+    """One Scan *object* on both sides of a self-join used to disable
+    lineage (and with it, parallelism) entirely; addressing gives each
+    occurrence its own ordinal instead."""
+
+    def _self_join_plan(self, shared):
+        left = (
+            from_node(shared)
+            .rename(l_item="s_item", l_cust="s_cust", l_amount="s_amount")
+            .node
+        )
+        join = Join(left, shared, ("l_cust",), ("s_cust",))
+        return from_node(join).groupby("l_item").agg(count("n")).build("self_join").plan
+
+    def test_occurrences_get_distinct_ordinals(self):
+        shared = Scan("sales", ("s_item", "s_cust", "s_amount"))
+        plan = self._self_join_plan(shared)
+        ordinals = scan_ordinals(plan)
+        assert sorted(ordinals.values()) == [0, 1]
+        assert len(ordinals) == 2  # two addresses, one object
+
+    def test_self_join_parallelizes(self, sales_db):
+        shared = Scan("sales", ("s_item", "s_cust", "s_amount"))
+        plan = self._self_join_plan(shared)
+        assert sum(1 for n in plan.walk() if n is shared) == 2
+        a = analyze_plan(plan, sales_db, min_partition_rows=1_000)
+        assert a.ok, a.reason
+        # Both occurrences of the base table appear with distinct ordinals.
+        sales_entries = [e for e in a.scans if e.table == "sales"]
+        assert len(sales_entries) == 2
+        assert len({e.scan_index for e in sales_entries}) == 2
 
 
 class TestBuildWorkerPlan:
@@ -136,40 +165,43 @@ class TestBuildWorkerPlan:
             .agg(count("n"))
             .build("q")
         )
-        indices = scan_indices(q.plan)
-        a = analyze_plan(q.plan, sales_db, indices)
-        worker = build_worker_plan(a.split, indices, 0, 4, a.aligned_sampler_ids)
+        a = analyze_plan(q.plan, sales_db)
+        worker = build_worker_plan(
+            a.split, a.split_scan_ordinals, 0, 4, a.aligned_sampler_addresses
+        )
 
         original = list(a.split.walk())
         rebuilt = list(worker.walk())
         assert [type(n) for n in rebuilt] == [type(n) for n in original]
         worker_scans = [n for n in rebuilt if isinstance(n, Scan)]
-        assert sorted(s.table for s in worker_scans) == [
-            worker_table_name(indices[id(s)]) for s in original if isinstance(s, Scan)
-        ]
+        assert sorted(s.table for s in worker_scans) == sorted(
+            worker_table_name(i) for i in a.split_scan_ordinals.values()
+        )
         for ws, os in zip(worker_scans, (n for n in original if isinstance(n, Scan))):
             assert ws.output_columns() == os.output_columns()
 
     def test_stateless_sampler_spec_unchanged(self, sales_db):
         spec = UniformSpec(0.1, seed=1)
         q = sampled(scan(sales_db, "sales"), spec).groupby("s_item").agg(count("n")).build("q")
-        indices = scan_indices(q.plan)
-        a = analyze_plan(q.plan, sales_db, indices)
-        worker = build_worker_plan(a.split, indices, 2, 4, a.aligned_sampler_ids)
+        a = analyze_plan(q.plan, sales_db)
+        worker = build_worker_plan(
+            a.split, a.split_scan_ordinals, 2, 4, a.aligned_sampler_addresses
+        )
         (node,) = [n for n in worker.walk() if isinstance(n, SamplerNode)]
         assert node.spec is spec
 
     def test_distinct_spec_swapped_per_partition(self, sales_db):
         spec = DistinctSpec(("s_item",), delta=8, p=0.05, seed=5)
         q = sampled(scan(sales_db, "sales"), spec).groupby("s_item").agg(count("n")).build("q")
-        indices = scan_indices(q.plan)
-        a = analyze_plan(q.plan, sales_db, indices)
+        a = analyze_plan(q.plan, sales_db)
 
-        aligned = build_worker_plan(a.split, indices, 1, 4, a.aligned_sampler_ids)
+        aligned = build_worker_plan(
+            a.split, a.split_scan_ordinals, 1, 4, a.aligned_sampler_addresses
+        )
         (node,) = [n for n in aligned.walk() if isinstance(n, SamplerNode)]
         assert node.spec.delta == spec.delta      # aligned strata: exact delta
         assert node.spec.seed != spec.seed        # fresh per-partition stream
 
-        unaligned = build_worker_plan(a.split, indices, 1, 4, frozenset())
+        unaligned = build_worker_plan(a.split, a.split_scan_ordinals, 1, 4, frozenset())
         (node,) = [n for n in unaligned.walk() if isinstance(n, SamplerNode)]
         assert node.spec.delta == 4               # ceil(8/4) + ceil(8/4)

@@ -1,9 +1,8 @@
 """Unit tests for statistics derivation through plan operators."""
 
-import numpy as np
 import pytest
 
-from repro.algebra.aggregates import count, sum_
+from repro.algebra.aggregates import count
 from repro.algebra.builder import scan
 from repro.algebra.expressions import col
 from repro.algebra.logical import SamplerNode

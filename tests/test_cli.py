@@ -19,7 +19,10 @@ class TestCommands:
     def test_plan_command(self, capsys):
         assert main(["plan", "q02", "--scale", "0.08"]) == 0
         out = capsys.readouterr().out
-        assert "approximable" in out and "plan:" in out
+        assert "approximable" in out
+        # every node is printed with its stable address and fingerprint
+        assert "plan fingerprint: " in out
+        assert "\n  r " in out and "  r.0" in out
 
     def test_plan_unknown_query(self, capsys):
         assert main(["plan", "q99", "--scale", "0.08"]) == 2

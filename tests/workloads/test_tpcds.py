@@ -1,7 +1,6 @@
 """Tests for the TPC-DS workload: schema fidelity, key integrity, queries."""
 
 import numpy as np
-import pytest
 
 from repro.engine.executor import Executor
 from repro.workloads.tpcds import (
