@@ -6,6 +6,7 @@ Usage::
     python -m repro evaluate --scale 0.3   # run the TPC-DS evaluation
     python -m repro trace                  # regenerate the Figure 2 analysis
     python -m repro speedup --parallelism 4  # partition-parallel speedup report
+    python -m repro chaos --seed 7         # fault-injected run of the workload
 
 The CLI operates on the built-in TPC-DS-style workload; it exists so a
 reader can poke at the system without writing a script.
@@ -83,6 +84,105 @@ def _cmd_evaluate(args) -> int:
           f"{timings['execute_seconds']:.3f}s execute "
           f"(plan cache: {cache['hits']} hits / {cache['misses']} misses / "
           f"{cache['evictions']} evictions)")
+    fault = timings.get("fault_tolerance")
+    if fault:
+        print("fault tolerance: "
+              f"{fault['tasks']} tasks, {fault['retries']} retries, "
+              f"{fault['speculative_wins']}/{fault['speculative_launches']} speculative wins, "
+              f"{fault['failed_tasks']} permanently failed, "
+              f"{fault['degraded_queries']} degraded quer{'y' if fault['degraded_queries'] == 1 else 'ies'}, "
+              f"{fault['serial_reexecutions']} serial re-execution(s)")
+        latency = fault.get("task_latency_s")
+        if latency:
+            print(f"task latency: p50 {latency['p50']:.4f}s, "
+                  f"p95 {latency['p95']:.4f}s, max {latency['max']:.4f}s")
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    import numpy as np
+
+    from repro.engine.executor import Executor
+    from repro.experiments.report import format_table
+    from repro.optimizer.planner import QuickrPlanner
+    from repro.parallel import FaultPlan, ParallelOptions
+    from repro.parallel.tasks import RetryPolicy
+    from repro.workloads.tpcds import generate_tpcds, queries
+
+    db = generate_tpcds(scale=args.scale, seed=args.seed)
+    planner = QuickrPlanner(db)
+    options = ParallelOptions(
+        pool=args.pool,
+        # Oversubscribe deliberately: on few-core machines the pool would
+        # otherwise degenerate to one worker (inline path), and a chaos run
+        # exists to exercise the concurrent scheduler — retries in flight,
+        # stragglers overlapped by speculative duplicates.
+        max_workers=args.parallelism + 1,
+        retry=RetryPolicy(backoff_base=0.02, speculation_min_seconds=args.hang_seconds / 2),
+        task_seed=args.seed,
+    )
+    executor = Executor(db, parallelism=args.parallelism, parallel_options=options)
+    fleet = executor._parallel_executor()
+
+    rows = []
+    mismatches = 0
+    for index, query in enumerate(queries(db)):
+        planned = planner.plan(query).plan
+        # The invariant under test: injected faults never change the
+        # answer. The reference is a fault-free run of the *same* parallel
+        # configuration (distinct-sampled plans are legitimately not
+        # bit-identical to a serial run — the sampler is stream-order
+        # stateful — but every configuration is deterministic with itself).
+        fleet.options.fault_plan = None
+        reference = executor.execute(planned)
+        plan = FaultPlan.random(
+            seed=args.seed * 1_000 + index,
+            num_partitions=args.parallelism,
+            crashes=args.crashes,
+            hangs=args.hangs,
+            corruptions=args.corruptions,
+            hang_seconds=args.hang_seconds,
+        )
+        if args.lose_partition and index % 3 == 0:
+            plan = plan.merged_with(FaultPlan.lose_partition(args.parallelism - 1))
+        fleet.options.fault_plan = plan
+        result = executor.execute(planned)
+        metrics = result.parallel
+
+        if result.degraded:
+            verdict = f"degraded ({result.coverage:.0%} coverage)"
+        elif metrics.strategy == "serial-fallback":
+            verdict = "serial re-execution"
+        else:
+            same = (
+                reference.table.column_names == result.table.column_names
+                and reference.table.num_rows == result.table.num_rows
+                and all(
+                    np.array_equal(reference.table.column(c), result.table.column(c))
+                    for c in reference.table.column_names
+                )
+            )
+            verdict = "identical" if same else "MISMATCH"
+            mismatches += 0 if same else 1
+        rows.append(
+            {
+                "query": query.name,
+                "faults": repr(plan)[len("FaultPlan("):-1] or "-",
+                "retries": metrics.task_retries,
+                "spec": f"{metrics.speculative_wins}/{metrics.speculative_launches}",
+                "outcome": verdict,
+                "wall_s": f"{metrics.wall_clock_seconds:.3f}",
+            }
+        )
+
+    print(format_table(rows, title=f"chaos run (D={args.parallelism}, seed={args.seed})"))
+    print(f"\ncumulative: {fleet.stats.summary()}")
+    if mismatches:
+        print(f"\n{mismatches} quer{'y' if mismatches == 1 else 'ies'} diverged "
+              "from the fault-free reference")
+        return 1
+    print("\nevery recovered query matched its fault-free run bit-for-bit; "
+          "degraded queries returned re-weighted partial answers")
     return 0
 
 
@@ -190,6 +290,25 @@ def build_parser() -> argparse.ArgumentParser:
     speedup.add_argument("--pool", default="auto", choices=["auto", "process", "thread", "inline"])
     speedup.add_argument("--merge", default="rows", choices=["rows", "partial"])
     speedup.set_defaults(func=_cmd_speedup)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the workload under seeded fault injection (crashes, stragglers, corruption)",
+    )
+    chaos.add_argument("--scale", type=float, default=0.3)
+    chaos.add_argument("--seed", type=int, default=7, help="fault placement + task seed")
+    chaos.add_argument("--parallelism", type=int, default=4)
+    chaos.add_argument("--pool", default="thread", choices=["auto", "process", "thread", "inline"])
+    chaos.add_argument("--crashes", type=int, default=1, help="injected crashes per query")
+    chaos.add_argument("--hangs", type=int, default=1, help="injected stragglers per query")
+    chaos.add_argument("--corruptions", type=int, default=0,
+                       help="injected corrupt results per query")
+    chaos.add_argument("--hang-seconds", type=float, default=0.3,
+                       help="how long an injected straggler sleeps")
+    chaos.add_argument("--lose-partition", action="store_true",
+                       help="also permanently lose one partition on every third query "
+                            "(exercises graceful degradation)")
+    chaos.set_defaults(func=_cmd_chaos)
 
     trace = sub.add_parser("trace", help="regenerate the Figure 2 production-trace analysis")
     trace.add_argument("--queries", type=int, default=20_000)

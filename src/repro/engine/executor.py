@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.algebra.addressing import NodeAddress, plan_fingerprint
 from repro.algebra.builder import Query
@@ -39,7 +39,7 @@ from repro.engine.metrics import ClusterConfig, ParallelMetrics, PlanCost
 from repro.engine.physical import OperatorMetrics, PhysicalPlan, PlanCache, compile_plan
 from repro.engine.table import Database, Table
 
-__all__ = ["ExecutionResult", "Executor"]
+__all__ = ["ExecutionResult", "PartialResult", "Executor"]
 
 
 @dataclass
@@ -65,6 +65,40 @@ class ExecutionResult:
     @property
     def answer(self) -> Table:
         return self.table
+
+    @property
+    def degraded(self) -> bool:
+        """True when the answer was computed over a strict subset of the
+        data because partitions were permanently lost (see
+        :class:`PartialResult`)."""
+        return False
+
+
+@dataclass
+class PartialResult(ExecutionResult):
+    """An answer computed over surviving partitions only.
+
+    Returned by the parallel executor when a partition exhausted its retry
+    budget but the plan roots in a uniform or universe sampler: the
+    surviving partitions are themselves a valid sample of the data, so the
+    Horvitz-Thompson weights are re-scaled by ``num_partitions /
+    survivors`` and the estimates stay unbiased with correspondingly
+    widened confidence intervals — instead of failing the query. ``coverage``
+    is the achieved fraction of partitions (and, in expectation, of data)
+    the answer is based on.
+    """
+
+    #: Partitions whose tasks permanently failed.
+    lost_partitions: Tuple[int, ...] = ()
+    #: Fraction of partitions that survived, in (0, 1).
+    coverage: float = 1.0
+    #: Horvitz-Thompson weight multiplier applied to surviving rows
+    #: (``1 / coverage``).
+    reweight_factor: float = 1.0
+
+    @property
+    def degraded(self) -> bool:
+        return True
 
 
 class Executor:
@@ -176,7 +210,10 @@ class Executor:
         )
 
     def run_plan(
-        self, plan: LogicalNode, overrides: Optional[Dict[NodeAddress, Table]] = None
+        self,
+        plan: LogicalNode,
+        overrides: Optional[Dict[NodeAddress, Table]] = None,
+        should_abort: Optional[Callable[[], bool]] = None,
     ) -> Tuple[Table, Dict[NodeAddress, int]]:
         """Run a plan, returning the raw result (lineage intact) and the
         per-address cardinalities.
@@ -186,7 +223,9 @@ class Executor:
         executor uses this to run the merged partition result through the
         serial successor (aggregation and above). Override addresses refer
         to ``plan``'s own structure, so the compiled plan is guaranteed to
-        share it.
+        share it. ``should_abort`` is the cooperative-cancellation poll
+        forwarded to :meth:`PhysicalPlan.execute` (parallel workers use it
+        to stop speculative losers early).
         """
         t0 = perf_counter()
         if overrides:
@@ -196,7 +235,9 @@ class Executor:
         self.compile_seconds += perf_counter() - t0
 
         t0 = perf_counter()
-        table, cardinalities, _ = physical.execute(self.database, overrides=overrides)
+        table, cardinalities, _ = physical.execute(
+            self.database, overrides=overrides, should_abort=should_abort
+        )
         self.execute_seconds += perf_counter() - t0
         return table, cardinalities
 
@@ -215,6 +256,7 @@ class Executor:
             for key, value in serial.plan_cache.stats().items():
                 if key != "capacity":
                     out["plan_cache"][key] += value
+            out["fault_tolerance"] = self._parallel.stats.summary()
         return out
 
     def _parallel_executor(self):

@@ -16,7 +16,14 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-__all__ = ["ClusterConfig", "StageCost", "PlanCost", "ParallelMetrics", "modeled_speedup"]
+__all__ = [
+    "ClusterConfig",
+    "StageCost",
+    "PlanCost",
+    "ParallelMetrics",
+    "FaultToleranceStats",
+    "modeled_speedup",
+]
 
 
 @dataclass(frozen=True)
@@ -195,12 +202,37 @@ class ParallelMetrics:
     serial_wall_clock_seconds: Optional[float] = None
     modeled_speedup: float = 1.0
     worker_seconds: Tuple[float, ...] = ()
+    #: -- fault tolerance (see repro.parallel.tasks) -------------------------
+    #: Partition tasks launched at least once.
+    tasks: int = 0
+    #: Failed attempts that were re-launched (retries with backoff).
+    task_retries: int = 0
+    #: Speculative duplicate attempts launched for stragglers.
+    speculative_launches: int = 0
+    #: Tasks whose winning result came from a speculative duplicate.
+    speculative_wins: int = 0
+    #: Faults the active FaultPlan injected into this run.
+    faults_injected: int = 0
+    #: Partitions that exhausted every attempt.
+    failed_partitions: Tuple[int, ...] = ()
+    #: Sample-aware graceful degradation was applied (PartialResult).
+    degraded: bool = False
+    #: Fraction of partitions whose results made it into the answer.
+    coverage: float = 1.0
 
     @property
     def measured_speedup(self) -> Optional[float]:
         if self.serial_wall_clock_seconds is None or self.wall_clock_seconds <= 0:
             return None
         return self.serial_wall_clock_seconds / self.wall_clock_seconds
+
+    def task_latency_percentiles(self) -> dict:
+        """p50/p95/max of the winning task attempt durations (seconds)."""
+        if not self.worker_seconds:
+            return {}
+        ordered = sorted(self.worker_seconds)
+        pick = lambda q: ordered[min(len(ordered) - 1, int(q * len(ordered)))]  # noqa: E731
+        return {"p50": pick(0.50), "p95": pick(0.95), "max": ordered[-1]}
 
     def summary(self) -> dict:
         out = {
@@ -213,6 +245,75 @@ class ParallelMetrics:
         }
         if self.measured_speedup is not None:
             out["measured_speedup"] = round(self.measured_speedup, 2)
+        if self.task_retries:
+            out["retries"] = self.task_retries
+        if self.speculative_launches:
+            out["speculative"] = f"{self.speculative_wins}/{self.speculative_launches} won"
+        if self.faults_injected:
+            out["faults"] = self.faults_injected
+        if self.degraded:
+            out["degraded"] = True
+            out["coverage"] = round(self.coverage, 3)
+            out["lost_partitions"] = list(self.failed_partitions)
         if self.reason:
             out["note"] = self.reason
+        return out
+
+
+@dataclass
+class FaultToleranceStats:
+    """Cumulative fault-tolerance accounting across queries.
+
+    One instance lives on the parallel executor and accumulates every
+    query's :class:`ParallelMetrics`; ``evaluate`` and ``chaos`` print its
+    summary — the execution-layer counterpart of the paper's cluster
+    telemetry (retries and stragglers are routine in Cosmos, Section 2).
+    """
+
+    queries: int = 0
+    tasks: int = 0
+    retries: int = 0
+    speculative_launches: int = 0
+    speculative_wins: int = 0
+    faults_injected: int = 0
+    failed_tasks: int = 0
+    degraded_queries: int = 0
+    serial_reexecutions: int = 0
+    task_seconds: List[float] = field(default_factory=list)
+
+    def record(self, metrics: "ParallelMetrics") -> None:
+        self.queries += 1
+        self.tasks += metrics.tasks
+        self.retries += metrics.task_retries
+        self.speculative_launches += metrics.speculative_launches
+        self.speculative_wins += metrics.speculative_wins
+        self.faults_injected += metrics.faults_injected
+        self.failed_tasks += len(metrics.failed_partitions)
+        if metrics.degraded:
+            self.degraded_queries += 1
+        self.task_seconds.extend(metrics.worker_seconds)
+
+    def latency_percentiles(self) -> dict:
+        if not self.task_seconds:
+            return {}
+        ordered = sorted(self.task_seconds)
+        pick = lambda q: ordered[min(len(ordered) - 1, int(q * len(ordered)))]  # noqa: E731
+        return {"p50": pick(0.50), "p95": pick(0.95), "max": ordered[-1]}
+
+    def summary(self) -> dict:
+        out = {
+            "queries": self.queries,
+            "tasks": self.tasks,
+            "retries": self.retries,
+            "speculative_launches": self.speculative_launches,
+            "speculative_wins": self.speculative_wins,
+            "failed_tasks": self.failed_tasks,
+            "degraded_queries": self.degraded_queries,
+            "serial_reexecutions": self.serial_reexecutions,
+        }
+        if self.faults_injected:
+            out["faults_injected"] = self.faults_injected
+        latency = self.latency_percentiles()
+        if latency:
+            out["task_latency_s"] = {k: round(v, 4) for k, v in latency.items()}
         return out

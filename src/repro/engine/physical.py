@@ -34,7 +34,7 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -53,7 +53,7 @@ from repro.algebra.logical import (
 )
 from repro.engine import operators
 from repro.engine.table import Database, Table, rowid_column_name
-from repro.errors import PlanError
+from repro.errors import PlanError, TaskCancelled
 
 __all__ = [
     "OperatorMetrics",
@@ -135,14 +135,19 @@ class PhysicalPlan:
         database: Database,
         overrides: Optional[Dict[NodeAddress, Table]] = None,
         record_metrics: bool = False,
+        should_abort: Optional[Callable[[], bool]] = None,
     ) -> Tuple[Table, Dict[NodeAddress, int], Tuple[OperatorMetrics, ...]]:
         """Run the pipeline against ``database``.
 
         ``overrides`` maps a node address to a pre-computed table: that
         operator's subtree is skipped and the table used as its output (the
         parallel executor splices merged partition results in this way).
-        Returns the raw root table (lineage intact), per-address output
-        cardinalities, and per-operator metrics (empty unless requested).
+        ``should_abort`` is polled between operators; when it turns true the
+        run raises :class:`TaskCancelled` — the cooperative-cancellation
+        hook the task scheduler uses to stop speculative losers without
+        waiting out the whole pipeline. Returns the raw root table (lineage
+        intact), per-address output cardinalities, and per-operator metrics
+        (empty unless requested).
         """
         ops = self.ops
         skipped = bytearray(len(ops))
@@ -163,6 +168,10 @@ class PhysicalPlan:
         for op in ops:
             if skipped[op.index]:
                 continue
+            if should_abort is not None and should_abort():
+                raise TaskCancelled(
+                    f"execution aborted before operator {format_address(op.address)}"
+                )
             started = time.perf_counter() if record_metrics else 0.0
             if overrides and op.address in overrides:
                 table = overrides[op.address]

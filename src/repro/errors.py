@@ -38,3 +38,52 @@ class CatalogError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator or query suite was misconfigured."""
+
+
+class ExecutionError(ReproError):
+    """A query failed while executing (as opposed to while planning)."""
+
+
+class TaskError(ExecutionError):
+    """One partition task failed.
+
+    Carries the partition context a raw worker traceback would lose: which
+    partition, which attempt, and a short failure kind (``exception``,
+    ``validation``, ``result-unpicklable``, ``pool-broken``, ``cancelled``).
+    The original exception, when one exists, is attached as ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        partition: int | None = None,
+        attempt: int | None = None,
+        kind: str = "exception",
+    ):
+        context = []
+        if partition is not None:
+            context.append(f"partition {partition}")
+        if attempt is not None:
+            context.append(f"attempt {attempt}")
+        prefix = f"[{', '.join(context)}] " if context else ""
+        super().__init__(f"{prefix}{message}")
+        self.partition = partition
+        self.attempt = attempt
+        self.kind = kind
+
+
+class TaskCancelled(ExecutionError):
+    """A task attempt observed its cancellation flag and aborted early.
+
+    Raised cooperatively (between plan operators) when a speculative
+    duplicate of the same task already won; the scheduler discards the
+    attempt rather than counting it as a failure.
+    """
+
+
+class DegradedResultError(ExecutionError):
+    """A partition was permanently lost and the query could not complete.
+
+    Raised only after every recovery path failed: retries exhausted, the
+    plan does not qualify for sample-aware degradation (no uniform/universe
+    sampler root), and the serial re-execution fallback itself errored."""

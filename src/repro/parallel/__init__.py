@@ -8,14 +8,26 @@ operator. This package supplies the pieces:
 - :mod:`repro.parallel.plan` — precursor/successor split, strategy choice,
   worker plan rewriting;
 - :mod:`repro.parallel.pool` — process/thread/inline worker pools;
+- :mod:`repro.parallel.tasks` — fault-tolerant task scheduling: bounded
+  retries with backoff, straggler speculation, structured failures;
+- :mod:`repro.parallel.faults` — seeded fault injection for chaos testing;
 - :mod:`repro.parallel.merge` — exact row-order merge and mergeable
   partial-aggregate states (plus sketch folds);
 - :mod:`repro.parallel.executor` — the orchestrating
   :class:`ParallelExecutor`, reached from
-  :class:`repro.engine.executor.Executor` via ``parallelism=N``.
+  :class:`repro.engine.executor.Executor` via ``parallelism=N``; lost
+  partitions gracefully degrade sampled queries to
+  :class:`~repro.engine.executor.PartialResult` answers.
 """
 
 from repro.parallel.executor import ParallelExecutor, ParallelOptions
+from repro.parallel.faults import (
+    FAULT_KINDS,
+    Fault,
+    FaultPlan,
+    InjectedFault,
+    corrupt_table,
+)
 from repro.parallel.merge import (
     finalize_partial,
     merge_heavy_hitters,
@@ -26,7 +38,15 @@ from repro.parallel.merge import (
 )
 from repro.parallel.partitioner import HASH, ROUND_ROBIN, Partitioner, co_partitioners
 from repro.parallel.plan import PlanAnalysis, analyze_plan, build_worker_plan
-from repro.parallel.pool import WorkerPool, available_parallelism
+from repro.parallel.pool import WorkerPool, available_parallelism, fork_payload
+from repro.parallel.tasks import (
+    RetryPolicy,
+    TaskOutcome,
+    TaskReport,
+    TaskRuntime,
+    TaskSpec,
+    task_seed,
+)
 
 __all__ = [
     "ParallelExecutor",
@@ -40,10 +60,22 @@ __all__ = [
     "build_worker_plan",
     "WorkerPool",
     "available_parallelism",
+    "fork_payload",
     "merge_rows",
     "partial_aggregate",
     "merge_partials",
     "finalize_partial",
     "merge_heavy_hitters",
     "merge_kmv",
+    "TaskSpec",
+    "RetryPolicy",
+    "TaskOutcome",
+    "TaskReport",
+    "TaskRuntime",
+    "task_seed",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
+    "corrupt_table",
 ]

@@ -8,11 +8,25 @@ reproduces that execution mode in-process:
 1. :func:`repro.parallel.plan.analyze_plan` picks the precursor subtree and
    a partitioning strategy (or explains why the plan must run serially);
 2. each base table behind a precursor scan is partitioned (or broadcast)
-   with its global lineage attached, and a :class:`WorkerPool` runs the
-   rewritten precursor once per partition;
+   with its global lineage attached, and every partition becomes a task of
+   the fault-tolerant :class:`~repro.parallel.tasks.TaskRuntime` — worker
+   failures are retried with exponential backoff, stragglers get
+   speculative duplicates, and results are validated before acceptance
+   (see :mod:`repro.parallel.tasks`; faults can be injected deliberately
+   through a :class:`~repro.parallel.faults.FaultPlan`);
 3. the partition outputs are merged — by exact row order (bit-identical to
    serial) or by partial-aggregate states — and the serial executor runs
    the remainder of the plan over the merged result.
+
+When a partition exhausts its retry budget, the query *degrades* rather
+than fails whenever the sample algebra allows it: for round-robin
+partitioned plans rooted in uniform/universe samplers the surviving
+partitions are themselves a valid sample (Rong et al.), so their
+Horvitz-Thompson weights are re-scaled by ``D / survivors`` and the query
+returns a :class:`~repro.engine.executor.PartialResult` with the achieved
+coverage and correspondingly widened confidence intervals. Exact and
+distinct-sampled plans fall back to one serial re-execution; only if that
+also fails does the query raise :class:`~repro.errors.DegradedResultError`.
 
 Per-operator cardinalities are stitched back together keyed by stable
 structural addresses (worker sums below the split, the serial run above
@@ -20,25 +34,34 @@ it) — addresses survive pickling across process boundaries, where object
 identities would not — so the cluster cost model sees the same plan
 profile a serial run would produce, and
 :class:`~repro.engine.metrics.ParallelMetrics` reports both the modeled
-and, when a serial reference run is requested, the measured speedup.
+and, when a serial reference run is requested, the measured speedup, plus
+the fault-tolerance ledger (retries, speculation, degradation).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.algebra.addressing import NodeAddress
 from repro.algebra.builder import Query
+from repro.algebra.logical import Project, SamplerNode
 from repro.engine.costmodel import cost_plan
-from repro.engine.executor import ExecutionResult, Executor
-from repro.engine.metrics import ClusterConfig, ParallelMetrics, modeled_speedup
-from repro.engine.table import Database, Table, rowid_column_name
-from repro.errors import PlanError
+from repro.engine.executor import ExecutionResult, Executor, PartialResult
+from repro.engine.metrics import (
+    ClusterConfig,
+    FaultToleranceStats,
+    ParallelMetrics,
+    modeled_speedup,
+)
+from repro.engine.table import WEIGHT_COLUMN, Database, Table, rowid_column_name
+from repro.errors import DegradedResultError, PlanError, TaskError
+from repro.parallel.faults import FaultPlan, corrupt_table
 from repro.parallel.merge import (
+    PartialAggregate,
     finalize_partial,
     merge_partials,
     merge_rows,
@@ -53,10 +76,20 @@ from repro.parallel.plan import (
     worker_table_name,
 )
 from repro.parallel.pool import WorkerPool
+from repro.parallel.tasks import RetryPolicy, TaskRuntime, TaskSpec
+from repro.stats.derivation import reweight_surviving_partitions
 
 __all__ = ["ParallelOptions", "ParallelExecutor"]
 
 _MERGE_MODES = ("rows", "partial")
+
+#: Sampler kinds whose surviving partitions remain a valid sample under
+#: round-robin partition loss (weights re-scale; estimates stay unbiased).
+_DEGRADABLE_KINDS = frozenset({"uniform", "universe"})
+
+#: Sampler kinds that neither enable nor forbid degradation (no weights,
+#: no per-value state to lose).
+_NEUTRAL_KINDS = frozenset({"passthrough"})
 
 
 @dataclass
@@ -69,6 +102,12 @@ class ParallelOptions:
     first appearance across partitions). ``measure_serial_baseline`` also
     times a serial reference run so ``ParallelMetrics.measured_speedup`` is
     populated — it doubles the work, so it is off by default.
+
+    ``retry`` configures the fault-tolerant task runtime (attempts,
+    backoff, speculation); ``fault_plan`` injects deliberate faults (chaos
+    testing); ``allow_degraded`` gates sample-aware graceful degradation —
+    when False a permanently lost partition always falls back to serial
+    re-execution, matching BlinkDB-style apriori-sample behavior.
     """
 
     pool: str = "auto"
@@ -76,6 +115,10 @@ class ParallelOptions:
     min_partition_rows: int = DEFAULT_MIN_PARTITION_ROWS
     max_workers: Optional[int] = None
     measure_serial_baseline: bool = False
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    fault_plan: Optional[FaultPlan] = None
+    allow_degraded: bool = True
+    task_seed: int = 0
 
     def __post_init__(self):
         if self.merge not in _MERGE_MODES:
@@ -101,6 +144,9 @@ class ParallelExecutor:
         # One long-lived serial executor for upper-plan runs and fallbacks:
         # its plan cache warms across repeated queries.
         self.serial_executor = Executor(database, self.config)
+        #: Cumulative fault-tolerance ledger across every query this
+        #: executor ran (printed by ``evaluate`` and ``chaos``).
+        self.stats = FaultToleranceStats()
 
     def execute(self, query) -> ExecutionResult:
         plan = query.plan if isinstance(query, Query) else query
@@ -158,26 +204,131 @@ class ParallelExecutor:
         compute_ci = getattr(aggregate, "compute_ci", False)
         universe_rescale = getattr(aggregate, "universe_rescale", None)
         universe_variance = getattr(aggregate, "universe_variance", None)
+        fault_plan = self.options.fault_plan
+        # Rows-mode payloads must carry the logical output columns *and* the
+        # lineage columns that survive the split — merge_rows needs both to
+        # restore the serial row order. A corrupt result that silently
+        # dropped one has to be rejected here (and retried), not crash the
+        # merge with a cross-partition schema mismatch.
+        expected_columns = frozenset(split.output_columns()) | _surviving_lineage(
+            split, analysis.split_scan_ordinals
+        )
 
-        def run_partition(pid: int):
+        runtime = TaskRuntime(
+            WorkerPool(self.options.pool, self.options.max_workers),
+            policy=self.options.retry,
+            base_seed=self.options.task_seed,
+        )
+
+        def run_partition(task: TaskSpec):
             t0 = perf_counter()
+            if fault_plan is not None:
+                fault_plan.before_work(task.partition, task.attempt)
             worker_db = Database()
             for parts in partitions.values():
-                worker_db.register(parts[pid])
-            table, cards = Executor(worker_db, config).run_plan(worker_plans[pid])
+                worker_db.register(parts[task.partition])
+            key = (task.partition, task.attempt)
+            table, cards = Executor(worker_db, config).run_plan(
+                worker_plans[task.partition],
+                should_abort=lambda: key in runtime.abandoned,
+            )
             if do_partial:
                 payload = partial_aggregate(
                     table, aggregate, compute_ci=compute_ci, universe_variance=universe_variance
                 )
             else:
                 payload = table
-            return perf_counter() - t0, cards, payload
+            result = (perf_counter() - t0, cards, payload)
+            if fault_plan is not None:
+                result = fault_plan.after_work(
+                    task.partition, task.attempt, result, corrupter=_corrupt_result
+                )
+            return result
 
-        pool = WorkerPool(self.options.pool, self.options.max_workers)
-        results = pool.map(run_partition, range(degree))
-        worker_seconds = tuple(r[0] for r in results)
-        card_maps = [r[1] for r in results]
-        payloads = [r[2] for r in results]
+        def validate(result, task: TaskSpec) -> None:
+            if not (isinstance(result, tuple) and len(result) == 3):
+                raise TaskError(
+                    f"worker returned {type(result).__name__}, expected "
+                    "(seconds, cardinalities, payload)",
+                    partition=task.partition,
+                    attempt=task.attempt,
+                    kind="validation",
+                )
+            _, cards, payload = result
+            if not isinstance(cards, dict):
+                raise TaskError(
+                    "worker cardinality map is corrupt",
+                    partition=task.partition,
+                    attempt=task.attempt,
+                    kind="validation",
+                )
+            if do_partial:
+                if not isinstance(payload, PartialAggregate):
+                    raise TaskError(
+                        f"expected a PartialAggregate, got {type(payload).__name__}",
+                        partition=task.partition,
+                        attempt=task.attempt,
+                        kind="validation",
+                    )
+                return
+            if not isinstance(payload, Table):
+                raise TaskError(
+                    f"expected a Table, got {type(payload).__name__}",
+                    partition=task.partition,
+                    attempt=task.attempt,
+                    kind="validation",
+                )
+            missing = expected_columns - set(payload.column_names)
+            if missing:
+                raise TaskError(
+                    f"partition output is missing columns {sorted(missing)}",
+                    partition=task.partition,
+                    attempt=task.attempt,
+                    kind="validation",
+                )
+            if payload.has_weights() and not np.isfinite(payload.weights()).all():
+                raise TaskError(
+                    "partition output carries non-finite sample weights",
+                    partition=task.partition,
+                    attempt=task.attempt,
+                    kind="validation",
+                )
+
+        report = runtime.run(run_partition, degree, validate=validate)
+        lost = report.failed_partitions
+
+        if lost and not self._degradable(analysis, merge_mode):
+            reason = (
+                f"partition(s) {list(lost)} permanently lost after "
+                f"{self.options.retry.max_attempts} attempt(s); "
+                + self._why_not_degradable(analysis, merge_mode)
+                + " — re-executing serially"
+            )
+            self.stats.serial_reexecutions += 1
+            try:
+                result = self._serial_fallback(plan, reason, start, record=False)
+            except Exception as exc:
+                raise DegradedResultError(
+                    f"query failed: {reason}, and the serial re-execution "
+                    f"also failed ({type(exc).__name__}: {exc})"
+                ) from exc
+            self._fold_report(result.parallel, report, fault_plan)
+            self.stats.record(result.parallel)
+            return result
+
+        survivors = [
+            (pid, payload)
+            for pid, payload in enumerate(report.payloads)
+            if payload is not None
+        ]
+        if not survivors:
+            raise DegradedResultError(
+                f"every partition of the parallel run failed "
+                f"(first error: {report.errors[0] if report.errors else 'unknown'})"
+            )
+        worker_seconds = report.latencies
+        card_maps = [payload[1] for _, payload in survivors]
+        payloads = [payload[2] for _, payload in survivors]
 
         # Precursor cardinalities: worker plans mirror the split subtree
         # node-for-node, so worker addresses are precursor-relative and sum
@@ -188,6 +339,7 @@ class ParallelExecutor:
                 absolute = split_address + rel_address
                 cardinalities[absolute] = cardinalities.get(absolute, 0) + count
 
+        reweight_factor = 1.0
         if do_partial:
             merged_state = merge_partials(payloads)
             finalized = finalize_partial(
@@ -199,7 +351,16 @@ class ParallelExecutor:
             )
             overrides = {analysis.aggregate_address: finalized}
         else:
-            overrides = {split_address: merge_rows(payloads)}
+            merged = merge_rows(payloads)
+            if lost:
+                # Sample-aware degradation: surviving partitions are a
+                # valid sample; re-weight and let the variance algebra
+                # widen the CIs downstream.
+                reweighted, reweight_factor = reweight_surviving_partitions(
+                    merged.weights(), degree, len(lost)
+                )
+                merged = merged.with_columns({WEIGHT_COLUMN: reweighted})
+            overrides = {split_address: merged}
 
         table, upper_cards = self.serial_executor.run_plan(plan, overrides)
         cardinalities.update(upper_cards)
@@ -212,17 +373,38 @@ class ParallelExecutor:
             self.serial_executor.execute(plan)
             serial_seconds = perf_counter() - t0
 
+        coverage = (degree - len(lost)) / degree
         metrics = ParallelMetrics(
             parallelism=degree,
             strategy=analysis.strategy,
-            pool_mode=pool.resolve_mode(),
+            pool_mode=runtime.pool.resolve_mode(),
             merge_mode=merge_mode,
             partitioned_tables=analysis.partitioned_tables,
             wall_clock_seconds=elapsed,
             serial_wall_clock_seconds=serial_seconds,
             modeled_speedup=modeled_speedup(cost, degree, config),
             worker_seconds=worker_seconds,
+            tasks=degree,
+            task_retries=report.total_retries,
+            speculative_launches=report.speculative_launches,
+            speculative_wins=report.speculative_wins,
+            faults_injected=fault_plan.num_faults if fault_plan is not None else 0,
+            failed_partitions=lost,
+            degraded=bool(lost),
+            coverage=coverage,
         )
+        self.stats.record(metrics)
+        if lost:
+            return PartialResult(
+                table=table.drop_lineage(),
+                cost=cost,
+                cardinalities=cardinalities,
+                wall_clock_seconds=elapsed,
+                parallel=metrics,
+                lost_partitions=lost,
+                coverage=coverage,
+                reweight_factor=reweight_factor,
+            )
         return ExecutionResult(
             table=table.drop_lineage(),
             cost=cost,
@@ -231,8 +413,72 @@ class ParallelExecutor:
             parallel=metrics,
         )
 
-    def _serial_fallback(self, plan, reason: str, start: float) -> ExecutionResult:
-        """Run serially, reporting why parallel execution was declined."""
+    # -- degradation rules ----------------------------------------------------
+    @staticmethod
+    def _sampler_kinds(analysis) -> frozenset:
+        return frozenset(
+            node.spec.kind
+            for node in analysis.split.walk()
+            if isinstance(node, SamplerNode)
+        )
+
+    def _degradable(self, analysis, merge_mode: str) -> bool:
+        """Whether a permanently lost partition can be absorbed by
+        re-weighting the survivors.
+
+        Requires *all* of: degradation enabled; row merge (partial states
+        fold weights in ways a scalar factor cannot undo); a round-robin
+        strategy (hash strategies lose a deterministic key range — the
+        survivors are a biased subset); and a plan rooted in uniform or
+        universe samplers only (distinct samplers guarantee per-stratum
+        minima the lost partition may have held; exact plans have no
+        weights to re-scale).
+        """
+        if not self.options.allow_degraded or merge_mode != "rows":
+            return False
+        if not analysis.strategy.startswith("round-robin"):
+            return False
+        kinds = self._sampler_kinds(analysis)
+        return bool(kinds & _DEGRADABLE_KINDS) and kinds <= (_DEGRADABLE_KINDS | _NEUTRAL_KINDS)
+
+    def _why_not_degradable(self, analysis, merge_mode: str) -> str:
+        if not self.options.allow_degraded:
+            return "degradation disabled"
+        if merge_mode != "rows":
+            return "partial-aggregate states cannot be re-weighted after merge"
+        if not analysis.strategy.startswith("round-robin"):
+            return (
+                f"strategy {analysis.strategy} loses a deterministic key range, "
+                "not a random subset"
+            )
+        kinds = self._sampler_kinds(analysis)
+        if not kinds & _DEGRADABLE_KINDS:
+            return "plan has no uniform/universe sampler (exact answers cannot drop data)"
+        return (
+            f"sampler kinds {sorted(kinds - _DEGRADABLE_KINDS - _NEUTRAL_KINDS)} "
+            "pin per-stratum guarantees to specific partitions"
+        )
+
+    def _fold_report(self, metrics: Optional[ParallelMetrics], report, fault_plan) -> None:
+        """Attach the task report of a failed parallel phase to the metrics
+        of its serial re-execution."""
+        if metrics is None:
+            return
+        metrics.tasks = len(report.outcomes)
+        metrics.task_retries = report.total_retries
+        metrics.speculative_launches = report.speculative_launches
+        metrics.speculative_wins = report.speculative_wins
+        metrics.faults_injected = fault_plan.num_faults if fault_plan is not None else 0
+        metrics.failed_partitions = report.failed_partitions
+
+    def _serial_fallback(
+        self, plan, reason: str, start: float, record: bool = True
+    ) -> ExecutionResult:
+        """Run serially, reporting why parallel execution was declined.
+
+        ``record=False`` defers the cumulative-stats entry to the caller
+        (the re-execution path folds the failed parallel phase's task
+        report into the metrics first)."""
         result = self.serial_executor.execute(plan)
         elapsed = perf_counter() - start
         result.wall_clock_seconds = elapsed
@@ -244,4 +490,35 @@ class ParallelExecutor:
             reason=reason,
             wall_clock_seconds=elapsed,
         )
+        if record:
+            self.stats.record(result.parallel)
         return result
+
+
+def _surviving_lineage(split, split_scan_ordinals: Dict[NodeAddress, int]) -> frozenset:
+    """Lineage columns a correct worker payload must carry.
+
+    A scan's lineage column flows up with its rows until a :class:`Project`
+    rebuilds the schema (no implicit pass-through), so it survives the split
+    iff no Project sits on the path from the split root to the scan.
+    ``split_scan_ordinals`` is keyed by split-relative child-index paths.
+    """
+    surviving = set()
+    for address, ordinal in split_scan_ordinals.items():
+        node = split
+        dropped = isinstance(node, Project)
+        for step in address:
+            node = node.children[step]
+            dropped = dropped or isinstance(node, Project)
+        if not dropped:
+            surviving.add(rowid_column_name(ordinal))
+    return frozenset(surviving)
+
+
+def _corrupt_result(result):
+    """Corrupter for injected ``corrupt`` faults: damage the payload member
+    of the worker's (seconds, cardinalities, payload) result."""
+    seconds, cards, payload = result
+    if isinstance(payload, Table):
+        return (seconds, cards, corrupt_table(payload))
+    return (seconds, cards, None)  # partial state: replaced by junk

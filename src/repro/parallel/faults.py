@@ -1,0 +1,227 @@
+"""Seeded fault injection for the parallel execution layer.
+
+A :class:`FaultPlan` decides, per ``(partition, attempt)`` pair, whether a
+task execution should misbehave and how:
+
+* ``crash``   — raise before doing any work (a task that dies);
+* ``hang``    — sleep ``hang_seconds`` before working (a straggler; in a
+  pool with spare capacity the scheduler's speculative duplicate wins);
+* ``corrupt`` — complete, but return a payload damaged by the caller's
+  corrupter (detected by result validation, charged as a failed attempt);
+* ``pickle``  — complete, but return a payload that dies mid-pickle on its
+  way back through the process pool's result pipe (in thread/inline modes
+  the wrapper itself reaches validation and is rejected there).
+
+Plans are deterministic: :meth:`FaultPlan.random` places faults with a
+seeded generator, so a chaos run is exactly reproducible from its seed —
+which is what lets the chaos suite assert that a crashed-and-retried query
+is *bit-identical* to its fault-free run. :meth:`FaultPlan.lose_partition`
+makes every attempt of one partition crash, simulating permanent partition
+loss (the graceful-degradation trigger).
+
+Used by ``tests/parallel/test_faults.py``, ``benchmarks/bench_chaos.py``
+and the ``chaos`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import PlanError
+
+__all__ = ["FAULT_KINDS", "Fault", "InjectedFault", "UnpicklableResult", "FaultPlan", "corrupt_table"]
+
+FAULT_KINDS = ("crash", "hang", "corrupt", "pickle")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected misbehavior, addressed to a specific task execution."""
+
+    partition: int
+    attempt: int
+    kind: str
+    #: Hang duration (``hang`` faults only).
+    seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise PlanError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+
+
+class InjectedFault(RuntimeError):
+    """The exception a ``crash`` fault raises inside a worker.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: injected crashes
+    model arbitrary infrastructure failures, and the task runtime must wrap
+    them into structured :class:`~repro.errors.TaskError`\\ s like any other
+    foreign exception.
+    """
+
+
+class UnpicklableResult:
+    """A result wrapper that dies mid-pickle.
+
+    Returned by ``pickle`` faults: in process mode the worker's result
+    serialization raises, surfacing as a failed attempt; in thread/inline
+    modes the wrapper reaches the parent intact and is rejected by result
+    validation instead.
+    """
+
+    def __init__(self, payload):
+        self.payload = payload
+
+    def __reduce__(self):
+        raise pickle.PicklingError("injected fault: result died mid-pickle")
+
+
+class FaultPlan:
+    """A deterministic schedule of task-level faults.
+
+    ``faults`` may target the same partition on several attempts; lookups
+    are by exact ``(partition, attempt)`` pair. Partitions named in
+    ``lost_partitions`` crash on *every* attempt — permanent loss.
+    """
+
+    def __init__(
+        self,
+        faults: Sequence[Fault] = (),
+        lost_partitions: Sequence[int] = (),
+        hang_seconds: float = 0.5,
+    ):
+        self.hang_seconds = float(hang_seconds)
+        self.lost_partitions = frozenset(int(p) for p in lost_partitions)
+        self._by_target: Dict[Tuple[int, int], Fault] = {}
+        for fault in faults:
+            key = (fault.partition, fault.attempt)
+            if key in self._by_target:
+                raise PlanError(f"duplicate fault for partition {key[0]} attempt {key[1]}")
+            self._by_target[key] = fault
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        num_partitions: int,
+        crashes: int = 1,
+        hangs: int = 1,
+        corruptions: int = 0,
+        pickle_bombs: int = 0,
+        hang_seconds: float = 0.5,
+        attempts: int = 1,
+    ) -> "FaultPlan":
+        """Place faults on distinct first-``attempts`` executions, seeded.
+
+        Targets are drawn without replacement over the
+        ``num_partitions * attempts`` grid (default: first attempts only, so
+        a default retry budget always recovers). Raises if asked for more
+        faults than the grid holds.
+        """
+        total = crashes + hangs + corruptions + pickle_bombs
+        slots = num_partitions * max(1, attempts)
+        if total > slots:
+            raise PlanError(
+                f"cannot place {total} faults on {slots} (partition, attempt) slots"
+            )
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(slots, size=total, replace=False)
+        kinds = ["crash"] * crashes + ["hang"] * hangs + ["corrupt"] * corruptions + [
+            "pickle"
+        ] * pickle_bombs
+        faults = [
+            Fault(
+                partition=int(slot) % num_partitions,
+                attempt=int(slot) // num_partitions,
+                kind=kind,
+                seconds=hang_seconds if kind == "hang" else 0.0,
+            )
+            for slot, kind in zip(chosen, kinds)
+        ]
+        return cls(faults, hang_seconds=hang_seconds)
+
+    @classmethod
+    def lose_partition(cls, partition: int, hang_seconds: float = 0.5) -> "FaultPlan":
+        """A plan in which one partition fails every attempt it is given."""
+        return cls((), lost_partitions=(partition,), hang_seconds=hang_seconds)
+
+    def merged_with(self, other: "FaultPlan") -> "FaultPlan":
+        """Union of two plans (duplicate targets raise)."""
+        return FaultPlan(
+            list(self._by_target.values()) + list(other._by_target.values()),
+            lost_partitions=self.lost_partitions | other.lost_partitions,
+            hang_seconds=max(self.hang_seconds, other.hang_seconds),
+        )
+
+    # -- lookup / injection ---------------------------------------------------
+    @property
+    def faults(self) -> Tuple[Fault, ...]:
+        return tuple(self._by_target.values())
+
+    @property
+    def num_faults(self) -> int:
+        return len(self._by_target) + len(self.lost_partitions)
+
+    def fault_for(self, partition: int, attempt: int) -> Optional[Fault]:
+        if partition in self.lost_partitions:
+            return Fault(partition=partition, attempt=attempt, kind="crash")
+        return self._by_target.get((partition, attempt))
+
+    def before_work(self, partition: int, attempt: int) -> None:
+        """Apply pre-work faults: ``crash`` raises, ``hang`` straggles."""
+        fault = self.fault_for(partition, attempt)
+        if fault is None:
+            return
+        if fault.kind == "crash":
+            raise InjectedFault(
+                f"injected crash (partition {partition}, attempt {attempt})"
+            )
+        if fault.kind == "hang":
+            time.sleep(fault.seconds or self.hang_seconds)
+
+    def after_work(
+        self,
+        partition: int,
+        attempt: int,
+        payload,
+        corrupter: Optional[Callable] = None,
+    ):
+        """Apply post-work faults: damage or booby-trap the payload."""
+        fault = self.fault_for(partition, attempt)
+        if fault is None:
+            return payload
+        if fault.kind == "corrupt" and corrupter is not None:
+            return corrupter(payload)
+        if fault.kind == "pickle":
+            return UnpicklableResult(payload)
+        return payload
+
+    def summary(self) -> dict:
+        counts: Dict[str, int] = {}
+        for fault in self._by_target.values():
+            counts[fault.kind] = counts.get(fault.kind, 0) + 1
+        if self.lost_partitions:
+            counts["lost-partition"] = len(self.lost_partitions)
+        return counts
+
+    def __repr__(self):
+        parts = [f"{k}={v}" for k, v in sorted(self.summary().items())]
+        return f"FaultPlan({', '.join(parts)})"
+
+
+def corrupt_table(table):
+    """Default corruption for Table payloads: poison the weight column with
+    NaN when one exists, else drop the last column — both are caught by the
+    parallel executor's structural result validation."""
+    from repro.engine.table import WEIGHT_COLUMN
+
+    if table.has_weights():
+        bad = np.full(table.num_rows, np.nan)
+        return table.with_columns({WEIGHT_COLUMN: bad})
+    names = table.column_names
+    return table.drop_columns([names[-1]]) if names else table

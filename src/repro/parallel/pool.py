@@ -14,25 +14,75 @@ Three interchangeable backends behind one ``map``:
   the degenerate single-worker case.
 
 ``auto`` picks ``process`` when the platform supports fork, else ``thread``.
+
+The fork-published global is a process-wide singleton, so process-mode use
+is serialized behind :data:`_PAYLOAD_LOCK`: a second concurrent (or
+re-entrant) process-mode run raises a clear :class:`PlanError` instead of
+silently corrupting the other run's payload. The task scheduler
+(:mod:`repro.parallel.tasks`) shares the same guard through
+:func:`fork_payload`.
+
+Worker exceptions never escape raw: ``map`` wraps them in
+:class:`~repro.errors.TaskError` carrying the failing item's index, with
+the original exception chained as ``__cause__``.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
 from typing import Any, Callable, List, Optional, Sequence
 
-from repro.errors import PlanError
+from repro.errors import PlanError, ReproError, TaskError
 
-__all__ = ["WorkerPool", "available_parallelism"]
+__all__ = ["WorkerPool", "available_parallelism", "fork_payload"]
 
 #: Fork-inherited payload for process workers: (work function, items).
+#: ``items`` is None when callers ship the argument over the pipe instead
+#: (the task scheduler's mode — arguments are small TaskSpecs, the work
+#: function still travels by fork image).
 _PAYLOAD: Optional[tuple] = None
+
+#: Serializes process-mode use of the fork payload. Held for the lifetime
+#: of the pool, not just the publish, because forked children may be
+#: created lazily on first submit.
+_PAYLOAD_LOCK = threading.Lock()
 
 
 def _run_index(index: int):
     fn, items = _PAYLOAD
     return fn(items[index])
+
+
+def _run_argument(argument):
+    fn, _ = _PAYLOAD
+    return fn(argument)
+
+
+@contextmanager
+def fork_payload(fn: Callable, items: Optional[Sequence] = None):
+    """Publish the fork-inherited payload for one process-pool lifetime.
+
+    Raises :class:`PlanError` if another process-mode run (a concurrent
+    ``map`` from another thread, or a nested one from inside a worker
+    callback) already holds the payload — the fork hand-off is a process
+    singleton and cannot serve two pools at once.
+    """
+    if not _PAYLOAD_LOCK.acquire(blocking=False):
+        raise PlanError(
+            "re-entrant process-mode execution: the fork payload is already "
+            "in use by another process-pool run in this process; use "
+            "pool mode 'thread' or 'inline' for nested/concurrent maps"
+        )
+    global _PAYLOAD
+    _PAYLOAD = (fn, items)
+    try:
+        yield
+    finally:
+        _PAYLOAD = None
+        _PAYLOAD_LOCK.release()
 
 
 def available_parallelism() -> int:
@@ -67,28 +117,59 @@ class WorkerPool:
             return self.mode
         return "process" if _fork_available() else "thread"
 
+    def workers_for(self, num_items: int) -> int:
+        """Worker count for a run over ``num_items`` inputs."""
+        return max(1, min(self.max_workers or available_parallelism(), num_items))
+
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
-        """Apply ``fn`` to every item, returning results in item order."""
+        """Apply ``fn`` to every item, returning results in item order.
+
+        Worker exceptions surface as :class:`TaskError` (item index attached,
+        original exception chained); library errors raised by ``fn`` itself
+        pass through unchanged.
+        """
         items = list(items)
         if not items:
             return []
         mode = self.resolve_mode()
-        workers = min(self.max_workers or available_parallelism(), len(items))
-        if mode == "inline" or (mode == "thread" and workers == 1):
-            return [fn(item) for item in items]
+        workers = self.workers_for(len(items))
+        # A one-worker pool cannot overlap anything: run inline and save the
+        # fork/thread overhead (the process path previously still forked,
+        # which on 1-core CI made D-way runs strictly slower than serial).
+        if mode == "inline" or workers == 1:
+            return [self._guarded(fn, item, index) for index, item in enumerate(items)]
         if mode == "process":
             if not _fork_available():
                 raise PlanError("process pool requires the fork start method; use thread/inline")
             import multiprocessing as mp
 
-            global _PAYLOAD
-            previous = _PAYLOAD
-            _PAYLOAD = (fn, items)
-            try:
+            with fork_payload(fn, items):
                 ctx = mp.get_context("fork")
                 with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-                    return list(pool.map(_run_index, range(len(items))))
-            finally:
-                _PAYLOAD = previous
+                    futures = [pool.submit(_run_index, i) for i in range(len(items))]
+                    return [self._harvest(f, i) for i, f in enumerate(futures)]
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items))
+            futures = [pool.submit(fn, item) for item in items]
+            return [self._harvest(f, i) for i, f in enumerate(futures)]
+
+    @staticmethod
+    def _guarded(fn: Callable, item, index: int):
+        try:
+            return fn(item)
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise TaskError(
+                f"worker raised {type(exc).__name__}: {exc}", partition=index
+            ) from exc
+
+    @staticmethod
+    def _harvest(future, index: int):
+        try:
+            return future.result()
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise TaskError(
+                f"worker raised {type(exc).__name__}: {exc}", partition=index
+            ) from exc

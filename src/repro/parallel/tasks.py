@@ -1,0 +1,492 @@
+"""Fault-tolerant task scheduling over the worker pools.
+
+Each partition of a parallel run becomes a :class:`TaskSpec` — id, attempt
+counter, deterministic seed and a straggler deadline — executed through the
+:class:`TaskRuntime`, which layers the failure handling a Cosmos-style
+cluster scheduler would provide (the paper's samplers are single-pass and
+partitionable *precisely so that* tasks can be retried and speculated
+independently, Section 4.1):
+
+* **structured failures** — a worker exception becomes a
+  :class:`~repro.errors.TaskError` with partition/attempt context instead
+  of a raw traceback; results are optionally validated, so corrupt payloads
+  are failures too;
+* **bounded retries with exponential backoff** — a failed attempt is
+  re-launched after ``base * factor^attempt`` seconds (deterministically
+  jittered by the task seed), up to ``max_attempts``. Because sampler
+  decisions are counter-based on row lineage, a retried attempt is
+  bit-identical to the attempt it replaces;
+* **straggler speculation** — once enough attempts have completed, a task
+  running longer than ``speculation_multiplier *`` the median attempt
+  duration gets a speculative duplicate; the first attempt to finish wins,
+  and losers are cancelled (unstarted ones immediately; running ones are
+  flagged in :attr:`TaskRuntime.abandoned` so cooperative workers abort at
+  the next operator boundary, and their late results are discarded);
+* **pool-failure recovery** — a broken process pool (a worker died
+  mid-result) is rebuilt and its in-flight attempts are charged one failed
+  attempt each, not the whole query.
+
+Tasks that exhaust every attempt are reported as failed in the
+:class:`TaskReport`, never raised from here: the caller decides whether the
+query can gracefully degrade (see :mod:`repro.parallel.executor`).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import PlanError, TaskCancelled, TaskError
+from repro.parallel.pool import WorkerPool, fork_payload, _fork_available, _run_argument
+
+__all__ = ["TaskSpec", "RetryPolicy", "TaskOutcome", "TaskReport", "TaskRuntime", "task_seed"]
+
+#: Multiplier/offsets of the deterministic per-attempt seed mix (splitmix-ish
+#: odd constants; any fixed values work — determinism is the point).
+_SEED_MIX = (0x9E3779B97F4A7C15, 0xBF58476D1CE4E5B9, 0x94D049BB133111EB)
+
+
+def task_seed(base_seed: int, partition: int, attempt: int) -> int:
+    """Deterministic 63-bit seed for one (partition, attempt) execution."""
+    mixed = (base_seed * _SEED_MIX[0] + partition * _SEED_MIX[1] + attempt * _SEED_MIX[2]) & (
+        2**64 - 1
+    )
+    mixed ^= mixed >> 31
+    return mixed & (2**63 - 1)
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One attempt of one partition task, as shipped to a worker.
+
+    Picklable and tiny: in process mode the work function travels by fork
+    image while the spec crosses the pipe, so retries and speculative
+    attempts can be launched against an already-running pool.
+    """
+
+    #: Partition id — the task's identity across attempts.
+    partition: int
+    #: 0-based attempt counter (retries and speculative duplicates increment).
+    attempt: int
+    #: Deterministic seed for this execution (see :func:`task_seed`).
+    seed: int
+    #: Straggler budget in seconds granted at launch (None before the
+    #: scheduler has a latency estimate). Advisory: exceeding it triggers a
+    #: speculative duplicate, not a kill.
+    deadline: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry / backoff / speculation knobs of the task runtime."""
+
+    #: Maximum executions of one task via the retry path (>= 1).
+    max_attempts: int = 3
+    #: First retry waits this long (seconds)...
+    backoff_base: float = 0.05
+    #: ...growing by this factor per subsequent retry...
+    backoff_factor: float = 2.0
+    #: ...capped here.
+    backoff_max: float = 2.0
+    #: Launch speculative duplicates for stragglers.
+    speculate: bool = True
+    #: A task is a straggler when its running attempt exceeds
+    #: ``speculation_multiplier * median completed-attempt duration``.
+    speculation_multiplier: float = 3.0
+    #: ...but never before this many seconds (guards tiny-task noise).
+    speculation_min_seconds: float = 0.25
+    #: Speculative duplicates per task (on top of retry attempts).
+    max_speculative: int = 1
+    #: Completed attempts needed before the median is trusted.
+    speculation_quorum: int = 2
+    #: Scheduler poll interval (seconds).
+    poll_interval: float = 0.01
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise PlanError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_factor < 1.0:
+            raise PlanError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+
+    def backoff_seconds(self, failures: int, seed: int) -> float:
+        """Deterministically jittered exponential backoff before retry
+        number ``failures`` (1-based)."""
+        raw = self.backoff_base * self.backoff_factor ** max(0, failures - 1)
+        capped = min(self.backoff_max, raw)
+        jitter = 0.75 + 0.5 * ((seed >> 7) % 1024) / 1024.0  # [0.75, 1.25)
+        return capped * jitter
+
+
+@dataclass
+class TaskOutcome:
+    """Everything that happened to one partition task."""
+
+    partition: int
+    payload: Any = None
+    succeeded: bool = False
+    #: Total executions launched (initial + retries + speculative).
+    attempts: int = 0
+    #: Failed executions that triggered a re-launch.
+    retries: int = 0
+    #: Speculative duplicates launched.
+    speculative: int = 0
+    #: Whether a speculative duplicate (not the original lineage of
+    #: retries) produced the winning result.
+    won_by_speculation: bool = False
+    #: Duration of the winning attempt (seconds); None if the task failed.
+    seconds: Optional[float] = None
+    errors: List[TaskError] = field(default_factory=list)
+
+
+@dataclass
+class TaskReport:
+    """Aggregate result of one :meth:`TaskRuntime.run`."""
+
+    outcomes: List[TaskOutcome]
+
+    @property
+    def payloads(self) -> List[Any]:
+        """Per-partition payloads (None where the task permanently failed)."""
+        return [o.payload if o.succeeded else None for o in self.outcomes]
+
+    @property
+    def failed_partitions(self) -> Tuple[int, ...]:
+        return tuple(o.partition for o in self.outcomes if not o.succeeded)
+
+    @property
+    def all_succeeded(self) -> bool:
+        return not self.failed_partitions
+
+    @property
+    def total_retries(self) -> int:
+        return sum(o.retries for o in self.outcomes)
+
+    @property
+    def speculative_launches(self) -> int:
+        return sum(o.speculative for o in self.outcomes)
+
+    @property
+    def speculative_wins(self) -> int:
+        return sum(1 for o in self.outcomes if o.won_by_speculation)
+
+    @property
+    def latencies(self) -> Tuple[float, ...]:
+        """Winning-attempt durations of the successful tasks, by partition."""
+        return tuple(o.seconds for o in self.outcomes if o.seconds is not None)
+
+    @property
+    def errors(self) -> List[TaskError]:
+        return [e for o in self.outcomes for e in o.errors]
+
+
+@dataclass
+class _Attempt:
+    """Parent-side bookkeeping of one in-flight execution."""
+
+    spec: TaskSpec
+    future: Any
+    started: float
+    speculative: bool
+
+
+class TaskRuntime:
+    """Runs partition tasks over a :class:`WorkerPool` with fault handling.
+
+    ``validate(payload, spec)`` — optional; raise (anything) to reject a
+    result, turning e.g. corrupt rows into a retryable failure.
+
+    :attr:`abandoned` is the live set of ``(partition, attempt)`` pairs
+    whose results are no longer wanted. It is shared by reference with
+    thread/inline workers, so a work function may poll it (directly or via
+    a ``should_abort`` callback into the physical executor) to stop wasting
+    CPU; process workers hold a fork-time copy and simply run to completion,
+    their results dropped on arrival.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        policy: Optional[RetryPolicy] = None,
+        base_seed: int = 0,
+    ):
+        self.pool = pool
+        self.policy = policy or RetryPolicy()
+        self.base_seed = int(base_seed)
+        self.abandoned: Set[Tuple[int, int]] = set()
+
+    # -- public entry ---------------------------------------------------------
+    def run(
+        self,
+        fn: Callable[[TaskSpec], Any],
+        num_tasks: int,
+        validate: Optional[Callable[[Any, TaskSpec], None]] = None,
+    ) -> TaskReport:
+        if num_tasks < 1:
+            raise PlanError(f"num_tasks must be >= 1, got {num_tasks}")
+        self.abandoned.clear()
+        mode = self.pool.resolve_mode()
+        workers = self.pool.workers_for(num_tasks)
+        outcomes = [TaskOutcome(partition=i) for i in range(num_tasks)]
+        if mode == "inline" or workers == 1:
+            self._run_inline(fn, outcomes, validate)
+        elif mode == "process":
+            if not _fork_available():
+                raise PlanError("process pool requires the fork start method; use thread/inline")
+            import multiprocessing as mp
+
+            ctx = mp.get_context("fork")
+            with fork_payload(fn):
+                make = lambda: ProcessPoolExecutor(max_workers=workers, mp_context=ctx)  # noqa: E731
+                self._run_concurrent(_run_argument, make, outcomes, validate, can_recycle=True)
+        elif mode == "thread":
+            make = lambda: ThreadPoolExecutor(max_workers=workers)  # noqa: E731
+            self._run_concurrent(fn, make, outcomes, validate, can_recycle=False)
+        else:
+            raise PlanError(f"unknown pool mode {mode!r}")
+        return TaskReport(outcomes=outcomes)
+
+    # -- shared helpers -------------------------------------------------------
+    def _spec(self, partition: int, attempt: int, deadline: Optional[float]) -> TaskSpec:
+        return TaskSpec(
+            partition=partition,
+            attempt=attempt,
+            seed=task_seed(self.base_seed, partition, attempt),
+            deadline=deadline,
+        )
+
+    def _check(self, payload, spec: TaskSpec, validate) -> Optional[TaskError]:
+        if validate is None:
+            return None
+        try:
+            validate(payload, spec)
+            return None
+        except Exception as exc:
+            error = TaskError(
+                f"result failed validation: {exc}",
+                partition=spec.partition,
+                attempt=spec.attempt,
+                kind="validation",
+            )
+            error.__cause__ = exc
+            return error
+
+    @staticmethod
+    def _wrap(exc: BaseException, spec: TaskSpec, kind: str = "exception") -> TaskError:
+        if isinstance(exc, TaskError):
+            return exc
+        error = TaskError(
+            f"{type(exc).__name__}: {exc}",
+            partition=spec.partition,
+            attempt=spec.attempt,
+            kind=kind,
+        )
+        error.__cause__ = exc  # keep the chain without re-raising
+        return error
+
+    # -- inline (sequential) path ---------------------------------------------
+    def _run_inline(self, fn, outcomes: List[TaskOutcome], validate) -> None:
+        policy = self.policy
+        for outcome in outcomes:
+            failures = 0
+            while failures < policy.max_attempts:
+                spec = self._spec(outcome.partition, outcome.attempts, deadline=None)
+                outcome.attempts += 1
+                if failures:
+                    time.sleep(policy.backoff_seconds(failures, spec.seed))
+                started = time.perf_counter()
+                try:
+                    payload = fn(spec)
+                except TaskCancelled:
+                    continue  # not charged as a failure; relaunch
+                except Exception as exc:
+                    outcome.errors.append(self._wrap(exc, spec))
+                    failures += 1
+                    if failures < policy.max_attempts:
+                        outcome.retries += 1
+                    continue
+                error = self._check(payload, spec, validate)
+                if error is not None:
+                    outcome.errors.append(error)
+                    failures += 1
+                    if failures < policy.max_attempts:
+                        outcome.retries += 1
+                    continue
+                outcome.succeeded = True
+                outcome.payload = payload
+                outcome.seconds = time.perf_counter() - started
+                break
+
+    # -- concurrent (thread/process) path -------------------------------------
+    def _run_concurrent(
+        self,
+        submit_fn,
+        make_executor,
+        outcomes: List[TaskOutcome],
+        validate,
+        can_recycle: bool,
+    ) -> None:
+        policy = self.policy
+        executor = make_executor()
+        live: Dict[Any, _Attempt] = {}  # future -> attempt
+        #: (eligible_time, partition) retries waiting out their backoff.
+        retry_queue: List[Tuple[float, int]] = []
+        failures: Dict[int, int] = {o.partition: 0 for o in outcomes}
+        done: Set[int] = set()
+        durations: List[float] = []
+
+        def launch(partition: int, speculative: bool) -> None:
+            outcome = outcomes[partition]
+            deadline = self._straggler_threshold(durations)
+            spec = self._spec(partition, outcome.attempts, deadline)
+            outcome.attempts += 1
+            if speculative:
+                outcome.speculative += 1
+            attempt = _Attempt(
+                spec=spec,
+                future=executor.submit(submit_fn, spec),
+                started=time.perf_counter(),
+                speculative=speculative,
+            )
+            live[attempt.future] = attempt
+
+        def record_failure(attempt: _Attempt, error: TaskError) -> None:
+            partition = attempt.spec.partition
+            outcome = outcomes[partition]
+            outcome.errors.append(error)
+            failures[partition] += 1
+            if failures[partition] < policy.max_attempts:
+                outcome.retries += 1
+                eligible = time.perf_counter() + policy.backoff_seconds(
+                    failures[partition], attempt.spec.seed
+                )
+                retry_queue.append((eligible, partition))
+            # else: exhausted — the task fails when its last live attempt dies.
+
+        try:
+            for outcome in outcomes:
+                launch(outcome.partition, speculative=False)
+
+            while len(done) < len(outcomes) and (live or retry_queue):
+                now = time.perf_counter()
+                # Launch retries whose backoff has elapsed.
+                due = [p for t, p in retry_queue if t <= now and p not in done]
+                retry_queue = [(t, p) for t, p in retry_queue if t > now and p not in done]
+                for partition in due:
+                    launch(partition, speculative=False)
+
+                # Straggler speculation.
+                if policy.speculate:
+                    threshold = self._straggler_threshold(durations)
+                    if threshold is not None:
+                        by_partition: Dict[int, List[_Attempt]] = {}
+                        for attempt in live.values():
+                            by_partition.setdefault(attempt.spec.partition, []).append(attempt)
+                        for partition, attempts in by_partition.items():
+                            outcome = outcomes[partition]
+                            if (
+                                partition in done
+                                or len(attempts) != 1
+                                or outcome.speculative >= policy.max_speculative
+                            ):
+                                continue
+                            if now - attempts[0].started > threshold:
+                                launch(partition, speculative=True)
+
+                if not live:
+                    # Only backed-off retries remain; sleep until the next one.
+                    if retry_queue:
+                        time.sleep(max(0.0, min(t for t, _ in retry_queue) - now))
+                    continue
+
+                finished, _ = wait(
+                    set(live), timeout=policy.poll_interval, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    attempt = live.pop(future, None)
+                    if attempt is None:
+                        continue  # pool was recycled under this batch
+                    spec = attempt.spec
+                    partition = spec.partition
+                    outcome = outcomes[partition]
+                    key = (partition, spec.attempt)
+                    try:
+                        payload = future.result()
+                    except TaskCancelled:
+                        self.abandoned.discard(key)
+                        continue  # cooperative abort; never a failure
+                    except BrokenProcessPool as exc:
+                        if can_recycle:
+                            executor, live = self._recycle(
+                                make_executor, live, outcomes, failures, retry_queue, done
+                            )
+                        if partition not in done:
+                            record_failure(attempt, self._wrap(exc, spec, kind="pool-broken"))
+                        continue
+                    except Exception as exc:
+                        self.abandoned.discard(key)
+                        if partition in done:
+                            continue  # a loser failing changes nothing
+                        record_failure(attempt, self._wrap(exc, spec))
+                        continue
+
+                    if key in self.abandoned or partition in done:
+                        self.abandoned.discard(key)
+                        continue  # late loser; result discarded
+                    error = self._check(payload, spec, validate)
+                    if error is not None:
+                        record_failure(attempt, error)
+                        continue
+
+                    # First finished attempt wins the task.
+                    done.add(partition)
+                    outcome.succeeded = True
+                    outcome.payload = payload
+                    outcome.seconds = time.perf_counter() - attempt.started
+                    outcome.won_by_speculation = attempt.speculative
+                    durations.append(outcome.seconds)
+                    # Cancel the losers: unstarted futures die now, running
+                    # ones are flagged for cooperative abort and otherwise
+                    # ignored on arrival.
+                    for other_future, other in list(live.items()):
+                        if other.spec.partition != partition:
+                            continue
+                        other_future.cancel()
+                        self.abandoned.add((partition, other.spec.attempt))
+                        del live[other_future]
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def _straggler_threshold(self, durations: List[float]) -> Optional[float]:
+        policy = self.policy
+        if not policy.speculate or len(durations) < policy.speculation_quorum:
+            return None
+        ordered = sorted(durations)
+        median = ordered[len(ordered) // 2]
+        return max(policy.speculation_min_seconds, policy.speculation_multiplier * median)
+
+    def _recycle(self, make_executor, live, outcomes, failures, retry_queue, done):
+        """Replace a broken process pool, charging each in-flight attempt
+        one failure (their futures are dead with it)."""
+        policy = self.policy
+        now = time.perf_counter()
+        for attempt in live.values():
+            partition = attempt.spec.partition
+            if partition in done:
+                continue
+            outcome = outcomes[partition]
+            outcome.errors.append(
+                TaskError(
+                    "worker pool broke while the attempt was in flight",
+                    partition=partition,
+                    attempt=attempt.spec.attempt,
+                    kind="pool-broken",
+                )
+            )
+            failures[partition] += 1
+            if failures[partition] < policy.max_attempts:
+                outcome.retries += 1
+                retry_queue.append((now, partition))
+        return make_executor(), {}

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Tuple
 
+import numpy as np
+
 from repro.algebra.expressions import And, Cmp, Col, Expr, IsIn, Lit, Not, Or
 from repro.algebra.logical import (
     Aggregate,
@@ -30,7 +32,12 @@ from repro.algebra.logical import (
 from repro.errors import PlanError
 from repro.stats.catalog import Catalog
 
-__all__ = ["NodeStats", "StatsDeriver", "estimate_selectivity"]
+__all__ = [
+    "NodeStats",
+    "StatsDeriver",
+    "estimate_selectivity",
+    "reweight_surviving_partitions",
+]
 
 #: Selectivity assumed for predicates we cannot analyze (UDFs etc.).
 DEFAULT_SELECTIVITY = 1.0 / 3.0
@@ -39,6 +46,34 @@ DEFAULT_SELECTIVITY = 1.0 / 3.0
 UNKNOWN_DISTINCT = 1000.0
 
 Lineage = Dict[str, Optional[Tuple[str, FrozenSet[str]]]]
+
+
+def reweight_surviving_partitions(
+    weights: np.ndarray, num_partitions: int, num_lost: int
+) -> Tuple[np.ndarray, float]:
+    """Horvitz-Thompson re-weighting after permanent partition loss.
+
+    When a round-robin partition of a uniform/universe-sampled plan is
+    permanently lost, the surviving partitions are themselves a valid
+    sample of the data (Rong et al., "Approximate Partition Selection using
+    Summary Statistics"): a row's inclusion probability gains an extra
+    ``survivors / num_partitions`` factor, so every surviving weight is
+    multiplied by the reciprocal. Estimates stay unbiased; the inflated
+    weights flow through the existing variance algebra, so confidence
+    intervals widen by exactly the coverage the query lost. Returns the
+    re-scaled weights and the applied factor.
+    """
+    if num_lost < 0 or num_partitions < 1:
+        raise PlanError(
+            f"invalid partition loss: {num_lost} lost of {num_partitions}"
+        )
+    if num_lost == 0:
+        return weights, 1.0
+    survivors = num_partitions - num_lost
+    if survivors <= 0:
+        raise PlanError("cannot re-weight: every partition was lost")
+    factor = num_partitions / survivors
+    return np.asarray(weights, dtype=np.float64) * factor, factor
 
 
 @dataclass

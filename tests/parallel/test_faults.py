@@ -1,0 +1,125 @@
+"""Tests for the seeded fault-injection harness."""
+
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine.table import WEIGHT_COLUMN, Table
+from repro.errors import PlanError
+from repro.parallel.faults import (
+    FAULT_KINDS,
+    Fault,
+    FaultPlan,
+    InjectedFault,
+    UnpicklableResult,
+    corrupt_table,
+)
+
+
+class TestFault:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(PlanError):
+            Fault(partition=0, attempt=0, kind="meteor")
+
+    def test_known_kinds(self):
+        for kind in FAULT_KINDS:
+            Fault(partition=0, attempt=0, kind=kind)
+
+
+class TestFaultPlanConstruction:
+    def test_random_is_deterministic(self):
+        a = FaultPlan.random(seed=5, num_partitions=8, crashes=2, hangs=1)
+        b = FaultPlan.random(seed=5, num_partitions=8, crashes=2, hangs=1)
+        assert a.faults == b.faults
+
+    def test_random_seed_changes_placement(self):
+        plans = [
+            FaultPlan.random(seed=s, num_partitions=16, crashes=2, hangs=2).faults
+            for s in range(6)
+        ]
+        assert len({p for p in plans}) > 1
+
+    def test_random_counts(self):
+        plan = FaultPlan.random(
+            seed=1, num_partitions=8, crashes=2, hangs=1, corruptions=1, pickle_bombs=1
+        )
+        assert plan.summary() == {"crash": 2, "hang": 1, "corrupt": 1, "pickle": 1}
+        assert plan.num_faults == 5
+
+    def test_random_targets_are_distinct(self):
+        plan = FaultPlan.random(seed=3, num_partitions=4, crashes=2, hangs=2)
+        targets = [(f.partition, f.attempt) for f in plan.faults]
+        assert len(set(targets)) == len(targets)
+        assert all(f.attempt == 0 for f in plan.faults)  # default grid: first attempts
+
+    def test_random_overflow_raises(self):
+        with pytest.raises(PlanError):
+            FaultPlan.random(seed=1, num_partitions=2, crashes=3)
+
+    def test_duplicate_target_raises(self):
+        with pytest.raises(PlanError, match="duplicate fault"):
+            FaultPlan(
+                [Fault(0, 0, "crash"), Fault(0, 0, "hang")]
+            )
+
+    def test_merged_with(self):
+        merged = FaultPlan([Fault(0, 0, "crash")]).merged_with(FaultPlan.lose_partition(3))
+        assert merged.fault_for(0, 0).kind == "crash"
+        assert merged.lost_partitions == frozenset({3})
+
+
+class TestInjection:
+    def test_crash_raises_before_work(self):
+        plan = FaultPlan([Fault(1, 0, "crash")])
+        with pytest.raises(InjectedFault):
+            plan.before_work(1, 0)
+        plan.before_work(1, 1)  # the retry is clean
+        plan.before_work(0, 0)  # other partitions untouched
+
+    def test_injected_fault_is_not_a_repro_error(self):
+        # The runtime must wrap injected crashes like foreign exceptions.
+        from repro.errors import ReproError
+
+        assert not issubclass(InjectedFault, ReproError)
+
+    def test_hang_sleeps_then_returns(self):
+        plan = FaultPlan([Fault(0, 0, "hang", seconds=0.05)])
+        start = time.perf_counter()
+        plan.before_work(0, 0)
+        assert time.perf_counter() - start >= 0.05
+
+    def test_lost_partition_crashes_every_attempt(self):
+        plan = FaultPlan.lose_partition(2)
+        for attempt in range(5):
+            with pytest.raises(InjectedFault):
+                plan.before_work(2, attempt)
+        plan.before_work(1, 0)
+
+    def test_corrupt_uses_the_callers_corrupter(self):
+        plan = FaultPlan([Fault(0, 0, "corrupt")])
+        assert plan.after_work(0, 0, "payload", corrupter=lambda p: p + "-damaged") == (
+            "payload-damaged"
+        )
+        assert plan.after_work(0, 1, "payload", corrupter=str.upper) == "payload"
+
+    def test_pickle_fault_dies_mid_pickle(self):
+        plan = FaultPlan([Fault(0, 0, "pickle")])
+        boobytrapped = plan.after_work(0, 0, {"rows": 3})
+        assert isinstance(boobytrapped, UnpicklableResult)
+        assert boobytrapped.payload == {"rows": 3}
+        with pytest.raises(pickle.PicklingError):
+            pickle.dumps(boobytrapped)
+
+
+class TestCorruptTable:
+    def test_poisons_weights_when_present(self):
+        table = Table("t", {"a": np.arange(4), WEIGHT_COLUMN: np.ones(4)})
+        bad = corrupt_table(table)
+        assert np.isnan(bad.weights()).all()
+
+    def test_drops_a_column_otherwise(self):
+        table = Table("t", {"a": np.arange(4), "b": np.arange(4)})
+        bad = corrupt_table(table)
+        assert len(bad.column_names) == 1

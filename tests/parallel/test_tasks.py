@@ -1,0 +1,259 @@
+"""Tests for the fault-tolerant task runtime (retries, speculation,
+structured failures, pool hardening)."""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.errors import PlanError, TaskCancelled, TaskError
+from repro.parallel.pool import WorkerPool, fork_payload
+from repro.parallel.tasks import RetryPolicy, TaskRuntime, TaskSpec, task_seed
+
+#: Policy tuned for test speed: fast backoff, eager speculation.
+FAST = RetryPolicy(
+    backoff_base=0.005, backoff_max=0.05, speculation_min_seconds=0.1, poll_interval=0.005
+)
+
+
+def runtime(mode="inline", workers=None, policy=FAST, seed=0):
+    return TaskRuntime(WorkerPool(mode, workers), policy=policy, base_seed=seed)
+
+
+class TestTaskSeed:
+    def test_deterministic(self):
+        assert task_seed(1, 2, 3) == task_seed(1, 2, 3)
+
+    def test_distinct_across_attempts_and_partitions(self):
+        seeds = {task_seed(7, p, a) for p in range(8) for a in range(4)}
+        assert len(seeds) == 32
+
+    def test_positive_63_bit(self):
+        s = task_seed(2**62, 10_000, 99)
+        assert 0 <= s < 2**63
+
+
+class TestRetryPolicy:
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(PlanError):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_shrinking_backoff(self):
+        with pytest.raises(PlanError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0, backoff_max=0.3)
+        waits = [policy.backoff_seconds(f, seed=0) for f in (1, 2, 3, 4)]
+        assert waits[0] < waits[1] < waits[2]
+        assert all(w <= 0.3 * 1.25 for w in waits)
+
+    def test_jitter_is_deterministic_in_seed(self):
+        policy = RetryPolicy()
+        assert policy.backoff_seconds(1, seed=42) == policy.backoff_seconds(1, seed=42)
+        assert policy.backoff_seconds(1, seed=42) != policy.backoff_seconds(1, seed=43 << 7)
+
+
+class TestInlineRuntime:
+    def test_all_succeed(self):
+        report = runtime().run(lambda spec: spec.partition * 10, 4)
+        assert report.all_succeeded
+        assert report.payloads == [0, 10, 20, 30]
+        assert report.total_retries == 0
+
+    def test_retry_then_success(self):
+        failed = set()
+
+        def flaky(spec):
+            if spec.partition == 2 and spec.partition not in failed:
+                failed.add(spec.partition)
+                raise RuntimeError("transient")
+            return spec.partition
+
+        report = runtime().run(flaky, 4)
+        assert report.all_succeeded
+        assert report.total_retries == 1
+        outcome = report.outcomes[2]
+        assert outcome.attempts == 2
+        assert outcome.errors[0].partition == 2
+        assert outcome.errors[0].attempt == 0
+
+    def test_permanent_failure_reported_not_raised(self):
+        def doomed(spec):
+            if spec.partition == 1:
+                raise ValueError("always")
+            return spec.partition
+
+        report = runtime().run(doomed, 3)
+        assert report.failed_partitions == (1,)
+        outcome = report.outcomes[1]
+        assert not outcome.succeeded
+        assert outcome.attempts == FAST.max_attempts
+        # retries only count re-launches, not the final failure
+        assert outcome.retries == FAST.max_attempts - 1
+        assert all(isinstance(e, TaskError) for e in outcome.errors)
+        assert "[partition 1" in str(outcome.errors[0])
+
+    def test_validation_failure_is_retried(self):
+        seen = []
+
+        def work(spec):
+            seen.append(spec.attempt)
+            return spec.attempt  # attempt 0 "corrupt", attempt 1 fine
+
+        def validate(payload, spec):
+            if payload == 0:
+                raise ValueError("corrupt payload")
+
+        report = runtime().run(work, 1, validate=validate)
+        assert report.all_succeeded
+        assert report.outcomes[0].attempts == 2
+        assert report.outcomes[0].errors[0].kind == "validation"
+
+    def test_cancelled_attempts_are_not_charged(self):
+        calls = []
+
+        def work(spec):
+            calls.append(spec.attempt)
+            if len(calls) == 1:
+                raise TaskCancelled("scheduler asked us to stop")
+            return "ok"
+
+        report = runtime().run(work, 1)
+        assert report.all_succeeded
+        assert report.outcomes[0].errors == []
+
+    def test_deterministic_seeds_per_attempt(self):
+        seeds = []
+        runtime(seed=9).run(lambda spec: seeds.append(spec.seed), 3)
+        again = []
+        runtime(seed=9).run(lambda spec: again.append(spec.seed), 3)
+        assert seeds == again
+        assert len(set(seeds)) == 3
+
+
+class TestConcurrentRuntime:
+    def test_thread_mode_retries(self):
+        lock = threading.Lock()
+        failed = set()
+
+        def flaky(spec):
+            with lock:
+                first = spec.partition not in failed
+                failed.add(spec.partition)
+            if spec.partition in (0, 3) and first:
+                raise RuntimeError("transient")
+            return spec.partition
+
+        report = runtime("thread", workers=4).run(flaky, 4)
+        assert report.all_succeeded
+        assert report.payloads == [0, 1, 2, 3]
+        assert report.total_retries == 2
+
+    def test_straggler_speculation_first_result_wins(self):
+        def slow_first_attempt(spec):
+            if spec.partition == 1 and spec.attempt == 0:
+                time.sleep(1.0)
+            return (spec.partition, spec.attempt)
+
+        start = time.perf_counter()
+        report = runtime("thread", workers=5).run(slow_first_attempt, 4)
+        elapsed = time.perf_counter() - start
+        assert report.all_succeeded
+        assert report.speculative_launches >= 1
+        assert report.outcomes[1].won_by_speculation
+        assert report.payloads[1] == (1, 1)  # the duplicate's attempt won
+        assert elapsed < 0.9  # did not wait out the straggler
+
+    def test_speculation_can_be_disabled(self):
+        policy = RetryPolicy(
+            backoff_base=0.005, speculate=False, speculation_min_seconds=0.05,
+            poll_interval=0.005,
+        )
+
+        def slow(spec):
+            if spec.partition == 0 and spec.attempt == 0:
+                time.sleep(0.3)
+            return spec.partition
+
+        report = runtime("thread", workers=4, policy=policy).run(slow, 3)
+        assert report.all_succeeded
+        assert report.speculative_launches == 0
+
+    def test_thread_mode_permanent_failure(self):
+        def doomed(spec):
+            raise RuntimeError(f"partition {spec.partition} cursed")
+
+        report = runtime("thread", workers=3).run(doomed, 3)
+        assert report.failed_partitions == (0, 1, 2)
+        for outcome in report.outcomes:
+            assert len(outcome.errors) == FAST.max_attempts
+
+    def test_process_mode_retry(self):
+        report = runtime("process", workers=2).run(_fail_even_first_attempt, 4)
+        assert report.all_succeeded
+        assert report.payloads == [0, 1, 2, 3]
+        assert report.total_retries == 2
+
+
+class TestSingleWorkerShortCircuit:
+    def test_process_with_one_worker_runs_in_parent(self):
+        pids = []
+        report = TaskRuntime(WorkerPool("process", 1), policy=FAST).run(
+            lambda spec: pids.append(os.getpid()) or spec.partition, 2
+        )
+        assert report.all_succeeded
+        assert pids == [os.getpid()] * 2  # no fork happened
+
+    def test_pool_map_single_worker_inline(self):
+        pids = WorkerPool("process", 1).map(lambda _: os.getpid(), range(3))
+        assert pids == [os.getpid()] * 3
+
+
+class TestPoolHardening:
+    def test_reentrant_fork_payload_raises(self):
+        with fork_payload(lambda x: x):
+            with pytest.raises(PlanError, match="re-entrant process-mode"):
+                with fork_payload(lambda x: x):
+                    pass
+
+    def test_payload_released_after_use(self):
+        with fork_payload(lambda x: x):
+            pass
+        with fork_payload(lambda x: x):  # no residue; lock released
+            pass
+
+    def test_reentrant_process_map_raises(self):
+        pool = WorkerPool("process", 2)
+
+        def nested(_):
+            return WorkerPool("process", 2).map(lambda v: v, [1, 2])
+
+        with pytest.raises(PlanError, match="re-entrant process-mode"):
+            with fork_payload(lambda x: x):  # simulate an ongoing process run
+                pool.map(nested, [0, 1])
+
+    def test_map_wraps_foreign_exceptions(self):
+        def boom(value):
+            raise KeyError(value)
+
+        with pytest.raises(TaskError) as info:
+            WorkerPool("inline").map(boom, ["a", "b"])
+        assert info.value.partition == 0
+        assert isinstance(info.value.__cause__, KeyError)
+
+    def test_map_lets_repro_errors_pass_through(self):
+        def planned_failure(_):
+            raise PlanError("bad plan")
+
+        with pytest.raises(PlanError, match="bad plan"):
+            WorkerPool("inline").map(planned_failure, [1])
+
+
+# Module-level so the process pool's fork image can reach it; keyed on the
+# attempt counter so the failure is deterministic across forked children.
+def _fail_even_first_attempt(spec: TaskSpec):
+    if spec.partition % 2 == 0 and spec.attempt == 0:
+        raise RuntimeError("transient even-partition failure")
+    return spec.partition
