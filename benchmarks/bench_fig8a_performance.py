@@ -15,6 +15,7 @@ import numpy as np
 from repro.engine.executor import Executor
 from repro.experiments.figures import figure8a_performance
 from repro.experiments.report import format_table
+from repro.obs import trace as obs_trace
 from repro.optimizer.planner import QuickrPlanner
 from repro.parallel import ParallelOptions, available_parallelism
 
@@ -128,3 +129,49 @@ def test_figure8a_parallel_speedup(benchmark, tpcds_db, tpcds_queries):
     assert np.median(modeled) >= 2.0            # cluster model: >= 2x at D=4
     if cores >= DEGREE:
         assert measured >= 2.0, f"wall-clock speedup {measured:.2f}x below 2x on {cores} cores"
+
+
+#: Instrumentation budget: median per-query wall-clock with tracing on may
+#: exceed tracing off by at most this factor.
+MAX_TRACING_OVERHEAD = 1.05
+TRACING_ROUNDS = 3
+
+
+def test_tracing_overhead(tpcds_db, tpcds_queries):
+    """Span instrumentation must stay off the hot path.
+
+    Runs every Figure 8a query with the tracer disabled and enabled
+    (fresh tracer per run, so span buffers never amortize), taking the
+    min of a few rounds per mode to suppress scheduler noise, and asserts
+    the median per-query on/off ratio stays under 5%.
+    """
+    planner = QuickrPlanner(tpcds_db)
+    plans = [planner.plan(q).plan for q in tpcds_queries]
+    executor = Executor(tpcds_db)
+    for plan in plans:  # warm the compile cache: measure execution, not lowering
+        executor.execute(plan)
+
+    def timed_run(plan) -> float:
+        t0 = perf_counter()
+        executor.execute(plan)
+        return perf_counter() - t0
+
+    ratios = []
+    for plan in plans:
+        off = min(timed_run(plan) for _ in range(TRACING_ROUNDS))
+        on_times = []
+        for _ in range(TRACING_ROUNDS):
+            tracer = obs_trace.Tracer()
+            obs_trace.set_tracer(tracer)
+            try:
+                on_times.append(timed_run(plan))
+            finally:
+                obs_trace.set_tracer(None)
+        ratios.append(min(on_times) / max(off, 1e-9))
+
+    median = float(np.median(ratios))
+    print(f"\ntracing overhead: median {median:.3f}x, worst {max(ratios):.3f}x "
+          f"over {len(plans)} queries ({TRACING_ROUNDS} rounds each)")
+    assert median <= MAX_TRACING_OVERHEAD, (
+        f"median tracing overhead {median:.3f}x exceeds {MAX_TRACING_OVERHEAD}x"
+    )

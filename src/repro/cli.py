@@ -3,13 +3,19 @@
 Usage::
 
     python -m repro plan q12               # show ASALQA's plan for a query
+    python -m repro explain-analyze q07    # annotated operator tree (est vs actual)
     python -m repro evaluate --scale 0.3   # run the TPC-DS evaluation
     python -m repro trace                  # regenerate the Figure 2 analysis
     python -m repro speedup --parallelism 4  # partition-parallel speedup report
     python -m repro chaos --seed 7         # fault-injected run of the workload
+    python -m repro validate-trace out.json  # schema-check an exported trace
 
-The CLI operates on the built-in TPC-DS-style workload; it exists so a
-reader can poke at the system without writing a script.
+Every data-touching subcommand accepts ``--log-level`` (attach the
+``repro`` logger hierarchy to stderr), ``--trace out.json`` (record a
+Chrome/Perfetto trace of the whole run) and ``--metrics out.json`` (dump
+the executor's metrics registry). The CLI operates on the built-in
+TPC-DS-style workload; it exists so a reader can poke at the system
+without writing a script.
 """
 
 from __future__ import annotations
@@ -19,6 +25,18 @@ import sys
 from typing import List, Optional
 
 __all__ = ["main"]
+
+
+def _write_metrics(args, executor) -> None:
+    """Dump the executor's metrics registry (plus legacy timings) as JSON."""
+    path = getattr(args, "metrics", None)
+    if not path:
+        return
+    import json
+
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(executor.snapshot(), fh, indent=2, sort_keys=True, default=str)
+    print(f"wrote metrics registry to {path}")
 
 
 def _cmd_plan(args) -> int:
@@ -55,6 +73,47 @@ def _cmd_plan(args) -> int:
         gain = exact.cost.machine_hours / max(approx.cost.machine_hours, 1e-9)
         print(f"\nmachine-hours gain: {gain:.2f}x  "
               f"(answer rows {approx.table.num_rows} vs exact {exact.table.num_rows})")
+        _write_metrics(args, executor)
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from repro.engine.executor import Executor
+    from repro.obs.explain import explain_analyze
+    from repro.optimizer.planner import QuickrPlanner
+    from repro.workloads.tpcds import QUERY_BUILDERS, generate_tpcds, queries, query_by_name
+
+    db = generate_tpcds(scale=args.scale, seed=args.seed)
+    planner = QuickrPlanner(db)
+    executor = Executor(db)
+    if args.query:
+        if args.query not in QUERY_BUILDERS:
+            print(f"unknown query {args.query!r}; available: {', '.join(QUERY_BUILDERS)}")
+            return 2
+        targets = [query_by_name(db, args.query)]
+    else:
+        targets = queries(db)
+    for index, query in enumerate(targets):
+        if index:
+            print("\n" + "=" * 78 + "\n")
+        print(explain_analyze(planner, executor, query))
+    _write_metrics(args, executor)
+    return 0
+
+
+def _cmd_validate_trace(args) -> int:
+    from repro.obs.trace import iter_trace_file, validate_chrome_trace
+
+    events = list(iter_trace_file(args.path))
+    problems = validate_chrome_trace(events)
+    if problems:
+        print(f"{args.path}: {len(problems)} problem(s) in {len(events)} events")
+        for problem in problems[:25]:
+            print(f"  - {problem}")
+        if len(problems) > 25:
+            print(f"  ... and {len(problems) - 25} more")
+        return 1
+    print(f"{args.path}: {len(events)} events, schema OK, no unclosed spans")
     return 0
 
 
@@ -96,6 +155,7 @@ def _cmd_evaluate(args) -> int:
         if latency:
             print(f"task latency: p50 {latency['p50']:.4f}s, "
                   f"p95 {latency['p95']:.4f}s, max {latency['max']:.4f}s")
+    _write_metrics(args, runner.executor)
     return 0
 
 
@@ -177,6 +237,7 @@ def _cmd_chaos(args) -> int:
 
     print(format_table(rows, title=f"chaos run (D={args.parallelism}, seed={args.seed})"))
     print(f"\ncumulative: {fleet.stats.summary()}")
+    _write_metrics(args, executor)
     if mismatches:
         print(f"\n{mismatches} quer{'y' if mismatches == 1 else 'ies'} diverged "
               "from the fault-free reference")
@@ -252,6 +313,7 @@ def _cmd_speedup(args) -> int:
             }
         )
     print(format_table(rows, title=f"partition-parallel speedup (D={args.parallelism})"))
+    _write_metrics(args, executor)
     cores = available_parallelism()
     if cores < args.parallelism:
         print(f"\nnote: only {cores} usable core(s); measured speedup is "
@@ -260,13 +322,25 @@ def _cmd_speedup(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.obs.log import LEVELS
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Quickr reproduction: lazy approximation of complex ad-hoc queries",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    plan = sub.add_parser("plan", help="show ASALQA's plan for a TPC-DS query")
+    # Observability flags shared by every data-touching subcommand.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--log-level", default=None, choices=list(LEVELS),
+                        help="attach the repro logger hierarchy to stderr at this level")
+    common.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a Chrome/Perfetto trace of the run to FILE")
+    common.add_argument("--metrics", default=None, metavar="FILE",
+                        help="write the executor's metrics registry (JSON) to FILE")
+
+    plan = sub.add_parser("plan", parents=[common],
+                          help="show ASALQA's plan for a TPC-DS query")
     plan.add_argument("query", help="query name, e.g. q12")
     plan.add_argument("--scale", type=float, default=0.3)
     plan.add_argument("--seed", type=int, default=1)
@@ -275,14 +349,27 @@ def build_parser() -> argparse.ArgumentParser:
                       help="degree of partition parallelism for --execute")
     plan.set_defaults(func=_cmd_plan)
 
-    evaluate = sub.add_parser("evaluate", help="run the full TPC-DS evaluation")
+    explain = sub.add_parser(
+        "explain-analyze", parents=[common],
+        help="run a query and render the annotated operator tree "
+             "(estimated vs actual rows, sampler telemetry, CI widths)",
+    )
+    explain.add_argument("query", nargs="?", default=None,
+                         help="query name, e.g. q07 (default: all 24)")
+    explain.add_argument("--scale", type=float, default=0.3)
+    explain.add_argument("--seed", type=int, default=1)
+    explain.set_defaults(func=_cmd_explain)
+
+    evaluate = sub.add_parser("evaluate", parents=[common],
+                              help="run the full TPC-DS evaluation")
     evaluate.add_argument("--scale", type=float, default=0.3)
     evaluate.add_argument("--seed", type=int, default=1)
     evaluate.add_argument("--parallelism", type=int, default=1,
                           help="degree of partition parallelism for query execution")
     evaluate.set_defaults(func=_cmd_evaluate)
 
-    speedup = sub.add_parser("speedup", help="measure partition-parallel speedup per query")
+    speedup = sub.add_parser("speedup", parents=[common],
+                             help="measure partition-parallel speedup per query")
     speedup.add_argument("--query", default=None, help="single query name (default: all)")
     speedup.add_argument("--scale", type=float, default=0.3)
     speedup.add_argument("--seed", type=int, default=1)
@@ -292,7 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
     speedup.set_defaults(func=_cmd_speedup)
 
     chaos = sub.add_parser(
-        "chaos",
+        "chaos", parents=[common],
         help="run the workload under seeded fault injection (crashes, stragglers, corruption)",
     )
     chaos.add_argument("--scale", type=float, default=0.3)
@@ -314,13 +401,50 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--queries", type=int, default=20_000)
     trace.add_argument("--seed", type=int, default=2016)
     trace.set_defaults(func=_cmd_trace)
+
+    validate = sub.add_parser(
+        "validate-trace",
+        help="schema-check an exported Chrome/Perfetto trace "
+             "(every event has ph/ts/pid/tid, no unclosed spans)",
+    )
+    validate.add_argument("path", help="trace file written by --trace")
+    validate.set_defaults(func=_cmd_validate_trace)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+
+    if getattr(args, "log_level", None):
+        from repro.obs.log import configure
+
+        configure(args.log_level)
+
+    trace_path = getattr(args, "trace", None)
+    tracer = None
+    if trace_path:
+        from repro.obs import trace as obs_trace
+
+        tracer = obs_trace.Tracer()
+        previous = obs_trace.get_tracer()
+        obs_trace.set_tracer(tracer)
+    try:
+        code = args.func(args)
+    finally:
+        if tracer is not None:
+            obs_trace.set_tracer(previous)
+    if tracer is not None:
+        count = tracer.write_chrome(trace_path)
+        print(f"wrote {count} trace events to {trace_path}")
+        unclosed = tracer.unclosed()
+        if unclosed:
+            print(f"warning: {len(unclosed)} span(s) never closed "
+                  f"(first: {unclosed[0].name})")
+        problems = obs_trace.validate_chrome_trace(tracer.to_chrome())
+        if problems:
+            print(f"warning: trace failed schema validation ({problems[0]})")
+    return code
 
 
 if __name__ == "__main__":

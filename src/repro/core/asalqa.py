@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.algebra.addressing import format_address
 from repro.algebra.builder import Query
 from repro.algebra.logical import Join, LogicalNode, SamplerNode
 from repro.core.costing import CostingOptions, SamplerDecision, materialize_plan, strip_passthrough
@@ -39,11 +40,15 @@ from repro.core.sampler_state import SamplerState
 from repro.core.seeding import seed_samplers
 from repro.engine.costmodel import cost_plan
 from repro.engine.metrics import ClusterConfig, PlanCost
+from repro.obs import log as obs_log
+from repro.obs import trace as obs_trace
 from repro.samplers.base import PassThroughSpec
 from repro.stats.catalog import Catalog
 from repro.stats.derivation import StatsDeriver
 
 __all__ = ["AsalqaOptions", "AsalqaResult", "Asalqa"]
+
+_LOG = obs_log.logger("core.asalqa")
 
 
 @dataclass(frozen=True)
@@ -110,6 +115,15 @@ def _plans_with_paths(plan: LogicalNode):
     yield from walk(plan, ())
 
 
+def _sampler_paths(subtree: LogicalNode) -> List[tuple]:
+    """Subtree-relative paths of the logical sampler states inside it."""
+    return [
+        path
+        for node, path in _plans_with_paths(subtree)
+        if isinstance(node, SamplerNode) and isinstance(node.spec, SamplerState)
+    ]
+
+
 def _replace_at(plan: LogicalNode, path: tuple, replacement: LogicalNode) -> LogicalNode:
     if not path:
         return replacement
@@ -133,8 +147,12 @@ class Asalqa:
         baseline_plan = query.plan
         baseline_cost = self._cost(baseline_plan)
 
-        seeded, num_seeded = seed_samplers(baseline_plan)
+        with obs_trace.maybe_span("asalqa.seed", query=query.name) as span:
+            seeded, num_seeded = seed_samplers(baseline_plan)
+            if span is not None:
+                span.attributes["seeded"] = num_seeded
         if num_seeded == 0:
+            _LOG.debug("%s: no sampleable aggregation; unapproximable", query.name)
             return AsalqaResult(
                 query_name=query.name,
                 baseline_plan=baseline_plan,
@@ -147,19 +165,27 @@ class Asalqa:
                 qo_time_seconds=time.perf_counter() - start,
             )
 
-        candidates = self._explore(seeded)
-        best_plan, best_cost, best_decisions = None, None, []
-        seen_physical: set = set()
-        for candidate in candidates:
-            physical, decisions = materialize_plan(candidate, self.deriver, self.options.costing)
-            stripped = strip_passthrough(physical)
-            key = stripped.key()
-            if key in seen_physical:
-                continue
-            seen_physical.add(key)
-            cost = self._cost(stripped)
-            if best_cost is None or cost.machine_hours < best_cost.machine_hours:
-                best_plan, best_cost, best_decisions = stripped, cost, decisions
+        with obs_trace.maybe_span("asalqa.explore", query=query.name) as span:
+            candidates = self._explore(seeded)
+            if span is not None:
+                span.attributes["alternatives"] = len(candidates)
+        with obs_trace.maybe_span("asalqa.cost", query=query.name) as span:
+            best_plan, best_cost, best_decisions = None, None, []
+            seen_physical: set = set()
+            for candidate in candidates:
+                physical, decisions = materialize_plan(
+                    candidate, self.deriver, self.options.costing
+                )
+                stripped = strip_passthrough(physical)
+                key = stripped.key()
+                if key in seen_physical:
+                    continue
+                seen_physical.add(key)
+                cost = self._cost(stripped)
+                if best_cost is None or cost.machine_hours < best_cost.machine_hours:
+                    best_plan, best_cost, best_decisions = stripped, cost, decisions
+            if span is not None:
+                span.attributes["unique_physical"] = len(seen_physical)
 
         live = [
             node
@@ -173,6 +199,11 @@ class Asalqa:
         if live and best_cost.machine_hours >= baseline_cost.machine_hours * 0.98:
             live = []
         if not live:
+            _LOG.debug(
+                "%s: no sampled plan beats the baseline (%d alternatives); unapproximable",
+                query.name,
+                len(candidates),
+            )
             return AsalqaResult(
                 query_name=query.name,
                 baseline_plan=baseline_plan,
@@ -185,7 +216,14 @@ class Asalqa:
                 qo_time_seconds=time.perf_counter() - start,
             )
 
-        final = finalize_plan(best_plan, compute_ci=self.options.compute_ci)
+        with obs_trace.maybe_span("asalqa.finalize", query=query.name):
+            final = finalize_plan(best_plan, compute_ci=self.options.compute_ci)
+        _LOG.debug(
+            "%s: approximable via %s (%d alternatives explored)",
+            query.name,
+            [type(n.spec).__name__ for n in live],
+            len(candidates),
+        )
         return AsalqaResult(
             query_name=query.name,
             baseline_plan=baseline_plan,
@@ -209,6 +247,7 @@ class Asalqa:
 
     def _explore(self, seeded: LogicalNode) -> List[LogicalNode]:
         """Breadth-first generation of push-down alternatives."""
+        tracer = obs_trace.current_tracer()
         seen: Dict[tuple, None] = {seeded.key(): None}
         frontier: List[LogicalNode] = [seeded]
         out: List[LogicalNode] = [seeded]
@@ -224,6 +263,20 @@ class Asalqa:
                     if key in seen:
                         continue
                     seen[key] = None
+                    if tracer is not None:
+                        # One span per accepted rule firing: the sampler at
+                        # ``path`` pushed past the operator now rooting the
+                        # replaced subtree, landing at the ``after`` addresses.
+                        span = tracer.begin(
+                            "asalqa.pushdown",
+                            rule=f"push_past_{type(subtree).__name__.lower()}",
+                            before=format_address(path),
+                            after=",".join(
+                                format_address(path + sub)
+                                for sub in _sampler_paths(subtree)
+                            ),
+                        )
+                        tracer.end(span)
                     frontier.append(alternative)
                     out.append(alternative)
                     if len(out) >= limit:

@@ -37,8 +37,10 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.algebra.addressing import format_address
 from repro.algebra.logical import LogicalNode, SamplerNode
 from repro.core.sampler_state import SamplerState
+from repro.obs import trace as obs_trace
 from repro.samplers.base import PassThroughSpec, SamplerSpec
 from repro.samplers.distinct import DistinctSpec
 from repro.samplers.uniform import UniformSpec
@@ -250,17 +252,29 @@ def materialize_plan(
     # First pass: tentative decisions per sampler, grouped by family.
     samplers: List[Tuple[SamplerNode, SamplerDecision]] = []
     counter = {"next": 0}
+    tracer = obs_trace.current_tracer()
 
-    def tentative(node: LogicalNode) -> None:
-        for child in node.children:
-            tentative(child)
+    def tentative(node: LogicalNode, path: tuple) -> None:
+        for index, child in enumerate(node.children):
+            tentative(child, path + (index,))
         if isinstance(node, SamplerNode) and isinstance(node.spec, SamplerState):
             counter["next"] += 1
             seed = options.seed * 1_000_003 + counter["next"]
             decision = choose_physical(node.spec, deriver.stats_for(node.child), options, seed)
+            if tracer is not None:
+                span = tracer.begin(
+                    "asalqa.decision",
+                    address=format_address(path),
+                    kind=decision.spec.kind,
+                    c1=decision.c1,
+                    c2=decision.c2,
+                    support=round(decision.support, 2),
+                    reason=decision.reason,
+                )
+                tracer.end(span)
             samplers.append((node, decision))
 
-    tentative(plan)
+    tentative(plan, ())
 
     # Family coordination.
     families: Dict[int, List[int]] = {}

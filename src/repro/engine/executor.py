@@ -31,13 +31,18 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Callable, Dict, Optional, Tuple
 
-from repro.algebra.addressing import NodeAddress, plan_fingerprint
+from repro.algebra.addressing import NodeAddress, format_address, plan_fingerprint
 from repro.algebra.builder import Query
 from repro.algebra.logical import LogicalNode
 from repro.engine.costmodel import cost_plan
-from repro.engine.metrics import ClusterConfig, ParallelMetrics, PlanCost
+from repro.engine.metrics import ClusterConfig, FaultToleranceStats, ParallelMetrics, PlanCost
 from repro.engine.physical import OperatorMetrics, PhysicalPlan, PlanCache, compile_plan
 from repro.engine.table import Database, Table
+from repro.obs import log as obs_log
+from repro.obs import trace as obs_trace
+from repro.obs.registry import MetricsRegistry
+
+_LOG = obs_log.logger("engine.executor")
 
 __all__ = ["ExecutionResult", "PartialResult", "Executor"]
 
@@ -124,6 +129,11 @@ class Executor:
     plan_cache_size:
         Capacity of the fingerprint-keyed compiled-plan LRU (0 disables
         caching).
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` every layer
+        below this executor records into (plan-cache traffic, compile vs.
+        execute time, per-sampler telemetry, parallel fault counters). A
+        fresh private registry is created when omitted.
     """
 
     def __init__(
@@ -134,6 +144,7 @@ class Executor:
         parallel_options=None,
         attach_rowids: bool = True,
         plan_cache_size: int = 128,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.database = database
         self.config = config or ClusterConfig()
@@ -143,6 +154,8 @@ class Executor:
         self.plan_cache = PlanCache(capacity=int(plan_cache_size))
         self.compile_seconds = 0.0
         self.execute_seconds = 0.0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._cache_seen = {"hits": 0, "misses": 0, "evictions": 0}
         self._parallel = None
 
     # -- compilation ----------------------------------------------------------
@@ -180,18 +193,39 @@ class Executor:
         if self.parallelism > 1:
             return self._parallel_executor().execute(query)
         plan = query.plan if isinstance(query, Query) else query
+        tracer = obs_trace.current_tracer()
 
         t0 = perf_counter()
-        physical, cache_hit = self.compile(plan)
+        if tracer is not None:
+            with tracer.span("query.compile"):
+                physical, cache_hit = self.compile(plan)
+        else:
+            physical, cache_hit = self.compile(plan)
         compile_s = perf_counter() - t0
         self.compile_seconds += compile_s
+        _LOG.debug(
+            "compiled plan %s in %.4fs (cache %s)",
+            physical.fingerprint[:12], compile_s, "hit" if cache_hit else "miss",
+        )
 
         t0 = perf_counter()
-        table, cardinalities, op_metrics = physical.execute(
-            self.database, record_metrics=True
-        )
+        if tracer is not None:
+            with tracer.span(
+                "query.execute",
+                fingerprint=physical.fingerprint[:12],
+                cache_hit=cache_hit,
+                operators=physical.num_operators,
+            ):
+                table, cardinalities, op_metrics = physical.execute(
+                    self.database, record_metrics=True, tracer=tracer
+                )
+        else:
+            table, cardinalities, op_metrics = physical.execute(
+                self.database, record_metrics=True
+            )
         execute_s = perf_counter() - t0
         self.execute_seconds += execute_s
+        self._record_run(physical.fingerprint, compile_s, execute_s, cache_hit, op_metrics)
 
         # Cost the compiled logical tree: on a canonical cache hit its
         # addresses (not necessarily the submitted object's) key the
@@ -236,12 +270,57 @@ class Executor:
 
         t0 = perf_counter()
         table, cardinalities, _ = physical.execute(
-            self.database, overrides=overrides, should_abort=should_abort
+            self.database,
+            overrides=overrides,
+            should_abort=should_abort,
+            tracer=obs_trace.current_tracer(),
         )
         self.execute_seconds += perf_counter() - t0
         return table, cardinalities
 
     # -- reporting ------------------------------------------------------------
+    def _record_run(
+        self,
+        fingerprint: str,
+        compile_s: float,
+        execute_s: float,
+        cache_hit: bool,
+        op_metrics: Tuple[OperatorMetrics, ...],
+    ) -> None:
+        """Fold one serial run into the metrics registry."""
+        registry = self.registry
+        registry.counter("executor.queries").inc()
+        registry.histogram("executor.compile_seconds").observe(compile_s)
+        registry.histogram("executor.execute_seconds").observe(execute_s)
+        self._absorb_plan_cache()
+        short = fingerprint[:12]
+        for op in op_metrics:
+            if op.sampler is None:
+                continue
+            labels = {
+                "plan": short,
+                "address": format_address(op.address),
+                "kind": op.sampler["kind"],
+            }
+            registry.counter("sampler.rows_in", **labels).inc(op.rows_in)
+            registry.counter("sampler.rows_out", **labels).inc(op.rows_out)
+            registry.gauge("sampler.weight_mass", **labels).set(op.sampler["weight_mass"])
+            registry.gauge("sampler.effective_rate", **labels).set(
+                op.sampler["effective_rate"]
+            )
+            registry.gauge("sampler.target_p", **labels).set(op.sampler["target_p"])
+
+    def _absorb_plan_cache(self) -> None:
+        """Forward plan-cache counter deltas into the registry (the cache
+        keeps its own monotonic counts; the registry gets the increments so
+        ``reset()`` establishes a clean harvest boundary)."""
+        stats = self.plan_cache.stats()
+        for key in ("hits", "misses", "evictions"):
+            delta = stats[key] - self._cache_seen[key]
+            if delta:
+                self.registry.counter(f"plan_cache.{key}").inc(delta)
+            self._cache_seen[key] = stats[key]
+
     def timings(self) -> dict:
         """Cumulative compile/execute split and plan-cache statistics."""
         out = {
@@ -259,6 +338,37 @@ class Executor:
             out["fault_tolerance"] = self._parallel.stats.summary()
         return out
 
+    def snapshot(self) -> dict:
+        """One JSON-able view of everything this executor measured: the
+        legacy ``timings()`` block plus the full metrics registry."""
+        self._absorb_plan_cache()
+        if self._parallel is not None:
+            self._parallel.serial_executor._absorb_plan_cache()
+        return {"timings": self.timings(), "metrics": self.registry.snapshot()}
+
+    def reset_metrics(self) -> dict:
+        """Zero every statistic while keeping caches warm.
+
+        Returns the final pre-reset snapshot. This is the harvest boundary
+        benchmarks need: a warm-up pass primes the plan caches, then
+        ``reset_metrics()`` guarantees the measured pass's counters start
+        from zero instead of bleeding across phases.
+        """
+        final = self.snapshot()
+        self.compile_seconds = 0.0
+        self.execute_seconds = 0.0
+        self.plan_cache.reset_stats()
+        self._cache_seen = {"hits": 0, "misses": 0, "evictions": 0}
+        self.registry.reset()
+        if self._parallel is not None:
+            serial = self._parallel.serial_executor
+            serial.compile_seconds = 0.0
+            serial.execute_seconds = 0.0
+            serial.plan_cache.reset_stats()
+            serial._cache_seen = {"hits": 0, "misses": 0, "evictions": 0}
+            self._parallel.stats = FaultToleranceStats()
+        return final
+
     def _parallel_executor(self):
         if self._parallel is None:
             from repro.parallel.executor import ParallelExecutor
@@ -268,5 +378,6 @@ class Executor:
                 self.config,
                 parallelism=self.parallelism,
                 options=self.parallel_options,
+                registry=self.registry,
             )
         return self._parallel

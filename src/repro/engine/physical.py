@@ -73,15 +73,21 @@ class OperatorMetrics:
     rows_in: int
     rows_out: int
     seconds: float
+    #: Samplers only: accuracy telemetry — kind, target probability,
+    #: effective pass rate and output Horvitz-Thompson weight mass.
+    sampler: Optional[dict] = None
 
     def summary(self) -> dict:
-        return {
+        out = {
             "address": format_address(self.address),
             "op": self.description,
             "rows_in": self.rows_in,
             "rows_out": self.rows_out,
             "seconds": self.seconds,
         }
+        if self.sampler is not None:
+            out["sampler"] = dict(self.sampler)
+        return out
 
 
 @dataclass(frozen=True)
@@ -136,6 +142,7 @@ class PhysicalPlan:
         overrides: Optional[Dict[NodeAddress, Table]] = None,
         record_metrics: bool = False,
         should_abort: Optional[Callable[[], bool]] = None,
+        tracer=None,
     ) -> Tuple[Table, Dict[NodeAddress, int], Tuple[OperatorMetrics, ...]]:
         """Run the pipeline against ``database``.
 
@@ -145,9 +152,12 @@ class PhysicalPlan:
         ``should_abort`` is polled between operators; when it turns true the
         run raises :class:`TaskCancelled` — the cooperative-cancellation
         hook the task scheduler uses to stop speculative losers without
-        waiting out the whole pipeline. Returns the raw root table (lineage
-        intact), per-address output cardinalities, and per-operator metrics
-        (empty unless requested).
+        waiting out the whole pipeline. ``tracer`` (a
+        :class:`repro.obs.trace.Tracer`) records one span per executed
+        operator, carrying its address, rows-in/rows-out and — for samplers
+        — the effective rate vs. target ``p`` and output weight mass.
+        Returns the raw root table (lineage intact), per-address output
+        cardinalities, and per-operator metrics (empty unless requested).
         """
         ops = self.ops
         skipped = bytearray(len(ops))
@@ -164,6 +174,7 @@ class PhysicalPlan:
         slots: List[Optional[Table]] = [None] * len(ops)
         cardinalities: Dict[NodeAddress, int] = {}
         metrics: List[OperatorMetrics] = []
+        observe = record_metrics or tracer is not None
 
         for op in ops:
             if skipped[op.index]:
@@ -172,8 +183,14 @@ class PhysicalPlan:
                 raise TaskCancelled(
                     f"execution aborted before operator {format_address(op.address)}"
                 )
-            started = time.perf_counter() if record_metrics else 0.0
-            if overrides and op.address in overrides:
+            started = time.perf_counter() if observe else 0.0
+            span = (
+                tracer.begin(f"op.{op.opcode}", address=format_address(op.address))
+                if tracer is not None
+                else None
+            )
+            overridden = bool(overrides) and op.address in overrides
+            if overridden:
                 table = overrides[op.address]
                 rows_in = table.num_rows
             else:
@@ -189,6 +206,18 @@ class PhysicalPlan:
                 slots[slot] = None
             slots[op.index] = table
             cardinalities[op.address] = table.num_rows
+            sampler_stats = (
+                _sampler_stats(op.node.spec, rows_in, table)
+                if observe and op.opcode == "sampler" and not overridden
+                else None
+            )
+            if span is not None:
+                attrs = {"rows_in": rows_in, "rows_out": table.num_rows}
+                if overridden:
+                    attrs["override"] = True
+                if sampler_stats is not None:
+                    attrs.update(sampler_stats)
+                tracer.end(span, **attrs)
             if record_metrics:
                 metrics.append(
                     OperatorMetrics(
@@ -197,6 +226,7 @@ class PhysicalPlan:
                         rows_in=rows_in,
                         rows_out=table.num_rows,
                         seconds=time.perf_counter() - started,
+                        sampler=sampler_stats,
                     )
                 )
 
@@ -235,6 +265,26 @@ class PhysicalPlan:
         if op.opcode == "union":
             return operators.execute_union_all(inputs)
         raise PlanError(f"compiled plan has unknown opcode {op.opcode!r}")
+
+
+def _sampler_stats(spec, rows_in: int, out: Table) -> dict:
+    """Accuracy telemetry of one sampler execution.
+
+    ``weight_mass`` is the sum of output Horvitz-Thompson weights — an
+    unbiased estimate of the sampler's input cardinality, so comparing it
+    to ``rows_in`` shows the estimator's realized accuracy at this node.
+    """
+    target = getattr(spec, "p", None)
+    if target is None:
+        target = spec.expected_fraction()
+    return {
+        "kind": spec.kind,
+        "target_p": float(target),
+        "effective_rate": (out.num_rows / rows_in) if rows_in > 0 else 0.0,
+        "weight_mass": float(out.weights().sum())
+        if out.has_weights()
+        else float(out.num_rows),
+    }
 
 
 _OPCODES = (
@@ -364,6 +414,13 @@ class PlanCache:
 
     def clear(self) -> None:
         self._entries.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters without dropping entries —
+        the harvest boundary between a warm-up pass and a measured pass."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def stats(self) -> dict:
         return {

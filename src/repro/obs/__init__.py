@@ -1,0 +1,49 @@
+"""Observability: tracing, metrics and logging for the whole pipeline.
+
+One coherent layer replaces the scattered ad-hoc stats the system grew
+organically (``PlanCache`` counters, ``ParallelMetrics``,
+``FaultToleranceStats``, per-operator rows/time):
+
+* :mod:`repro.obs.trace` — a zero-dependency span tracer. Spans carry
+  attributes, nest by thread-local context, survive pickling across worker
+  processes (serializable buffers spliced back into the parent trace), and
+  export both a Chrome/Perfetto ``trace_event`` JSON file and a human tree
+  view.
+* :mod:`repro.obs.registry` — a central :class:`MetricsRegistry` of
+  counters, gauges and fixed-bucket histograms, keyed by metric name plus
+  labels (plan fingerprint, node address, sampler kind, ...), with explicit
+  ``snapshot()``/``reset()`` so repeated runs cannot bleed into each other.
+* :mod:`repro.obs.log` — the stdlib ``logging`` hierarchy rooted at
+  ``repro`` (NullHandler by default; ``configure()`` wires a stream handler
+  for the CLI's ``--log-level`` flag).
+* :mod:`repro.obs.explain` — the ``explain-analyze`` renderer: the
+  annotated operator tree (estimated vs. actual rows, sampler accuracy
+  telemetry, C1/C2 dominance-check values).
+
+Everything is optional and pay-for-play: with no tracer installed and no
+registry consulted, the instrumented hot paths cost one ``is None`` branch.
+"""
+
+from repro.obs.log import configure as configure_logging
+from repro.obs.log import logger
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    current_tracer,
+    get_tracer,
+    set_tracer,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "current_tracer",
+    "get_tracer",
+    "logger",
+    "set_tracer",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,52 @@
+"""The ``repro`` logger hierarchy.
+
+Library modules obtain loggers through :func:`logger` (``repro.<name>``)
+and emit freely; by default everything vanishes into a ``NullHandler`` —
+the stdlib contract for libraries — so importing the package never prints.
+The CLI's ``--log-level`` flag calls :func:`configure` to attach one stream
+handler at the chosen level; calling it again (e.g. in tests) replaces the
+handler instead of stacking duplicates.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["logger", "configure", "LEVELS"]
+
+LEVELS = ("debug", "info", "warning", "error")
+
+_ROOT = logging.getLogger("repro")
+_ROOT.addHandler(logging.NullHandler())
+
+#: Marker attribute identifying the handler :func:`configure` installed.
+_CONFIGURED_FLAG = "_repro_configured"
+
+
+def logger(name: Optional[str] = None) -> logging.Logger:
+    """``repro`` (no argument) or ``repro.<name>``."""
+    return _ROOT.getChild(name) if name else _ROOT
+
+
+def configure(level: str = "info", stream=None) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` root at ``level``.
+
+    Idempotent: a handler previously installed by this function is removed
+    first, so repeated CLI invocations in one process (tests) do not stack
+    handlers and double-print.
+    """
+    if level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r}; expected one of {LEVELS}")
+    for handler in list(_ROOT.handlers):
+        if getattr(handler, _CONFIGURED_FLAG, False):
+            _ROOT.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+    )
+    setattr(handler, _CONFIGURED_FLAG, True)
+    _ROOT.addHandler(handler)
+    _ROOT.setLevel(getattr(logging, level.upper()))
+    return _ROOT

@@ -1,0 +1,241 @@
+"""Central metrics registry: counters, gauges and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` per executor session absorbs the statistics
+that previously lived in four disconnected structures (``PlanCache``
+counters, the executor's compile/execute split, ``ParallelMetrics``
+retry/speculation/degradation counts, per-sampler rows and weight mass),
+keyed uniformly by metric name plus a label set — typically the plan
+fingerprint and the node's structural address from
+:mod:`repro.algebra.addressing`, so a metric line reads "sampler at
+``r.0.1.0`` of plan ``ab12cd…`` emitted 11897 of 120034 rows".
+
+Design points:
+
+* **get-or-create instruments** — ``registry.counter("x", plan=fp)``
+  returns the same :class:`Counter` for the same (name, labels) pair, so
+  call sites never pre-register anything;
+* **fixed-bucket histograms** — percentiles come from cumulative bucket
+  counts (upper-bound reporting, exact min/max kept separately), bounded
+  memory regardless of observation count;
+* **snapshot()/reset()** — an explicit harvest boundary. ``snapshot()``
+  returns a plain JSON-able dict; ``reset()`` zeroes every instrument (and
+  returns the final pre-reset snapshot) so cold-vs-warm benchmark phases
+  and repeated queries cannot bleed into each other.
+
+Thread-safe: instrument creation takes the registry lock; increments rely
+on the GIL's atomicity for ``+=`` on the instrument (the same contract the
+rest of the codebase uses for counters).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: Default histogram buckets (seconds-oriented, exponential): good for both
+#: sub-millisecond operator timings and multi-second query wall clocks.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Gauge:
+    """Last-set value (e.g. effective sampling rate, weight mass)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> Optional[float]:
+        return self.value
+
+    def reset(self) -> None:
+        self.value = None
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative-count percentiles."""
+
+    __slots__ = ("buckets", "counts", "count", "total", "min", "max")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        # counts[i] observes values <= buckets[i]; the final slot is overflow.
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Upper bound of the bucket holding the ``q``-quantile observation
+        (clamped to the exact max; ``None`` when empty)."""
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            cumulative += n
+            if cumulative >= target:
+                upper = self.buckets[i] if i < len(self.buckets) else self.max
+                return min(upper, self.max) if self.max is not None else upper
+        return self.max
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def snapshot(self) -> dict:
+        out = {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+        if self.count:
+            out["p50"] = self.percentile(0.50)
+            out["p95"] = self.percentile(0.95)
+            out["p99"] = self.percentile(0.99)
+        return out
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Name+labels-keyed store of counters, gauges and histograms."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: Dict[Tuple[str, str, LabelKey], Any] = {}
+
+    # -- get-or-create --------------------------------------------------------
+    def _get(self, kind: str, name: str, labels: Dict[str, Any], **kwargs):
+        key = (kind, name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._instruments.get(key)
+                if instrument is None:
+                    existing_kinds = {k for k, n, _ in self._instruments if n == name}
+                    if existing_kinds and kind not in existing_kinds:
+                        raise ValueError(
+                            f"metric {name!r} already registered as "
+                            f"{sorted(existing_kinds)[0]}, cannot re-register as {kind}"
+                        )
+                    instrument = _KINDS[kind](**kwargs)
+                    self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None, **labels: Any
+    ) -> Histogram:
+        if buckets is None:
+            return self._get("histogram", name, labels)
+        return self._get("histogram", name, labels, buckets=buckets)
+
+    # -- harvest --------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-dict view: ``{kind: {name: [{"labels": …, …}, …]}}``."""
+        with self._lock:
+            items = list(self._instruments.items())
+        out: Dict[str, Dict[str, List[dict]]] = {}
+        for (kind, name, label_key), instrument in sorted(
+            items, key=lambda kv: (kv[0][0], kv[0][1], kv[0][2])
+        ):
+            entry = {"labels": dict(label_key)}
+            value = instrument.snapshot()
+            if isinstance(value, dict):
+                entry.update(value)
+            else:
+                entry["value"] = value
+            out.setdefault(kind, {}).setdefault(name, []).append(entry)
+        return out
+
+    def reset(self) -> dict:
+        """Zero every instrument; returns the final pre-reset snapshot."""
+        final = self.snapshot()
+        with self._lock:
+            for instrument in self._instruments.values():
+                instrument.reset()
+        return final
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    # -- conveniences ---------------------------------------------------------
+    def value(self, name: str, **labels: Any) -> Any:
+        """Current value of a counter/gauge (0/None if never touched)."""
+        for kind in ("counter", "gauge"):
+            instrument = self._instruments.get((kind, name, _label_key(labels)))
+            if instrument is not None:
+                return instrument.snapshot()
+        return None
+
+    def total(self, name: str) -> float:
+        """Sum of a counter across every label set (0.0 when absent)."""
+        return sum(
+            inst.snapshot()
+            for (kind, n, _), inst in self._instruments.items()
+            if kind == "counter" and n == name
+        )
+
+    def __len__(self) -> int:
+        return len(self._instruments)

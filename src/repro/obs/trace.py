@@ -1,0 +1,460 @@
+"""Zero-dependency span tracer with Chrome/Perfetto export.
+
+A :class:`Span` is one timed region of work — an operator execution, a task
+attempt, an ASALQA rule firing — with a name, attributes, monotonic start
+and end timestamps, and a parent. A :class:`Tracer` collects spans for one
+session (one CLI invocation, one test) and renders them two ways:
+
+* :meth:`Tracer.to_chrome` — the Chrome ``trace_event`` JSON array format
+  (complete ``"X"`` events with ``ts``/``dur`` in microseconds plus
+  process/thread metadata events), loadable in Perfetto or
+  ``chrome://tracing``;
+* :meth:`Tracer.render_tree` — an indented human tree view, the backbone of
+  ``explain-analyze`` output.
+
+Two usage modes coexist because execution overlaps in two different ways:
+
+* **context-manager spans** (:meth:`Tracer.span`) nest through a
+  thread-local stack — right for the planner and the serial executor,
+  where one thread descends through phases;
+* **manual spans** (:meth:`Tracer.begin` / :meth:`Tracer.end`) for regions
+  that overlap arbitrarily — the task scheduler keeps many attempt spans
+  open at once and closes each with its outcome (``ok``, ``error``,
+  ``cancelled``).
+
+Cross-process stitching: a worker cannot append to the parent's tracer, so
+the task runtime installs a fresh tracer as the *thread-local override*
+inside the worker (:func:`push_override`), ships its serialized
+:meth:`Tracer.buffer` back with the payload, and the parent
+:meth:`Tracer.adopt`\\ s it under the attempt span — remapping span ids so
+the spliced subtree hangs off the right parent. Timestamps are raw
+``perf_counter_ns`` values; under the fork start method (the only process
+mode the pools support) parent and children share the monotonic clock base,
+so worker spans land at the right wall position in the merged trace.
+
+The module-level tracer (:func:`set_tracer` / :func:`current_tracer`) is
+how instrumented code finds the active tracer without plumbing it through
+every signature. ``current_tracer()`` returning ``None`` is the disabled
+fast path: instrumentation must guard on it and do nothing.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "current_tracer",
+    "push_override",
+    "pop_override",
+    "maybe_span",
+    "validate_chrome_trace",
+]
+
+
+@dataclass
+class Span:
+    """One timed region of work."""
+
+    span_id: int
+    name: str
+    start_ns: int
+    parent_id: Optional[int] = None
+    end_ns: Optional[int] = None
+    status: str = "ok"
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    pid: int = field(default_factory=os.getpid)
+    tid: int = field(default_factory=threading.get_ident)
+
+    @property
+    def closed(self) -> bool:
+        return self.end_ns is not None
+
+    @property
+    def duration_ns(self) -> int:
+        if self.end_ns is None:
+            return 0
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns / 1e6
+
+    def to_dict(self) -> dict:
+        """Picklable/JSON-able encoding (the unit of worker span buffers)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+
+
+class _SpanContext:
+    """Context manager wrapping one stack-nested span."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        status = "ok"
+        if exc_type is not None:
+            from repro.errors import TaskCancelled
+
+            status = "cancelled" if issubclass(exc_type, TaskCancelled) else "error"
+            self.span.attributes.setdefault("error", f"{exc_type.__name__}: {exc}")
+        self._tracer._pop(self.span, status)
+        return None  # never swallow
+
+
+class Tracer:
+    """Collects spans for one session; thread-safe."""
+
+    def __init__(self, name: str = "repro"):
+        self.name = name
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._next_id = 1
+        self._stacks = threading.local()
+
+    # -- span lifecycle -------------------------------------------------------
+    def _stack(self) -> List[int]:
+        stack = getattr(self._stacks, "value", None)
+        if stack is None:
+            stack = []
+            self._stacks.value = stack
+        return stack
+
+    def current_span_id(self) -> Optional[int]:
+        """Innermost open context-manager span of this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def begin(
+        self, name: str, parent_id: Optional[int] = None, **attributes: Any
+    ) -> Span:
+        """Open a span without touching the nesting stack (manual mode).
+
+        With no explicit ``parent_id`` the span hangs off this thread's
+        innermost context-manager span, so manual spans still nest under
+        the phase that launched them.
+        """
+        if parent_id is None:
+            parent_id = self.current_span_id()
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        span = Span(
+            span_id=span_id,
+            name=name,
+            start_ns=time.perf_counter_ns(),
+            parent_id=parent_id,
+            attributes=dict(attributes),
+        )
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    def end(self, span: Span, status: str = "ok", **attributes: Any) -> Span:
+        """Close a manually-opened span with its outcome."""
+        if span.end_ns is None:
+            span.end_ns = time.perf_counter_ns()
+        span.status = status
+        if attributes:
+            span.attributes.update(attributes)
+        return span
+
+    def span(self, name: str, **attributes: Any) -> _SpanContext:
+        """Open a stack-nested span; ``with tracer.span("phase") as sp:``."""
+        sp = self.begin(name, **attributes)
+        self._stack().append(sp.span_id)
+        return _SpanContext(self, sp)
+
+    def _pop(self, span: Span, status: str) -> None:
+        stack = self._stack()
+        if stack and stack[-1] == span.span_id:
+            stack.pop()
+        self.end(span, status=status)
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def find(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def unclosed(self) -> List[Span]:
+        return [s for s in self.spans if not s.closed]
+
+    def children_of(self, span_id: Optional[int]) -> List[Span]:
+        return sorted(
+            (s for s in self.spans if s.parent_id == span_id),
+            key=lambda s: s.start_ns,
+        )
+
+    # -- cross-process stitching ----------------------------------------------
+    def buffer(self) -> List[dict]:
+        """Serializable (picklable, JSON-able) encoding of every span."""
+        return [s.to_dict() for s in self.spans]
+
+    def adopt(self, buffer: List[dict], parent_id: Optional[int] = None) -> List[Span]:
+        """Splice a worker's span buffer into this trace.
+
+        Span ids are remapped into this tracer's id space; buffer-root spans
+        (those whose parent is not in the buffer) are re-parented onto
+        ``parent_id``. Returns the adopted spans.
+        """
+        if not buffer:
+            return []
+        with self._lock:
+            id_map = {}
+            for entry in buffer:
+                id_map[entry["span_id"]] = self._next_id
+                self._next_id += 1
+        adopted = []
+        for entry in buffer:
+            old_parent = entry.get("parent_id")
+            new_parent = id_map.get(old_parent, parent_id)
+            span = Span(
+                span_id=id_map[entry["span_id"]],
+                name=entry["name"],
+                start_ns=entry["start_ns"],
+                parent_id=new_parent,
+                end_ns=entry.get("end_ns"),
+                status=entry.get("status", "ok"),
+                attributes=dict(entry.get("attributes") or {}),
+                pid=entry.get("pid", os.getpid()),
+                tid=entry.get("tid", 0),
+            )
+            adopted.append(span)
+        with self._lock:
+            self._spans.extend(adopted)
+        return adopted
+
+    # -- export ---------------------------------------------------------------
+    def to_chrome(self) -> List[dict]:
+        """Chrome ``trace_event`` JSON array: ``"X"`` complete events.
+
+        ``ts`` is microseconds since the earliest span in the trace, so the
+        file opens at t=0 in Perfetto regardless of process uptime.
+        """
+        spans = self.spans
+        if not spans:
+            return []
+        epoch = min(s.start_ns for s in spans)
+        events: List[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"{self.name} (pid {pid})"},
+            }
+            for pid in sorted({s.pid for s in spans})
+        ]
+        for s in spans:
+            end_ns = s.end_ns if s.end_ns is not None else s.start_ns
+            args = {k: _jsonable(v) for k, v in s.attributes.items()}
+            if s.status != "ok":
+                args["status"] = s.status
+            if s.end_ns is None:
+                args["unclosed"] = True
+            args["span_id"] = s.span_id
+            if s.parent_id is not None:
+                args["parent_id"] = s.parent_id
+            events.append(
+                {
+                    "name": s.name,
+                    "ph": "X",
+                    "ts": (s.start_ns - epoch) / 1000.0,
+                    "dur": max(0.0, (end_ns - s.start_ns) / 1000.0),
+                    "pid": s.pid,
+                    "tid": s.tid,
+                    "cat": s.status,
+                    "args": args,
+                }
+            )
+        return events
+
+    def write_chrome(self, path: str) -> int:
+        """Write the Chrome trace JSON to ``path``; returns event count."""
+        events = self.to_chrome()
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(events, fh)
+        return len(events)
+
+    def render_tree(self, max_attr_width: int = 60) -> str:
+        """Indented human view of the span forest."""
+        out = io.StringIO()
+
+        def fmt_attrs(span: Span) -> str:
+            if not span.attributes:
+                return ""
+            text = " ".join(f"{k}={_short(v)}" for k, v in span.attributes.items())
+            if len(text) > max_attr_width:
+                text = text[: max_attr_width - 1] + "…"
+            return "  " + text
+
+        def walk(parent_id: Optional[int], depth: int) -> None:
+            for span in self.children_of(parent_id):
+                marker = "" if span.status == "ok" else f" [{span.status}]"
+                out.write(
+                    f"{'  ' * depth}{span.name}{marker}  "
+                    f"{span.duration_ms:.3f}ms{fmt_attrs(span)}\n"
+                )
+                walk(span.span_id, depth + 1)
+
+        roots = {s.span_id for s in self.spans}
+        # A span whose parent is unknown (e.g. adopted with a lost parent)
+        # renders as a root rather than disappearing.
+        for span in sorted(self.spans, key=lambda s: s.start_ns):
+            if span.parent_id is None or span.parent_id not in roots:
+                marker = "" if span.status == "ok" else f" [{span.status}]"
+                out.write(f"{span.name}{marker}  {span.duration_ms:.3f}ms"
+                          f"{fmt_attrs(span)}\n")
+                walk(span.span_id, 1)
+        return out.getvalue()
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def _short(value: Any) -> str:
+    text = str(value)
+    return text if len(text) <= 24 else text[:23] + "…"
+
+
+# -- active-tracer management --------------------------------------------------
+
+#: Session tracer, installed by the CLI's ``--trace`` flag (or tests).
+_GLOBAL: Optional[Tracer] = None
+
+#: Thread-local override: worker code runs under its own buffer tracer so
+#: spans recorded inside a task attempt land in the pickled buffer, not the
+#: (possibly fork-inherited, possibly shared-by-threads) session tracer.
+_OVERRIDE = threading.local()
+
+
+def set_tracer(tracer: Optional[Tracer]) -> None:
+    """Install (or clear, with ``None``) the session tracer."""
+    global _GLOBAL
+    _GLOBAL = tracer
+
+
+def get_tracer() -> Optional[Tracer]:
+    """The session tracer, ignoring thread-local overrides."""
+    return _GLOBAL
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The tracer instrumented code should record into right now."""
+    override = getattr(_OVERRIDE, "value", None)
+    if override is not None:
+        return override
+    return _GLOBAL
+
+
+def push_override(tracer: Tracer) -> Optional[Tracer]:
+    """Make ``tracer`` this thread's active tracer; returns the previous
+    override (to pass back to :func:`pop_override`)."""
+    previous = getattr(_OVERRIDE, "value", None)
+    _OVERRIDE.value = tracer
+    return previous
+
+
+def pop_override(previous: Optional[Tracer]) -> None:
+    _OVERRIDE.value = previous
+
+
+def maybe_span(name: str, **attributes):
+    """Context manager over the active tracer; a no-op when tracing is off.
+
+    Instrumentation call sites use this so the disabled path costs one
+    tracer lookup and a reusable null context — no span objects.
+    """
+    tracer = current_tracer()
+    if tracer is None:
+        return contextlib.nullcontext(None)
+    return tracer.span(name, **attributes)
+
+
+# -- trace-schema validation ---------------------------------------------------
+
+def validate_chrome_trace(events: List[dict]) -> List[str]:
+    """Schema check for an exported trace; returns a list of problems.
+
+    Every event must carry ``ph``/``ts``/``pid``/``tid``; complete (``X``)
+    events additionally need a non-negative ``dur``; span ids referenced as
+    parents must exist. An empty list means the trace is well-formed — the
+    CI trace-validation step fails the build on any problem.
+    """
+    problems: List[str] = []
+    if not isinstance(events, list):
+        return [f"trace must be a JSON array of events, got {type(events).__name__}"]
+    span_ids = set()
+    parents: List[tuple] = []
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        for key in ("ph", "ts", "pid", "tid"):
+            if key not in event:
+                problems.append(f"event {i} ({event.get('name', '?')}): missing {key!r}")
+        ph = event.get("ph")
+        if ph == "X":
+            dur = event.get("dur")
+            if dur is None:
+                problems.append(f"event {i} ({event.get('name', '?')}): X event missing 'dur'")
+            elif dur < 0:
+                problems.append(f"event {i} ({event.get('name', '?')}): negative dur {dur}")
+            args = event.get("args") or {}
+            if args.get("unclosed"):
+                problems.append(f"event {i} ({event.get('name', '?')}): unclosed span")
+            if "span_id" in args:
+                span_ids.add(args["span_id"])
+            if "parent_id" in args:
+                parents.append((i, event.get("name", "?"), args["parent_id"]))
+        elif ph not in ("M", "X", "B", "E", "i", "C"):
+            problems.append(f"event {i} ({event.get('name', '?')}): unknown phase {ph!r}")
+    for i, name, parent in parents:
+        if parent not in span_ids:
+            problems.append(f"event {i} ({name}): parent span {parent} not in trace")
+    return problems
+
+
+def iter_trace_file(path: str) -> Iterator[dict]:
+    """Load a trace file written by :meth:`Tracer.write_chrome`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        events = json.load(fh)
+    yield from events

@@ -32,12 +32,16 @@ from repro.algebra.logical import LogicalNode
 from repro.core.asalqa import Asalqa, AsalqaOptions, AsalqaResult
 from repro.engine.metrics import PlanCost
 from repro.engine.table import Database
+from repro.obs import log as obs_log
+from repro.obs.trace import maybe_span
 from repro.optimizer.join_order import reorder_joins
 from repro.optimizer.rules import normalize
 from repro.stats.catalog import Catalog
 from repro.stats.derivation import StatsDeriver
 
 __all__ = ["BaselinePlan", "QuickrPlanner"]
+
+_LOG = obs_log.logger("optimizer.planner")
 
 
 @dataclass
@@ -72,9 +76,11 @@ class QuickrPlanner:
 
     # -- relational preparation shared by both planners ----------------------
     def prepare(self, query: Query) -> Query:
-        plan = normalize(query.plan)
+        with maybe_span("planner.normalize", query=query.name):
+            plan = normalize(query.plan)
         if self.reorder:
-            plan = reorder_joins(plan, self._asalqa.deriver)
+            with maybe_span("planner.reorder_joins", query=query.name):
+                plan = reorder_joins(plan, self._asalqa.deriver)
         return Query(query.name, plan)
 
     def _cached(self, kind: str, query: Query):
@@ -87,9 +93,17 @@ class QuickrPlanner:
         if hit is not None:
             self._plan_cache.move_to_end(key)
             self.plan_cache_hits += 1
+            _LOG.debug("plan cache hit (%s) for %s", kind, query.name)
         else:
             self.plan_cache_misses += 1
+            _LOG.debug("plan cache miss (%s) for %s", kind, query.name)
         return key, hit
+
+    def reset_cache_stats(self) -> None:
+        """Zero the hit/miss counters (entries stay cached) — a harvest
+        boundary for benchmarks that separate cold and warm phases."""
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     def _remember(self, key, value):
         if key is None:
@@ -104,8 +118,9 @@ class QuickrPlanner:
         if hit is not None:
             return hit
         start = time.perf_counter()
-        prepared = self.prepare(query)
-        cost = self._asalqa._cost(prepared.plan)
+        with maybe_span("planner.plan_baseline", query=query.name):
+            prepared = self.prepare(query)
+            cost = self._asalqa._cost(prepared.plan)
         result = BaselinePlan(
             query_name=query.name,
             plan=prepared.plan,
@@ -120,8 +135,15 @@ class QuickrPlanner:
         key, hit = self._cached("quickr", query)
         if hit is not None:
             return hit
-        prepared = self.prepare(query)
-        result = self._asalqa.optimize(prepared)
+        with maybe_span("planner.plan", query=query.name) as span:
+            prepared = self.prepare(query)
+            result = self._asalqa.optimize(prepared)
+            if span is not None:
+                span.attributes.update(
+                    approximable=result.approximable,
+                    alternatives=result.alternatives_explored,
+                    samplers=",".join(result.sampler_kinds()),
+                )
         self._remember(key, result)
         return result
 

@@ -57,8 +57,12 @@ from repro.engine.metrics import (
     ParallelMetrics,
     modeled_speedup,
 )
+from repro.engine.physical import plan_fingerprint
 from repro.engine.table import WEIGHT_COLUMN, Database, Table, rowid_column_name
 from repro.errors import DegradedResultError, PlanError, TaskError
+from repro.obs import log as obs_log
+from repro.obs import trace as obs_trace
+from repro.obs.registry import MetricsRegistry
 from repro.parallel.faults import FaultPlan, corrupt_table
 from repro.parallel.merge import (
     PartialAggregate,
@@ -80,6 +84,8 @@ from repro.parallel.tasks import RetryPolicy, TaskRuntime, TaskSpec
 from repro.stats.derivation import reweight_surviving_partitions
 
 __all__ = ["ParallelOptions", "ParallelExecutor"]
+
+_LOG = obs_log.logger("parallel.executor")
 
 _MERGE_MODES = ("rows", "partial")
 
@@ -134,6 +140,7 @@ class ParallelExecutor:
         config: Optional[ClusterConfig] = None,
         parallelism: int = 2,
         options: Optional[ParallelOptions] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if parallelism < 1:
             raise PlanError(f"parallelism must be positive, got {parallelism}")
@@ -141,15 +148,65 @@ class ParallelExecutor:
         self.config = config or ClusterConfig()
         self.parallelism = int(parallelism)
         self.options = options or ParallelOptions()
+        #: Shared metrics registry — the serial executor records into the
+        #: same one, so compile/execute splits and fault counters line up.
+        self.registry = registry if registry is not None else MetricsRegistry()
         # One long-lived serial executor for upper-plan runs and fallbacks:
         # its plan cache warms across repeated queries.
-        self.serial_executor = Executor(database, self.config)
+        self.serial_executor = Executor(database, self.config, registry=self.registry)
         #: Cumulative fault-tolerance ledger across every query this
         #: executor ran (printed by ``evaluate`` and ``chaos``).
         self.stats = FaultToleranceStats()
 
     def execute(self, query) -> ExecutionResult:
         plan = query.plan if isinstance(query, Query) else query
+        tracer = obs_trace.current_tracer()
+        if tracer is None:
+            result = self._execute(plan)
+        else:
+            with tracer.span(
+                "parallel.query",
+                parallelism=self.parallelism,
+                fingerprint=plan_fingerprint(plan)[:12],
+            ) as span:
+                result = self._execute(plan)
+                if result.parallel is not None:
+                    span.attributes.update(
+                        strategy=result.parallel.strategy,
+                        pool=result.parallel.pool_mode,
+                        tasks=result.parallel.tasks,
+                        retries=result.parallel.task_retries,
+                        degraded=result.parallel.degraded,
+                    )
+        self._fold_registry(result.parallel)
+        return result
+
+    def _fold_registry(self, metrics: Optional[ParallelMetrics]) -> None:
+        """Mirror one query's parallel ledger into the shared registry."""
+        if metrics is None:
+            return
+        registry = self.registry
+        registry.counter("parallel.queries").inc()
+        if metrics.strategy == "serial-fallback":
+            registry.counter("parallel.serial_fallbacks").inc()
+        if metrics.tasks:
+            registry.counter("parallel.tasks").inc(metrics.tasks)
+        if metrics.task_retries:
+            registry.counter("parallel.retries").inc(metrics.task_retries)
+        if metrics.speculative_launches:
+            registry.counter("parallel.speculative_launches").inc(metrics.speculative_launches)
+        if metrics.speculative_wins:
+            registry.counter("parallel.speculative_wins").inc(metrics.speculative_wins)
+        if metrics.faults_injected:
+            registry.counter("parallel.faults_injected").inc(metrics.faults_injected)
+        if metrics.failed_partitions:
+            registry.counter("parallel.failed_tasks").inc(len(metrics.failed_partitions))
+        if metrics.degraded:
+            registry.counter("parallel.degraded_queries").inc()
+        for seconds in metrics.worker_seconds:
+            registry.histogram("parallel.task_seconds").observe(seconds)
+
+    def _execute(self, plan) -> ExecutionResult:
         start = perf_counter()
         if self.parallelism == 1:
             return self._serial_fallback(plan, "parallelism=1", start)
@@ -304,7 +361,9 @@ class ParallelExecutor:
                 + self._why_not_degradable(analysis, merge_mode)
                 + " — re-executing serially"
             )
+            _LOG.warning("%s", reason)
             self.stats.serial_reexecutions += 1
+            self.registry.counter("parallel.serial_reexecutions").inc()
             try:
                 result = self._serial_fallback(plan, reason, start, record=False)
             except Exception as exc:
@@ -395,6 +454,13 @@ class ParallelExecutor:
         )
         self.stats.record(metrics)
         if lost:
+            _LOG.warning(
+                "degraded result: partition(s) %s permanently lost; "
+                "coverage %.2f, surviving weights rescaled by %.3f",
+                list(lost),
+                coverage,
+                reweight_factor,
+            )
             return PartialResult(
                 table=table.drop_lineage(),
                 cost=cost,
@@ -479,6 +545,7 @@ class ParallelExecutor:
         ``record=False`` defers the cumulative-stats entry to the caller
         (the re-execution path folds the failed parallel phase's task
         report into the metrics first)."""
+        _LOG.info("falling back to serial execution: %s", reason)
         result = self.serial_executor.execute(plan)
         elapsed = perf_counter() - start
         result.wall_clock_seconds = elapsed

@@ -40,9 +40,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import PlanError, TaskCancelled, TaskError
+from repro.obs import log as obs_log
+from repro.obs import trace as obs_trace
 from repro.parallel.pool import WorkerPool, fork_payload, _fork_available, _run_argument
 
 __all__ = ["TaskSpec", "RetryPolicy", "TaskOutcome", "TaskReport", "TaskRuntime", "task_seed"]
+
+_LOG = obs_log.logger("parallel.tasks")
 
 #: Multiplier/offsets of the deterministic per-attempt seed mix (splitmix-ish
 #: odd constants; any fixed values work — determinism is the point).
@@ -190,6 +194,47 @@ class _Attempt:
     future: Any
     started: float
     speculative: bool
+    #: Parent-side trace span of this attempt (None when tracing is off).
+    span: Any = None
+
+
+@dataclass
+class _TracedPayload:
+    """A worker's payload plus its serialized span buffer.
+
+    Plain data (the buffer is a list of dicts), so it pickles across the
+    process-pool result pipe; the parent adopts the spans under the
+    attempt span and unwraps the payload before validation.
+    """
+
+    payload: Any
+    spans: List[dict]
+
+
+def _traced_fn(fn: Callable[["TaskSpec"], Any]) -> Callable[["TaskSpec"], Any]:
+    """Wrap a work function to record its spans into a private buffer.
+
+    The wrapper installs a fresh :class:`~repro.obs.trace.Tracer` as the
+    worker's thread-local override, so instrumentation inside ``fn`` (the
+    physical executor's per-operator spans) lands in the buffer regardless
+    of pool backend — inline, thread, or fork — and is shipped back with
+    the payload. The closure travels to process workers by fork image, so
+    it does not need to pickle.
+    """
+
+    def traced(spec: "TaskSpec") -> _TracedPayload:
+        worker = obs_trace.Tracer()
+        previous = obs_trace.push_override(worker)
+        try:
+            with worker.span(
+                "task.work", partition=spec.partition, attempt=spec.attempt
+            ):
+                payload = fn(spec)
+        finally:
+            obs_trace.pop_override(previous)
+        return _TracedPayload(payload=payload, spans=worker.buffer())
+
+    return traced
 
 
 class TaskRuntime:
@@ -216,6 +261,8 @@ class TaskRuntime:
         self.policy = policy or RetryPolicy()
         self.base_seed = int(base_seed)
         self.abandoned: Set[Tuple[int, int]] = set()
+        #: Active tracer of the current :meth:`run` (None when tracing is off).
+        self._tracer: Optional[obs_trace.Tracer] = None
 
     # -- public entry ---------------------------------------------------------
     def run(
@@ -227,6 +274,9 @@ class TaskRuntime:
         if num_tasks < 1:
             raise PlanError(f"num_tasks must be >= 1, got {num_tasks}")
         self.abandoned.clear()
+        self._tracer = obs_trace.current_tracer()
+        if self._tracer is not None:
+            fn = _traced_fn(fn)
         mode = self.pool.resolve_mode()
         workers = self.pool.workers_for(num_tasks)
         outcomes = [TaskOutcome(partition=i) for i in range(num_tasks)]
@@ -273,6 +323,32 @@ class TaskRuntime:
             error.__cause__ = exc
             return error
 
+    def _begin_span(self, spec: TaskSpec, speculative: bool):
+        if self._tracer is None:
+            return None
+        return self._tracer.begin(
+            "task.attempt",
+            partition=spec.partition,
+            attempt=spec.attempt,
+            speculative=speculative,
+        )
+
+    def _end_span(self, span, status: str = "ok", **attributes) -> None:
+        if self._tracer is None or span is None or span.closed:
+            return
+        self._tracer.end(span, status=status, **attributes)
+
+    def _unwrap(self, payload, span):
+        """Adopt a worker's span buffer under the attempt span; return the
+        bare payload."""
+        if isinstance(payload, _TracedPayload):
+            if self._tracer is not None:
+                self._tracer.adopt(
+                    payload.spans, parent_id=span.span_id if span is not None else None
+                )
+            return payload.payload
+        return payload
+
     @staticmethod
     def _wrap(exc: BaseException, spec: TaskSpec, kind: str = "exception") -> TaskError:
         if isinstance(exc, TaskError):
@@ -295,20 +371,33 @@ class TaskRuntime:
                 spec = self._spec(outcome.partition, outcome.attempts, deadline=None)
                 outcome.attempts += 1
                 if failures:
-                    time.sleep(policy.backoff_seconds(failures, spec.seed))
+                    backoff = policy.backoff_seconds(failures, spec.seed)
+                    _LOG.warning(
+                        "partition %d retry %d/%d after %.3fs backoff",
+                        outcome.partition,
+                        failures,
+                        policy.max_attempts - 1,
+                        backoff,
+                    )
+                    time.sleep(backoff)
                 started = time.perf_counter()
+                span = self._begin_span(spec, speculative=False)
                 try:
                     payload = fn(spec)
                 except TaskCancelled:
+                    self._end_span(span, status="cancelled")
                     continue  # not charged as a failure; relaunch
                 except Exception as exc:
+                    self._end_span(span, status="error", error=f"{type(exc).__name__}: {exc}")
                     outcome.errors.append(self._wrap(exc, spec))
                     failures += 1
                     if failures < policy.max_attempts:
                         outcome.retries += 1
                     continue
+                payload = self._unwrap(payload, span)
                 error = self._check(payload, spec, validate)
                 if error is not None:
+                    self._end_span(span, status="error", error=str(error))
                     outcome.errors.append(error)
                     failures += 1
                     if failures < policy.max_attempts:
@@ -317,7 +406,15 @@ class TaskRuntime:
                 outcome.succeeded = True
                 outcome.payload = payload
                 outcome.seconds = time.perf_counter() - started
+                self._end_span(span, won=True)
                 break
+            if not outcome.succeeded:
+                _LOG.error(
+                    "partition %d permanently failed after %d attempt(s): %s",
+                    outcome.partition,
+                    outcome.attempts,
+                    outcome.errors[-1] if outcome.errors else "unknown error",
+                )
 
     # -- concurrent (thread/process) path -------------------------------------
     def _run_concurrent(
@@ -344,11 +441,20 @@ class TaskRuntime:
             outcome.attempts += 1
             if speculative:
                 outcome.speculative += 1
+                _LOG.info(
+                    "launching speculative duplicate for straggler partition %d "
+                    "(attempt %d, threshold %.3fs)",
+                    partition,
+                    spec.attempt,
+                    deadline if deadline is not None else float("nan"),
+                )
+            span = self._begin_span(spec, speculative=speculative)
             attempt = _Attempt(
                 spec=spec,
                 future=executor.submit(submit_fn, spec),
                 started=time.perf_counter(),
                 speculative=speculative,
+                span=span,
             )
             live[attempt.future] = attempt
 
@@ -359,11 +465,25 @@ class TaskRuntime:
             failures[partition] += 1
             if failures[partition] < policy.max_attempts:
                 outcome.retries += 1
-                eligible = time.perf_counter() + policy.backoff_seconds(
-                    failures[partition], attempt.spec.seed
+                backoff = policy.backoff_seconds(failures[partition], attempt.spec.seed)
+                _LOG.warning(
+                    "partition %d attempt %d failed (%s); retry %d/%d in %.3fs",
+                    partition,
+                    attempt.spec.attempt,
+                    error.kind,
+                    failures[partition],
+                    policy.max_attempts - 1,
+                    backoff,
                 )
-                retry_queue.append((eligible, partition))
-            # else: exhausted — the task fails when its last live attempt dies.
+                retry_queue.append((time.perf_counter() + backoff, partition))
+            else:
+                # Exhausted — the task fails when its last live attempt dies.
+                _LOG.error(
+                    "partition %d permanently failed after %d attempt(s): %s",
+                    partition,
+                    failures[partition],
+                    error,
+                )
 
         try:
             for outcome in outcomes:
@@ -415,9 +535,11 @@ class TaskRuntime:
                     try:
                         payload = future.result()
                     except TaskCancelled:
+                        self._end_span(attempt.span, status="cancelled")
                         self.abandoned.discard(key)
                         continue  # cooperative abort; never a failure
                     except BrokenProcessPool as exc:
+                        self._end_span(attempt.span, status="error", error="pool broke")
                         if can_recycle:
                             executor, live = self._recycle(
                                 make_executor, live, outcomes, failures, retry_queue, done
@@ -426,17 +548,23 @@ class TaskRuntime:
                             record_failure(attempt, self._wrap(exc, spec, kind="pool-broken"))
                         continue
                     except Exception as exc:
+                        self._end_span(
+                            attempt.span, status="error", error=f"{type(exc).__name__}: {exc}"
+                        )
                         self.abandoned.discard(key)
                         if partition in done:
                             continue  # a loser failing changes nothing
                         record_failure(attempt, self._wrap(exc, spec))
                         continue
 
+                    payload = self._unwrap(payload, attempt.span)
                     if key in self.abandoned or partition in done:
+                        self._end_span(attempt.span, status="cancelled")
                         self.abandoned.discard(key)
                         continue  # late loser; result discarded
                     error = self._check(payload, spec, validate)
                     if error is not None:
+                        self._end_span(attempt.span, status="error", error=str(error))
                         record_failure(attempt, error)
                         continue
 
@@ -447,14 +575,23 @@ class TaskRuntime:
                     outcome.seconds = time.perf_counter() - attempt.started
                     outcome.won_by_speculation = attempt.speculative
                     durations.append(outcome.seconds)
+                    self._end_span(
+                        attempt.span,
+                        won=True,
+                        seconds=outcome.seconds,
+                        won_by_speculation=attempt.speculative,
+                    )
                     # Cancel the losers: unstarted futures die now, running
                     # ones are flagged for cooperative abort and otherwise
-                    # ignored on arrival.
+                    # ignored on arrival. Their spans close *now*, at the
+                    # cancellation decision — late completions of abandoned
+                    # attempts are dropped without further observation.
                     for other_future, other in list(live.items()):
                         if other.spec.partition != partition:
                             continue
                         other_future.cancel()
                         self.abandoned.add((partition, other.spec.attempt))
+                        self._end_span(other.span, status="cancelled")
                         del live[other_future]
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
@@ -472,7 +609,12 @@ class TaskRuntime:
         one failure (their futures are dead with it)."""
         policy = self.policy
         now = time.perf_counter()
+        _LOG.warning(
+            "process pool broke; recycling (%d in-flight attempt(s) each charged one failure)",
+            len(live),
+        )
         for attempt in live.values():
+            self._end_span(attempt.span, status="error", error="pool broke")
             partition = attempt.spec.partition
             if partition in done:
                 continue

@@ -1,0 +1,62 @@
+"""Tests for the ``repro`` logger hierarchy."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.log import LEVELS, _CONFIGURED_FLAG, _ROOT, configure, logger
+
+
+@pytest.fixture(autouse=True)
+def _restore_root():
+    handlers, level = list(_ROOT.handlers), _ROOT.level
+    yield
+    _ROOT.handlers[:] = handlers
+    _ROOT.setLevel(level)
+
+
+class TestLogger:
+    def test_names_live_under_repro(self):
+        assert logger().name == "repro"
+        assert logger("parallel.tasks").name == "repro.parallel.tasks"
+
+    def test_silent_by_default(self, capsys):
+        # The unconfigured hierarchy has only a NullHandler: emitting must
+        # not print and must not trip the "no handlers" last-resort output.
+        for handler in list(_ROOT.handlers):
+            if getattr(handler, _CONFIGURED_FLAG, False):
+                _ROOT.removeHandler(handler)
+        logger("test").warning("should vanish")
+        captured = capsys.readouterr()
+        assert captured.out == "" and captured.err == ""
+
+
+class TestConfigure:
+    def test_writes_to_stream_at_level(self):
+        stream = io.StringIO()
+        configure("warning", stream=stream)
+        log = logger("unit")
+        log.info("hidden")
+        log.warning("visible")
+        text = stream.getvalue()
+        assert "hidden" not in text
+        assert "WARNING repro.unit: visible" in text
+
+    def test_reconfigure_replaces_handler(self):
+        configure("info", stream=io.StringIO())
+        stream = io.StringIO()
+        configure("debug", stream=stream)
+        configured = [h for h in _ROOT.handlers if getattr(h, _CONFIGURED_FLAG, False)]
+        assert len(configured) == 1
+        logger("unit").debug("once")
+        assert stream.getvalue().count("once") == 1
+        assert _ROOT.level == logging.DEBUG
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure("loud")
+
+    def test_levels_are_valid_logging_names(self):
+        for level in LEVELS:
+            assert isinstance(getattr(logging, level.upper()), int)

@@ -1,0 +1,208 @@
+"""Tests for the span tracer: nesting, statuses, stitching, Chrome export."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import TaskCancelled
+from repro.obs.trace import (
+    Tracer,
+    current_tracer,
+    get_tracer,
+    iter_trace_file,
+    maybe_span,
+    pop_override,
+    push_override,
+    set_tracer,
+    validate_chrome_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_session_tracer():
+    set_tracer(None)
+    yield
+    set_tracer(None)
+
+
+class TestSpanLifecycle:
+    def test_context_manager_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer", phase="plan"):
+            with tracer.span("inner"):
+                pass
+        outer, inner = tracer.find("outer")[0], tracer.find("inner")[0]
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert outer.closed and inner.closed
+        assert outer.attributes == {"phase": "plan"}
+        assert outer.duration_ns >= inner.duration_ns >= 0
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("work"):
+                raise ValueError("boom")
+        span = tracer.find("work")[0]
+        assert span.status == "error"
+        assert "ValueError: boom" in span.attributes["error"]
+
+    def test_task_cancelled_marks_cancelled(self):
+        tracer = Tracer()
+        with pytest.raises(TaskCancelled):
+            with tracer.span("attempt"):
+                raise TaskCancelled("superseded")
+        assert tracer.find("attempt")[0].status == "cancelled"
+
+    def test_manual_spans_nest_under_context_span(self):
+        tracer = Tracer()
+        with tracer.span("query") as outer:
+            manual = tracer.begin("task.attempt", partition=3)
+            tracer.end(manual, status="ok", seconds=0.5)
+        assert manual.parent_id == outer.span_id
+        assert manual.status == "ok"
+        assert manual.attributes == {"partition": 3, "seconds": 0.5}
+
+    def test_unclosed_reports_open_spans(self):
+        tracer = Tracer()
+        open_span = tracer.begin("never.closed")
+        done = tracer.begin("done")
+        tracer.end(done)
+        assert tracer.unclosed() == [open_span]
+
+    def test_children_sorted_by_start(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            tracer.end(tracer.begin("a"))
+            tracer.end(tracer.begin("b"))
+        names = [s.name for s in tracer.children_of(root.span_id)]
+        assert names == ["a", "b"]
+
+
+class TestAdopt:
+    def test_buffer_round_trips_through_json(self):
+        worker = Tracer()
+        with worker.span("task.work", partition=1):
+            with worker.span("op.scan"):
+                pass
+        buffer = json.loads(json.dumps(worker.buffer()))
+
+        parent = Tracer()
+        attempt = parent.begin("task.attempt")
+        adopted = parent.adopt(buffer, parent_id=attempt.span_id)
+        assert len(adopted) == 2
+        work = parent.find("task.work")[0]
+        scan = parent.find("op.scan")[0]
+        # Buffer root re-parented onto the attempt; internal edge remapped.
+        assert work.parent_id == attempt.span_id
+        assert scan.parent_id == work.span_id
+        assert work.attributes == {"partition": 1}
+
+    def test_adopt_ids_do_not_collide(self):
+        parent = Tracer()
+        first = parent.begin("a")
+        worker = Tracer()
+        worker.end(worker.begin("w"))  # worker span_id 1 == parent's first
+        adopted = parent.adopt(worker.buffer(), parent_id=first.span_id)
+        ids = [s.span_id for s in parent.spans]
+        assert len(ids) == len(set(ids))
+        assert adopted[0].span_id != first.span_id
+
+    def test_adopt_empty_buffer(self):
+        parent = Tracer()
+        assert parent.adopt([], parent_id=None) == []
+
+
+class TestChromeExport:
+    def test_export_is_schema_valid(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("query", fingerprint="ab12"):
+            with tracer.span("op.scan", address="r"):
+                pass
+        events = tracer.to_chrome()
+        assert validate_chrome_trace(events) == []
+        # One metadata event + one X event per span.
+        assert [e["ph"] for e in events].count("X") == 2
+        assert events[0]["ph"] == "M"
+        # Timestamps normalized to the earliest span.
+        assert min(e["ts"] for e in events if e["ph"] == "X") == 0.0
+
+        path = tmp_path / "trace.json"
+        count = tracer.write_chrome(str(path))
+        loaded = list(iter_trace_file(str(path)))
+        assert len(loaded) == count
+        assert validate_chrome_trace(loaded) == []
+
+    def test_unclosed_span_fails_validation(self):
+        tracer = Tracer()
+        tracer.begin("left.open")
+        problems = validate_chrome_trace(tracer.to_chrome())
+        assert any("unclosed span" in p for p in problems)
+
+    def test_dangling_parent_fails_validation(self):
+        events = [
+            {"name": "x", "ph": "X", "ts": 0, "dur": 1, "pid": 1, "tid": 1,
+             "args": {"span_id": 1, "parent_id": 99}},
+        ]
+        problems = validate_chrome_trace(events)
+        assert any("parent span 99" in p for p in problems)
+
+    def test_missing_required_keys_flagged(self):
+        problems = validate_chrome_trace([{"name": "x", "ph": "X", "dur": 1}])
+        assert any("missing 'ts'" in p for p in problems)
+        assert any("missing 'pid'" in p for p in problems)
+
+    def test_non_ok_status_exported(self):
+        tracer = Tracer()
+        tracer.end(tracer.begin("t"), status="cancelled")
+        (event,) = [e for e in tracer.to_chrome() if e["ph"] == "X"]
+        assert event["args"]["status"] == "cancelled"
+        assert event["cat"] == "cancelled"
+
+
+class TestRenderTree:
+    def test_tree_shows_nesting_and_status(self):
+        tracer = Tracer()
+        with tracer.span("planner.plan", query="q12"):
+            failed = tracer.begin("task.attempt")
+            tracer.end(failed, status="error")
+        text = tracer.render_tree()
+        lines = text.splitlines()
+        assert lines[0].startswith("planner.plan")
+        assert "query=q12" in lines[0]
+        assert lines[1].startswith("  task.attempt [error]")
+
+
+class TestActiveTracer:
+    def test_maybe_span_is_noop_without_tracer(self):
+        with maybe_span("anything", k=1) as span:
+            assert span is None
+
+    def test_maybe_span_records_when_installed(self):
+        tracer = Tracer()
+        set_tracer(tracer)
+        with maybe_span("phase", k=1) as span:
+            assert span is not None
+        assert tracer.find("phase")[0].attributes == {"k": 1}
+
+    def test_override_wins_and_restores(self):
+        session, worker = Tracer(), Tracer()
+        set_tracer(session)
+        assert current_tracer() is session
+        previous = push_override(worker)
+        assert current_tracer() is worker
+        assert get_tracer() is session  # get_tracer ignores overrides
+        pop_override(previous)
+        assert current_tracer() is session
+
+    def test_override_is_thread_local(self):
+        session, worker = Tracer(), Tracer()
+        set_tracer(session)
+        push_override(worker)
+        seen = []
+        thread = threading.Thread(target=lambda: seen.append(current_tracer()))
+        thread.start()
+        thread.join()
+        pop_override(None)
+        assert seen == [session]

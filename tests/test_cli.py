@@ -34,3 +34,56 @@ class TestCommands:
     def test_trace_command(self, capsys):
         assert main(["trace", "--queries", "2000"]) == 0
         assert "Figure 2b" in capsys.readouterr().out
+
+
+class TestObservabilityCommands:
+    def test_explain_analyze_single_query(self, capsys):
+        assert main(["explain-analyze", "q02", "--scale", "0.08"]) == 0
+        out = capsys.readouterr().out
+        assert "explain analyze: q02" in out
+        assert "plan fingerprint" in out
+        assert "actual in -> out" in out
+        assert "answer:" in out
+
+    def test_explain_analyze_unknown_query(self, capsys):
+        assert main(["explain-analyze", "q99", "--scale", "0.08"]) == 2
+
+    def test_explain_analyze_all_queries(self, capsys):
+        assert main(["explain-analyze", "--scale", "0.08"]) == 0
+        out = capsys.readouterr().out
+        for name in ("q01", "q12", "q24"):
+            assert f"explain analyze: {name}" in out
+
+    def test_trace_flag_writes_valid_chrome_trace(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(
+            ["explain-analyze", "q02", "--scale", "0.08", "--trace", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"trace events to {path}" in out
+        assert "never closed" not in out
+
+        assert main(["validate-trace", str(path)]) == 0
+        assert "schema OK, no unclosed spans" in capsys.readouterr().out
+
+    def test_validate_trace_rejects_bad_file(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('[{"name": "x", "ph": "X", "dur": -1}]')
+        assert main(["validate-trace", str(path)]) == 1
+        assert "missing" in capsys.readouterr().out
+
+    def test_metrics_flag_writes_registry_snapshot(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(
+            ["explain-analyze", "q02", "--scale", "0.08", "--metrics", str(path)]
+        ) == 0
+        assert f"metrics registry to {path}" in capsys.readouterr().out
+        snapshot = json.loads(path.read_text())
+        assert snapshot["timings"]["compile_seconds"] > 0
+        assert snapshot["metrics"]["counter"]["executor.queries"][0]["value"] >= 1
+
+    def test_log_level_flag_emits_planner_logs(self, capsys):
+        assert main(["plan", "q02", "--scale", "0.08", "--log-level", "debug"]) == 0
+        assert "repro." in capsys.readouterr().err
