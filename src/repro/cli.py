@@ -9,6 +9,9 @@ Usage::
     python -m repro speedup --parallelism 4  # partition-parallel speedup report
     python -m repro chaos --seed 7         # fault-injected run of the workload
     python -m repro validate-trace out.json  # schema-check an exported trace
+    python -m repro serve --port 8642      # run the concurrent query service
+    python -m repro client q12 --tenant ads  # query a running service
+    python -m repro loadgen --sessions 50  # load-test a running service
 
 Every data-touching subcommand accepts ``--log-level`` (attach the
 ``repro`` logger hierarchy to stderr), ``--trace out.json`` (record a
@@ -247,6 +250,145 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import signal
+
+    from repro.service import (
+        AdmissionConfig,
+        QueryServer,
+        QueryService,
+        ServiceConfig,
+    )
+    from repro.workloads.tpcds import generate_tpcds
+
+    weights = {}
+    for item in args.tenant_weight or []:
+        name, _, value = item.partition("=")
+        if not value:
+            print(f"bad --tenant-weight {item!r}; expected NAME=WEIGHT")
+            return 2
+        weights[name] = float(value)
+
+    db = generate_tpcds(scale=args.scale, seed=args.seed)
+    config = ServiceConfig(
+        num_workers=args.workers,
+        admission=AdmissionConfig(
+            max_queue_depth=args.max_queue_depth,
+            tenant_quota=args.tenant_quota,
+            tenant_weights=weights,
+        ),
+    )
+    service = QueryService(db, config)
+    server = QueryServer(service, host=args.host, port=args.port)
+    server.start()
+    print(f"serving TPC-DS scale {args.scale} on {server.address[0]}:{server.address[1]} "
+          f"({args.workers} workers, queue depth {args.max_queue_depth}, "
+          f"tenant quota {args.tenant_quota})", flush=True)
+
+    def _stop(signum, frame):
+        print(f"\nsignal {signum}: shutting down", flush=True)
+        server.stop()
+
+    signal.signal(signal.SIGINT, _stop)
+    signal.signal(signal.SIGTERM, _stop)
+    try:
+        while not server.wait(timeout=0.5):
+            pass
+    finally:
+        server.stop()
+    summary = service.stats()
+    print(f"served {summary['queries']['served']:.0f} quer"
+          f"{'y' if summary['queries']['served'] == 1 else 'ies'}, "
+          f"rejected {summary['queries']['rejected']:.0f}; "
+          f"peak queue depth {summary['admission']['peak_queue_depth']}")
+    _write_metrics(args, service.executor)
+    return 0
+
+
+def _cmd_client(args) -> int:
+    from repro.errors import AdmissionRejected, ServiceError
+    from repro.service import ServiceClient
+
+    try:
+        client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    except OSError as exc:
+        print(f"cannot connect to {args.host}:{args.port}: {exc}")
+        return 1
+    with client:
+        client.hello(tenant=args.tenant, mode=args.mode)
+        if args.shutdown:
+            client.shutdown()
+            print("server acknowledged shutdown")
+            return 0
+        if args.stats:
+            import json
+
+            print(json.dumps(client.stats(), indent=2, sort_keys=True, default=str))
+            return 0
+        if not args.query:
+            print("nothing to do: pass a query name, --stats or --shutdown")
+            return 2
+        try:
+            reply = client.query(args.query, deadline_ms=args.deadline_ms)
+        except AdmissionRejected as exc:
+            print(f"rejected ({exc.reason}): {exc}")
+            return 3
+        except ServiceError as exc:
+            print(f"error: {exc}")
+            return 1
+        stats = reply.stats
+        print(f"{reply.query} [{reply.mode}] -> {reply.num_rows} rows "
+              f"(digest {reply.digest[:12]}…) in {stats.get('execute_ms', 0):.1f} ms "
+              f"(+{stats.get('queue_wait_ms', 0):.1f} ms queued, "
+              f"cache {'hit' if stats.get('plan_cache_hit') else 'miss'})")
+        if reply.table is not None and args.rows:
+            for row in list(reply.table.iter_rows())[: args.rows]:
+                print("  ", row)
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from repro.service import LoadConfig, run_load
+
+    config = LoadConfig(
+        sessions=args.sessions,
+        queries_per_session=args.queries,
+        tenants=tuple(args.tenants.split(",")),
+        query_names=args.query_names.split(",") if args.query_names else None,
+        mode=args.mode,
+        deadline_ms=args.deadline_ms,
+        timeout_seconds=args.timeout,
+        seed=args.seed,
+    )
+    report = run_load(args.host, args.port, config)
+    summary = report.summary()
+    latency = summary["latency_seconds"]
+
+    def _ms(value):
+        return f"{value * 1000:.1f} ms" if value is not None else "-"
+
+    print(f"{summary['sessions']} sessions x {args.queries} queries: "
+          f"{summary['served']} served, {sum(report.rejected.values())} rejected "
+          f"{summary['rejected'] or ''}, {summary['errors']} errors, "
+          f"{summary['protocol_errors']} protocol errors")
+    print(f"throughput {summary['qps']:.2f} qps over {summary['wall_seconds']:.2f}s; "
+          f"latency p50 {_ms(latency['p50'])}, p95 {_ms(latency['p95'])}, "
+          f"p99 {_ms(latency['p99'])}, max {_ms(latency['max'])}")
+    if summary.get("peak_queue_depth") is not None:
+        print(f"server peak queue depth {summary['peak_queue_depth']} "
+              f"(bound {summary['max_queue_depth']})")
+    unstable = {k: v for k, v in summary["distinct_digests_per_query"].items() if v > 1}
+    if unstable:
+        print(f"WARNING: non-deterministic answers for {unstable}")
+    if args.output:
+        report.write_json(args.output, mode=args.mode,
+                          queries_per_session=args.queries, seed=args.seed)
+        print(f"wrote load report to {args.output}")
+    if report.protocol_errors or report.errors:
+        return 1
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.experiments.figures import figure2
     from repro.experiments.report import format_table
@@ -396,6 +538,64 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also permanently lose one partition on every third query "
                             "(exercises graceful degradation)")
     chaos.set_defaults(func=_cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve", parents=[common],
+        help="run the concurrent query service (JSON-line protocol over TCP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="listen port (0 picks an ephemeral port)")
+    serve.add_argument("--scale", type=float, default=0.3)
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument("--workers", type=int, default=4,
+                       help="worker threads draining the shared run queue")
+    serve.add_argument("--max-queue-depth", type=int, default=64,
+                       help="bounded run queue; overflow is rejected (backpressure)")
+    serve.add_argument("--tenant-quota", type=int, default=16,
+                       help="max outstanding queries per tenant")
+    serve.add_argument("--tenant-weight", action="append", metavar="NAME=WEIGHT",
+                       help="weighted round-robin weight for a tenant (repeatable)")
+    serve.set_defaults(func=_cmd_serve)
+
+    client = sub.add_parser(
+        "client", parents=[common],
+        help="send one query (or --stats/--shutdown) to a running service",
+    )
+    client.add_argument("query", nargs="?", default=None, help="query name, e.g. q12")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=8642)
+    client.add_argument("--tenant", default="default")
+    client.add_argument("--mode", default="quickr", choices=["quickr", "exact"])
+    client.add_argument("--deadline-ms", type=float, default=None,
+                        help="per-query deadline; infeasible queries are rejected")
+    client.add_argument("--timeout", type=float, default=60.0)
+    client.add_argument("--rows", type=int, default=0,
+                        help="print up to N answer rows")
+    client.add_argument("--stats", action="store_true", help="print service stats as JSON")
+    client.add_argument("--shutdown", action="store_true", help="stop the server")
+    client.set_defaults(func=_cmd_client)
+
+    loadgen = sub.add_parser(
+        "loadgen", parents=[common],
+        help="drive concurrent sessions against a running service and report qps/p50/p99",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8642)
+    loadgen.add_argument("--sessions", type=int, default=20)
+    loadgen.add_argument("--queries", type=int, default=3,
+                         help="queries per session")
+    loadgen.add_argument("--tenants", default="alpha,beta,gamma,delta",
+                         help="comma-separated tenant names, assigned round-robin")
+    loadgen.add_argument("--query-names", default=None,
+                         help="comma-separated query subset (default: server's suite)")
+    loadgen.add_argument("--mode", default="quickr", choices=["quickr", "exact"])
+    loadgen.add_argument("--deadline-ms", type=float, default=None)
+    loadgen.add_argument("--timeout", type=float, default=120.0)
+    loadgen.add_argument("--seed", type=int, default=1)
+    loadgen.add_argument("--output", default=None, metavar="FILE",
+                         help="write the machine-readable load report (JSON) to FILE")
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     trace = sub.add_parser("trace", help="regenerate the Figure 2 production-trace analysis")
     trace.add_argument("--queries", type=int, default=20_000)

@@ -27,6 +27,7 @@ final answers.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Callable, Dict, Optional, Tuple
@@ -157,6 +158,13 @@ class Executor:
         self.registry = registry if registry is not None else MetricsRegistry()
         self._cache_seen = {"hits": 0, "misses": 0, "evictions": 0}
         self._parallel = None
+        # Guards the executor's own mutable statistics (cumulative
+        # compile/execute seconds, plan-cache absorption watermark, lazy
+        # parallel-executor init). Execution itself is stateless per run —
+        # compiled plans hold no run state and samplers re-derive their
+        # randomness per call — so one Executor serves concurrent threads;
+        # only this bookkeeping needs serializing.
+        self._stats_lock = threading.Lock()
 
     # -- compilation ----------------------------------------------------------
     def compile(self, plan: LogicalNode) -> Tuple[PhysicalPlan, bool]:
@@ -202,7 +210,8 @@ class Executor:
         else:
             physical, cache_hit = self.compile(plan)
         compile_s = perf_counter() - t0
-        self.compile_seconds += compile_s
+        with self._stats_lock:
+            self.compile_seconds += compile_s
         _LOG.debug(
             "compiled plan %s in %.4fs (cache %s)",
             physical.fingerprint[:12], compile_s, "hit" if cache_hit else "miss",
@@ -224,7 +233,8 @@ class Executor:
                 self.database, record_metrics=True
             )
         execute_s = perf_counter() - t0
-        self.execute_seconds += execute_s
+        with self._stats_lock:
+            self.execute_seconds += execute_s
         self._record_run(physical.fingerprint, compile_s, execute_s, cache_hit, op_metrics)
 
         # Cost the compiled logical tree: on a canonical cache hit its
@@ -266,7 +276,8 @@ class Executor:
             physical = self._compile_exact(plan)
         else:
             physical, _ = self.compile(plan)
-        self.compile_seconds += perf_counter() - t0
+        with self._stats_lock:
+            self.compile_seconds += perf_counter() - t0
 
         t0 = perf_counter()
         table, cardinalities, _ = physical.execute(
@@ -275,7 +286,8 @@ class Executor:
             should_abort=should_abort,
             tracer=obs_trace.current_tracer(),
         )
-        self.execute_seconds += perf_counter() - t0
+        with self._stats_lock:
+            self.execute_seconds += perf_counter() - t0
         return table, cardinalities
 
     # -- reporting ------------------------------------------------------------
@@ -315,11 +327,14 @@ class Executor:
         keeps its own monotonic counts; the registry gets the increments so
         ``reset()`` establishes a clean harvest boundary)."""
         stats = self.plan_cache.stats()
-        for key in ("hits", "misses", "evictions"):
-            delta = stats[key] - self._cache_seen[key]
+        with self._stats_lock:
+            deltas = {}
+            for key in ("hits", "misses", "evictions"):
+                deltas[key] = stats[key] - self._cache_seen[key]
+                self._cache_seen[key] = stats[key]
+        for key, delta in deltas.items():
             if delta:
                 self.registry.counter(f"plan_cache.{key}").inc(delta)
-            self._cache_seen[key] = stats[key]
 
     def timings(self) -> dict:
         """Cumulative compile/execute split and plan-cache statistics."""
@@ -373,11 +388,13 @@ class Executor:
         if self._parallel is None:
             from repro.parallel.executor import ParallelExecutor
 
-            self._parallel = ParallelExecutor(
-                self.database,
-                self.config,
-                parallelism=self.parallelism,
-                options=self.parallel_options,
-                registry=self.registry,
-            )
+            with self._stats_lock:
+                if self._parallel is None:
+                    self._parallel = ParallelExecutor(
+                        self.database,
+                        self.config,
+                        parallelism=self.parallelism,
+                        options=self.parallel_options,
+                        registry=self.registry,
+                    )
         return self._parallel

@@ -31,6 +31,7 @@ compile-once/run-many service for repeated queries.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -379,6 +380,12 @@ class PlanCache:
 
     ``capacity=0`` disables caching (every lookup misses). Hit, miss and
     eviction counts are kept for reporting.
+
+    Thread-safe: the query service shares one cache across every session's
+    worker thread, and an LRU is mutate-on-read (``move_to_end``), so *all*
+    access — including lookups — takes the cache lock. Cached
+    :class:`PhysicalPlan` values are immutable, so returning one outside
+    the lock is safe.
     """
 
     capacity: int = 128
@@ -386,47 +393,55 @@ class PlanCache:
     misses: int = 0
     evictions: int = 0
     _entries: "OrderedDict[str, PhysicalPlan]" = field(default_factory=OrderedDict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def get(self, fingerprint: str) -> Optional[PhysicalPlan]:
-        entry = self._entries.get(fingerprint)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(fingerprint)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(fingerprint)
+            self.hits += 1
+            return entry
 
     def put(self, fingerprint: str, physical: PhysicalPlan) -> None:
         if self.capacity <= 0:
             return
-        if fingerprint in self._entries:
-            self._entries.move_to_end(fingerprint)
-        self._entries[fingerprint] = physical
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if fingerprint in self._entries:
+                self._entries.move_to_end(fingerprint)
+            self._entries[fingerprint] = physical
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, fingerprint: str) -> bool:
-        return fingerprint in self._entries
+        with self._lock:
+            return fingerprint in self._entries
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def reset_stats(self) -> None:
         """Zero the hit/miss/eviction counters without dropping entries —
         the harvest boundary between a warm-up pass and a measured pass."""
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def stats(self) -> dict:
-        return {
-            "size": len(self._entries),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

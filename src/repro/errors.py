@@ -87,3 +87,28 @@ class DegradedResultError(ExecutionError):
     Raised only after every recovery path failed: retries exhausted, the
     plan does not qualify for sample-aware degradation (no uniform/universe
     sampler root), and the serial re-execution fallback itself errored."""
+
+
+class ServiceError(ReproError):
+    """The query service failed at the protocol or transport layer."""
+
+
+class ProtocolError(ServiceError):
+    """A wire message was malformed (bad framing, missing fields, unknown
+    op) — the peer's fault, answered with an error response rather than a
+    dropped connection."""
+
+
+class AdmissionRejected(ServiceError):
+    """The admission controller refused a query — explicitly, never by
+    hanging.
+
+    ``reason`` is one of ``backpressure`` (the shared run queue is full),
+    ``quota`` (the tenant is over its outstanding-query quota) or
+    ``deadline`` (the remaining deadline budget cannot cover the query's
+    expected runtime, so running it would only waste cluster time).
+    """
+
+    def __init__(self, reason: str, message: str):
+        super().__init__(message)
+        self.reason = reason

@@ -22,9 +22,12 @@ Design points:
   returns the final pre-reset snapshot) so cold-vs-warm benchmark phases
   and repeated queries cannot bleed into each other.
 
-Thread-safe: instrument creation takes the registry lock; increments rely
-on the GIL's atomicity for ``+=`` on the instrument (the same contract the
-rest of the codebase uses for counters).
+Thread-safe: instrument creation takes the registry lock, and every
+instrument carries its own lock guarding mutation *and* snapshot. A bare
+``+=`` is not atomic in CPython (the load/add/store bytecodes can
+interleave between threads, losing increments) — the query service drives
+one registry from many session worker threads concurrently, so updates
+must be exact, not merely non-crashing.
 """
 
 from __future__ import annotations
@@ -53,43 +56,56 @@ def _label_key(labels: Dict[str, Any]) -> LabelKey:
 class Counter:
     """Monotonically increasing count."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self):
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> float:
-        return self.value
+        with self._lock:
+            return self.value
 
     def reset(self) -> None:
-        self.value = 0.0
+        with self._lock:
+            self.value = 0.0
 
 
 class Gauge:
     """Last-set value (e.g. effective sampling rate, weight mass)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self):
         self.value: Optional[float] = None
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Atomically adjust the gauge (e.g. queue depth up/down)."""
+        with self._lock:
+            self.value = (self.value or 0.0) + float(delta)
 
     def snapshot(self) -> Optional[float]:
-        return self.value
+        with self._lock:
+            return self.value
 
     def reset(self) -> None:
-        self.value = None
+        with self._lock:
+            self.value = None
 
 
 class Histogram:
     """Fixed-bucket histogram with cumulative-count percentiles."""
 
-    __slots__ = ("buckets", "counts", "count", "total", "min", "max")
+    __slots__ = ("buckets", "counts", "count", "total", "min", "max", "_lock")
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
         self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
@@ -99,20 +115,20 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.counts[bisect_left(self.buckets, value)] += 1
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
+        with self._lock:
+            self.counts[bisect_left(self.buckets, value)] += 1
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
 
-    def percentile(self, q: float) -> Optional[float]:
-        """Upper bound of the bucket holding the ``q``-quantile observation
-        (clamped to the exact max; ``None`` when empty)."""
+    def _percentile_locked(self, q: float) -> Optional[float]:
         if self.count == 0:
             return None
         target = q * self.count
@@ -124,30 +140,39 @@ class Histogram:
                 return min(upper, self.max) if self.max is not None else upper
         return self.max
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Upper bound of the bucket holding the ``q``-quantile observation
+        (clamped to the exact max; ``None`` when empty)."""
+        with self._lock:
+            return self._percentile_locked(q)
+
     @property
     def mean(self) -> Optional[float]:
-        return self.total / self.count if self.count else None
+        with self._lock:
+            return self.total / self.count if self.count else None
 
     def snapshot(self) -> dict:
-        out = {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min,
-            "max": self.max,
-            "mean": self.mean,
-        }
-        if self.count:
-            out["p50"] = self.percentile(0.50)
-            out["p95"] = self.percentile(0.95)
-            out["p99"] = self.percentile(0.99)
+        with self._lock:
+            out = {
+                "count": self.count,
+                "sum": self.total,
+                "min": self.min,
+                "max": self.max,
+                "mean": self.total / self.count if self.count else None,
+            }
+            if self.count:
+                out["p50"] = self._percentile_locked(0.50)
+                out["p95"] = self._percentile_locked(0.95)
+                out["p99"] = self._percentile_locked(0.99)
         return out
 
     def reset(self) -> None:
-        self.counts = [0] * (len(self.buckets) + 1)
-        self.count = 0
-        self.total = 0.0
-        self.min = None
-        self.max = None
+        with self._lock:
+            self.counts = [0] * (len(self.buckets) + 1)
+            self.count = 0
+            self.total = 0.0
+            self.min = None
+            self.max = None
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}

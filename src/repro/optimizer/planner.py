@@ -21,6 +21,7 @@ to disable.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -71,6 +72,10 @@ class QuickrPlanner:
         self._asalqa = Asalqa(self.catalog, self.options)
         self._cache_capacity = int(plan_cache_size)
         self._plan_cache: "OrderedDict[tuple, object]" = OrderedDict()
+        # The memo is an LRU (mutate-on-read); the query service plans from
+        # many session threads against one planner, so all memo access is
+        # serialized. Planning itself stays outside the lock.
+        self._memo_lock = threading.Lock()
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
 
@@ -89,28 +94,31 @@ class QuickrPlanner:
         if self._cache_capacity <= 0:
             return None, None
         key = (kind, plan_fingerprint(query.plan))
-        hit = self._plan_cache.get(key)
-        if hit is not None:
-            self._plan_cache.move_to_end(key)
-            self.plan_cache_hits += 1
-            _LOG.debug("plan cache hit (%s) for %s", kind, query.name)
-        else:
-            self.plan_cache_misses += 1
-            _LOG.debug("plan cache miss (%s) for %s", kind, query.name)
+        with self._memo_lock:
+            hit = self._plan_cache.get(key)
+            if hit is not None:
+                self._plan_cache.move_to_end(key)
+                self.plan_cache_hits += 1
+            else:
+                self.plan_cache_misses += 1
+        _LOG.debug("plan cache %s (%s) for %s",
+                   "hit" if hit is not None else "miss", kind, query.name)
         return key, hit
 
     def reset_cache_stats(self) -> None:
         """Zero the hit/miss counters (entries stay cached) — a harvest
         boundary for benchmarks that separate cold and warm phases."""
-        self.plan_cache_hits = 0
-        self.plan_cache_misses = 0
+        with self._memo_lock:
+            self.plan_cache_hits = 0
+            self.plan_cache_misses = 0
 
     def _remember(self, key, value):
         if key is None:
             return
-        self._plan_cache[key] = value
-        while len(self._plan_cache) > self._cache_capacity:
-            self._plan_cache.popitem(last=False)
+        with self._memo_lock:
+            self._plan_cache[key] = value
+            while len(self._plan_cache) > self._cache_capacity:
+                self._plan_cache.popitem(last=False)
 
     def plan_baseline(self, query: Query) -> BaselinePlan:
         """The production QO without samplers."""

@@ -1,0 +1,46 @@
+"""Concurrent query service: multi-session server over the shared engine.
+
+Turns the single-caller library into a long-running service (the
+ROADMAP's query-service layer, modeled on VerdictDB's client/server
+split): a threaded TCP front-end speaking newline-delimited JSON
+(:mod:`~repro.service.protocol`), per-connection sessions with tenant
+identity and defaults (:mod:`~repro.service.session`), admission control
+with backpressure, per-tenant quotas, deadline-aware drops and weighted
+round-robin fair scheduling (:mod:`~repro.service.admission`) — all
+multiplexed onto one shared :class:`~repro.engine.executor.Executor`,
+``PlanCache`` and metrics registry (:mod:`~repro.service.server`).
+"""
+
+from repro.service.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    QueryTicket,
+    RuntimeEstimator,
+    REJECT_BACKPRESSURE,
+    REJECT_DEADLINE,
+    REJECT_QUOTA,
+)
+from repro.service.client import QueryReply, ServiceClient
+from repro.service.loadgen import LoadConfig, LoadReport, run_load
+from repro.service.server import QueryServer, QueryService, ServiceConfig
+from repro.service.session import Session, SessionManager
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "QueryTicket",
+    "RuntimeEstimator",
+    "REJECT_BACKPRESSURE",
+    "REJECT_DEADLINE",
+    "REJECT_QUOTA",
+    "QueryReply",
+    "ServiceClient",
+    "LoadConfig",
+    "LoadReport",
+    "run_load",
+    "QueryServer",
+    "QueryService",
+    "ServiceConfig",
+    "Session",
+    "SessionManager",
+]

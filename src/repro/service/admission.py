@@ -1,0 +1,442 @@
+"""Admission control and fair scheduling for the query service.
+
+A shared cluster serving ad-hoc queries (the paper's setting) dies by
+queueing, not by CPU: without admission control a burst from one tenant
+grows the run queue without bound, every query's latency inflates
+together, and deadline-bearing queries waste machine-hours computing
+answers nobody is still waiting for. This module implements the three
+policies the service applies *before* a query touches the engine:
+
+* **backpressure** — one bounded run queue in front of the shared worker
+  pool. When it is full the service rejects instantly with
+  ``rejected.backpressure``; the contract is an explicit "try again",
+  never an unbounded queue or a hung connection (BlinkDB's bounded
+  response-time contract applied at the front door).
+* **per-tenant quotas** — a cap on each tenant's *outstanding* queries
+  (queued + running). One tenant's burst exhausts its own quota and its
+  excess is rejected with ``rejected.quota`` while other tenants' traffic
+  is untouched.
+* **deadline-aware drop** — a query carrying ``deadline_ms`` is admitted
+  only while the deadline is feasible: at submit and again at dispatch
+  (after its queue wait) the remaining budget is compared against an
+  EWMA estimate of the query's runtime, learned online per (query, mode).
+  Infeasible queries are dropped with ``rejected.deadline`` — cheaper to
+  refuse than to compute an answer that arrives dead.
+
+Dispatch across tenants is **smooth weighted round-robin** (the nginx
+algorithm): each pick adds every backlogged tenant's weight to its
+running credit, dispatches the largest credit, and charges the winner the
+total active weight. Over any window, tenant throughput converges to the
+weight ratio, with no tenant starved and no bursty interleaving.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import AdmissionRejected
+from repro.obs import log as obs_log
+from repro.obs.registry import MetricsRegistry
+
+_LOG = obs_log.logger("service.admission")
+
+__all__ = [
+    "AdmissionConfig",
+    "QueryTicket",
+    "RuntimeEstimator",
+    "AdmissionController",
+    "REJECT_BACKPRESSURE",
+    "REJECT_QUOTA",
+    "REJECT_DEADLINE",
+]
+
+REJECT_BACKPRESSURE = "backpressure"
+REJECT_QUOTA = "quota"
+REJECT_DEADLINE = "deadline"
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Knobs of the admission controller.
+
+    ``max_queue_depth`` bounds *queued* (not yet running) queries across
+    all tenants; ``tenant_quota`` bounds one tenant's outstanding queries
+    (queued + running). ``tenant_weights`` feeds the weighted round-robin
+    (missing tenants get ``default_weight``). ``deadline_safety`` inflates
+    the runtime estimate when judging feasibility, biasing toward
+    admitting (a dropped query is work refused; an admitted one that
+    misses its deadline is merely late).
+    """
+
+    max_queue_depth: int = 64
+    tenant_quota: int = 16
+    tenant_weights: Dict[str, float] = field(default_factory=dict)
+    default_weight: float = 1.0
+    deadline_safety: float = 1.0
+    #: EWMA smoothing for the per-(query, mode) runtime estimate.
+    ewma_alpha: float = 0.3
+
+    def weight_of(self, tenant: str) -> float:
+        return float(self.tenant_weights.get(tenant, self.default_weight))
+
+
+class QueryTicket:
+    """One admitted (or rejected) query's journey through the service.
+
+    The connection thread submits and blocks on :meth:`wait`; a worker
+    thread resolves with a result, a rejection, or a failure. The ticket
+    carries the timing breakdown (queue wait vs execution) the service
+    reports back to the client.
+    """
+
+    __slots__ = (
+        "session", "tenant", "query_name", "mode", "deadline_at",
+        "enqueued_at", "dispatched_at", "completed_at",
+        "_done", "result", "error", "rejection", "queue_span", "queue_tracer",
+    )
+
+    def __init__(self, session, query_name: str, mode: str,
+                 deadline_at: Optional[float] = None):
+        self.session = session
+        self.tenant: str = session.tenant
+        self.query_name = query_name
+        self.mode = mode
+        #: Absolute monotonic deadline; None = run whenever.
+        self.deadline_at = deadline_at
+        self.enqueued_at = time.monotonic()
+        self.dispatched_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self._done = threading.Event()
+        self.result: Optional[Any] = None
+        self.error: Optional[BaseException] = None
+        self.rejection: Optional[AdmissionRejected] = None
+        #: Open ``service.queue_wait`` span, ended at dispatch/drop, and
+        #: the tracer that opened it (the worker ends cross-thread).
+        self.queue_span = None
+        self.queue_tracer = None
+
+    # -- completion (worker side) -------------------------------------------
+    def resolve(self, result: Any) -> None:
+        self.result = result
+        self.completed_at = time.monotonic()
+        self._done.set()
+
+    def reject(self, reason: str, message: str) -> None:
+        self.rejection = AdmissionRejected(reason, message)
+        self.completed_at = time.monotonic()
+        self._done.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self.completed_at = time.monotonic()
+        self._done.set()
+
+    def close_queue_span(self, status: str = "ok", **attributes: Any) -> None:
+        """End the open ``service.queue_wait`` span, if tracing is on."""
+        if self.queue_span is not None and self.queue_tracer is not None:
+            self.queue_tracer.end(self.queue_span, status=status, **attributes)
+        self.queue_span = None
+
+    # -- waiting (connection side) ------------------------------------------
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._done.wait(timeout)
+
+    @property
+    def queue_wait_seconds(self) -> float:
+        end = self.dispatched_at if self.dispatched_at is not None else self.completed_at
+        if end is None:
+            end = time.monotonic()
+        return max(0.0, end - self.enqueued_at)
+
+    def remaining_seconds(self, now: Optional[float] = None) -> Optional[float]:
+        if self.deadline_at is None:
+            return None
+        return self.deadline_at - (now if now is not None else time.monotonic())
+
+
+class RuntimeEstimator:
+    """Online EWMA of execution time per (query, mode).
+
+    The deadline policy needs *some* forward estimate; an EWMA of observed
+    runtimes is self-calibrating (warm plan caches shrink it, load-induced
+    slowdown grows it) and costs one dict lookup. Unknown queries return
+    ``None`` — they are admitted on deadline alone, and their first
+    execution seeds the estimate.
+    """
+
+    def __init__(self, alpha: float = 0.3):
+        self.alpha = float(alpha)
+        self._lock = threading.Lock()
+        self._ewma: Dict[Any, float] = {}
+
+    def observe(self, key: Any, seconds: float) -> None:
+        with self._lock:
+            previous = self._ewma.get(key)
+            self._ewma[key] = (
+                seconds if previous is None
+                else self.alpha * seconds + (1.0 - self.alpha) * previous
+            )
+
+    def estimate(self, key: Any) -> Optional[float]:
+        with self._lock:
+            return self._ewma.get(key)
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            return {str(k): v for k, v in self._ewma.items()}
+
+
+class _TenantQueue:
+    __slots__ = ("tenant", "weight", "credit", "queue", "running")
+
+    def __init__(self, tenant: str, weight: float):
+        self.tenant = tenant
+        self.weight = weight
+        #: Smooth-WRR running credit.
+        self.credit = 0.0
+        self.queue: List[QueryTicket] = []
+        #: Dispatched-but-not-finished count (quota accounting).
+        self.running = 0
+
+    @property
+    def outstanding(self) -> int:
+        return len(self.queue) + self.running
+
+
+class AdmissionController:
+    """Bounded, tenant-fair run queue in front of the shared engine.
+
+    ``submit`` is called by connection threads and either enqueues the
+    ticket or raises :class:`AdmissionRejected`; ``next_ticket`` is called
+    by worker threads and blocks for the next dispatchable ticket,
+    applying the weighted round-robin and dropping newly-infeasible
+    deadline queries on the way; ``task_done`` returns the tenant's quota
+    slot and feeds the runtime estimator.
+    """
+
+    def __init__(
+        self,
+        config: Optional[AdmissionConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.config = config or AdmissionConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.estimator = RuntimeEstimator(alpha=self.config.ewma_alpha)
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._tenants: Dict[str, _TenantQueue] = {}
+        self._queued_total = 0
+        self._closed = False
+        # Peak queue depth since start — the boundedness evidence the
+        # load benchmark and the CI smoke assert on.
+        self.peak_queue_depth = 0
+
+    # -- submit side ---------------------------------------------------------
+    def submit(self, ticket: QueryTicket) -> None:
+        """Enqueue or raise :class:`AdmissionRejected` (never blocks)."""
+        config = self.config
+        reason = message = None
+        with self._ready:
+            if self._closed:
+                reason, message = REJECT_BACKPRESSURE, "service is shutting down"
+            elif self._queued_total >= config.max_queue_depth:
+                reason, message = REJECT_BACKPRESSURE, (
+                    f"run queue is full ({self._queued_total}/{config.max_queue_depth})"
+                )
+            else:
+                tenant = self._tenants.get(ticket.tenant)
+                if tenant is None:
+                    tenant = _TenantQueue(ticket.tenant, config.weight_of(ticket.tenant))
+                    self._tenants[ticket.tenant] = tenant
+                if tenant.outstanding >= config.tenant_quota:
+                    reason, message = REJECT_QUOTA, (
+                        f"tenant {ticket.tenant!r} has {tenant.outstanding} queries "
+                        f"outstanding (quota {config.tenant_quota})"
+                    )
+                else:
+                    infeasible = self._deadline_infeasible(ticket)
+                    if infeasible:
+                        reason, message = REJECT_DEADLINE, infeasible
+                    else:
+                        tenant.queue.append(ticket)
+                        self._queued_total += 1
+                        if self._queued_total > self.peak_queue_depth:
+                            self.peak_queue_depth = self._queued_total
+                        self._ready.notify()
+        self._observe_queue_depth()
+        if reason is not None:
+            self._count_rejection(ticket, reason)
+            raise AdmissionRejected(reason, message)
+        self.registry.counter("service.admitted", tenant=ticket.tenant).inc()
+
+    def _deadline_infeasible(self, ticket: QueryTicket,
+                             now: Optional[float] = None) -> Optional[str]:
+        """A human-readable reason when the deadline cannot be met, else None."""
+        remaining = ticket.remaining_seconds(now)
+        if remaining is None:
+            return None
+        if remaining <= 0:
+            return (f"deadline already expired "
+                    f"({-remaining * 1000:.0f} ms ago)")
+        estimate = self.estimator.estimate((ticket.query_name, ticket.mode))
+        if estimate is not None and estimate * self.config.deadline_safety > remaining:
+            return (f"estimated runtime {estimate * 1000:.0f} ms exceeds the "
+                    f"remaining deadline budget {remaining * 1000:.0f} ms")
+        return None
+
+    # -- dispatch side -------------------------------------------------------
+    def next_ticket(self, timeout: Optional[float] = None) -> Optional[QueryTicket]:
+        """Next ticket by weighted round-robin; None on timeout/shutdown.
+
+        Tickets whose deadline became infeasible while queued are rejected
+        here (their waiters unblock with ``rejected.deadline``) and do not
+        occupy a worker.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            dropped: List[QueryTicket] = []
+            ticket = None
+            with self._ready:
+                while self._queued_total == 0 and not self._closed:
+                    wait = None if deadline is None else deadline - time.monotonic()
+                    if wait is not None and wait <= 0:
+                        break
+                    self._ready.wait(wait)
+                if self._queued_total == 0:
+                    return None
+                ticket = self._pick_locked(dropped)
+            self._observe_queue_depth()
+            for drop in dropped:
+                self._finish_drop(drop)
+            if ticket is not None:
+                return ticket
+            # Everything queued was dropped; go back to waiting.
+            if self._closed:
+                return None
+
+    def _pick_locked(self, dropped: List[QueryTicket]) -> Optional[QueryTicket]:
+        """One smooth-WRR pick; moves infeasible tickets into ``dropped``."""
+        now = time.monotonic()
+        while self._queued_total > 0:
+            active = [t for t in self._tenants.values() if t.queue]
+            total_weight = sum(t.weight for t in active)
+            for tenant in active:
+                tenant.credit += tenant.weight
+            winner = max(active, key=lambda t: (t.credit, t.tenant))
+            winner.credit -= total_weight
+            ticket = winner.queue.pop(0)
+            self._queued_total -= 1
+            infeasible = self._deadline_infeasible(ticket, now)
+            if infeasible is None:
+                winner.running += 1
+                ticket.dispatched_at = time.monotonic()
+                return ticket
+            ticket.rejection = AdmissionRejected(
+                REJECT_DEADLINE, f"dropped after queueing: {infeasible}"
+            )
+            dropped.append(ticket)
+        return None
+
+    def _finish_drop(self, ticket: QueryTicket) -> None:
+        rejection = ticket.rejection
+        self._count_rejection(ticket, rejection.reason)
+        _LOG.info("dropped %s for tenant %s: %s",
+                  ticket.query_name, ticket.tenant, rejection)
+        ticket.close_queue_span(status="cancelled", reason=rejection.reason)
+        ticket.reject(rejection.reason, str(rejection))
+
+    def task_done(self, ticket: QueryTicket, execute_seconds: Optional[float]) -> None:
+        """Return the quota slot; feed the runtime estimator on success."""
+        with self._ready:
+            tenant = self._tenants.get(ticket.tenant)
+            if tenant is not None and tenant.running > 0:
+                tenant.running -= 1
+        if execute_seconds is not None:
+            self.estimator.observe((ticket.query_name, ticket.mode), execute_seconds)
+        self.registry.histogram(
+            "service.queue_wait_seconds", tenant=ticket.tenant
+        ).observe(ticket.queue_wait_seconds)
+
+    # -- shutdown / introspection -------------------------------------------
+    def close(self) -> List[QueryTicket]:
+        """Stop admitting; drain and return still-queued tickets (already
+        rejected with backpressure so their waiters unblock)."""
+        with self._ready:
+            self._closed = True
+            drained: List[QueryTicket] = []
+            for tenant in self._tenants.values():
+                drained.extend(tenant.queue)
+                tenant.queue.clear()
+            self._queued_total = 0
+            self._ready.notify_all()
+        for ticket in drained:
+            self._count_rejection(ticket, REJECT_BACKPRESSURE)
+            ticket.close_queue_span(status="cancelled", reason="shutdown")
+            ticket.reject(REJECT_BACKPRESSURE, "service is shutting down")
+        return drained
+
+    def _count_rejection(self, ticket: QueryTicket, reason: str) -> None:
+        self.registry.counter(
+            "service.rejected", tenant=ticket.tenant, reason=reason
+        ).inc()
+
+    def _observe_queue_depth(self) -> None:
+        self.registry.gauge("service.queue_depth").set(float(self.queue_depth))
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return self._queued_total
+
+    def outstanding(self, tenant: str) -> int:
+        with self._lock:
+            entry = self._tenants.get(tenant)
+            return entry.outstanding if entry is not None else 0
+
+    def summary(self) -> Dict[str, Any]:
+        with self._lock:
+            tenants = {
+                name: {
+                    "weight": entry.weight,
+                    "queued": len(entry.queue),
+                    "running": entry.running,
+                }
+                for name, entry in sorted(self._tenants.items())
+            }
+            return {
+                "queue_depth": self._queued_total,
+                "peak_queue_depth": self.peak_queue_depth,
+                "max_queue_depth": self.config.max_queue_depth,
+                "tenant_quota": self.config.tenant_quota,
+                "tenants": tenants,
+            }
+
+
+def drain_worker(controller: AdmissionController,
+                 handler: Callable[[QueryTicket], Optional[float]],
+                 poll_seconds: float = 0.1) -> None:
+    """Worker-thread loop: pull tickets until the controller closes.
+
+    ``handler`` executes one ticket, resolves/fails it, and returns the
+    execution seconds to feed the runtime estimator (None on failure).
+    Exceptions escaping the handler fail the ticket rather than killing
+    the worker; either way ``task_done`` runs exactly once per ticket.
+    """
+    while True:
+        ticket = controller.next_ticket(timeout=poll_seconds)
+        if ticket is None:
+            if controller._closed:
+                return
+            continue
+        execute_seconds = None
+        try:
+            execute_seconds = handler(ticket)
+        except BaseException as exc:  # noqa: BLE001 - worker must survive
+            _LOG.error("handler failed for %s: %s", ticket.query_name, exc)
+            if not ticket._done.is_set():
+                ticket.fail(exc)
+        finally:
+            controller.task_done(ticket, execute_seconds)

@@ -1,0 +1,197 @@
+"""Wire protocol of the query service: JSON objects, one per line.
+
+The service speaks newline-delimited JSON over a plain TCP stream — the
+same shape VerdictDB's pandas-sql server uses, chosen because every
+language (and ``nc``) can speak it and because a line is a natural frame:
+no length prefixes, no partial-read state machine. Each request carries a
+client-chosen ``id`` echoed verbatim in the response, so a client may
+pipeline requests and match answers by id.
+
+Requests::
+
+    {"id": 1, "op": "hello", "tenant": "ads", "defaults": {"mode": "quickr"}}
+    {"id": 2, "op": "query", "query": "q12", "mode": "quickr", "deadline_ms": 2000}
+    {"id": 3, "op": "stats"}
+    {"id": 4, "op": "ping"}
+    {"id": 5, "op": "close"}
+
+Responses are ``{"id": ..., "ok": true, ...payload}`` or ``{"id": ...,
+"ok": false, "error": {"code": ..., "message": ...}}``. Admission
+rejections are *successful protocol exchanges* with ``ok: false`` and an
+``error.code`` of ``rejected.backpressure`` / ``rejected.quota`` /
+``rejected.deadline`` — the service's contract is that overload produces
+explicit rejections, never hangs or dropped connections.
+
+Answer tables travel as columns (name → dtype + values). JSON round-trips
+every value exactly in CPython — ``repr`` of a float is shortest-exact, so
+``float64`` bits survive — and each payload carries a SHA-256
+``digest`` over the canonical bytes (names, dtypes, raw column buffers).
+The digest is how the load benchmark asserts served answers are
+bit-identical to library-mode execution, and :func:`table_from_wire`
+re-derives it client-side as an end-to-end integrity check.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+from typing import Any, Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.engine.table import Table
+from repro.errors import ProtocolError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "encode_message",
+    "decode_message",
+    "read_messages",
+    "send_message",
+    "error_response",
+    "ok_response",
+    "table_digest",
+    "table_to_wire",
+    "table_from_wire",
+]
+
+#: Bumped when the message schema changes incompatibly; ``hello`` echoes it.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame. A line above this is a protocol error (a
+#: defensive cap so a garbage peer cannot balloon server memory).
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """One frame: compact JSON plus the newline terminator."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+def read_messages(sock: socket.socket) -> Iterator[Dict[str, Any]]:
+    """Yield decoded frames from a socket until the peer closes.
+
+    Buffers partial lines across ``recv`` boundaries; a frame larger than
+    :data:`MAX_LINE_BYTES` raises :class:`ProtocolError`.
+    """
+    buffer = b""
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            if buffer.strip():
+                raise ProtocolError("connection closed mid-frame")
+            return
+        buffer += chunk
+        if len(buffer) > MAX_LINE_BYTES and b"\n" not in buffer:
+            raise ProtocolError(f"frame exceeds {MAX_LINE_BYTES} bytes")
+        while b"\n" in buffer:
+            line, buffer = buffer.split(b"\n", 1)
+            if line.strip():
+                yield decode_message(line)
+
+
+def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
+    sock.sendall(encode_message(message))
+
+
+def ok_response(request_id: Any, **payload: Any) -> Dict[str, Any]:
+    return {"id": request_id, "ok": True, **payload}
+
+
+def error_response(request_id: Any, code: str, message: str, **extra: Any) -> Dict[str, Any]:
+    return {"id": request_id, "ok": False,
+            "error": {"code": code, "message": message, **extra}}
+
+
+# -- answer-table serialization ------------------------------------------------
+
+def table_digest(table: Table) -> str:
+    """SHA-256 over the table's canonical bytes.
+
+    Covers column names and order, dtypes, row count and the raw column
+    buffers — two tables share a digest iff they are bit-identical.
+    """
+    h = hashlib.sha256()
+    h.update(repr(table.num_rows).encode())
+    for name in table.column_names:
+        values = np.ascontiguousarray(table.column(name))
+        h.update(name.encode("utf-8"))
+        if values.dtype.kind in ("U", "S", "O"):
+            # String buffers are width/padding-sensitive (``<U5`` vs ``<U10``
+            # holding equal values), so hash the elements, not the buffer.
+            h.update(b"str")
+            for item in values.tolist():
+                h.update(str(item).encode("utf-8"))
+                h.update(b"\x00")
+        else:
+            h.update(str(values.dtype).encode())
+            h.update(values.tobytes())
+    return h.hexdigest()
+
+
+def _column_to_wire(values: np.ndarray) -> Dict[str, Any]:
+    kind = values.dtype.kind
+    if kind in ("U", "S", "O"):
+        return {"dtype": "str", "values": [str(v) for v in values.tolist()]}
+    out: Dict[str, Any] = {"dtype": str(values.dtype), "values": values.tolist()}
+    if kind == "f":
+        # repr-based JSON round-trips finite floats exactly, but tolist()
+        # emits float('nan')/inf which json serializes as bare NaN/Infinity
+        # tokens — legal for Python's json module, kept explicit here.
+        out["floats"] = True
+    return out
+
+
+def table_to_wire(table: Table, include_rows: bool = True) -> Dict[str, Any]:
+    """JSON-able view of an answer table plus its bit-identity digest."""
+    out: Dict[str, Any] = {
+        "name": table.name,
+        "num_rows": int(table.num_rows),
+        "column_order": list(table.column_names),
+        "digest": table_digest(table),
+    }
+    if include_rows:
+        out["columns"] = {
+            name: _column_to_wire(table.column(name)) for name in table.column_names
+        }
+    return out
+
+
+def table_from_wire(wire: Dict[str, Any], verify: bool = True) -> Optional[Table]:
+    """Reconstruct the answer table; returns None for digest-only payloads.
+
+    With ``verify`` (default) the digest is recomputed from the
+    reconstructed arrays and checked against the server's — a bit flip
+    anywhere in transit or in (de)serialization fails loudly.
+    """
+    columns = wire.get("columns")
+    if columns is None:
+        return None
+    arrays = {}
+    for name in wire["column_order"]:
+        spec = columns[name]
+        if spec["dtype"] == "str":
+            arrays[name] = np.array([str(v) for v in spec["values"]], dtype=str)
+        else:
+            arrays[name] = np.array(spec["values"], dtype=np.dtype(spec["dtype"]))
+    table = Table(wire.get("name", "answer"), arrays)
+    if verify:
+        digest = table_digest(table)
+        if digest != wire["digest"]:
+            raise ProtocolError(
+                f"answer digest mismatch: server sent {wire['digest'][:12]}…, "
+                f"reconstruction hashes to {digest[:12]}…"
+            )
+    return table

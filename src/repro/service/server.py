@@ -1,0 +1,493 @@
+"""The query service: a long-running, multi-session server over the engine.
+
+Two layers:
+
+* :class:`QueryService` — transport-free core. Owns the shared engine
+  stack (one :class:`~repro.optimizer.planner.QuickrPlanner`, one
+  :class:`~repro.engine.executor.Executor` and therefore one
+  ``PlanCache``, one :class:`~repro.obs.registry.MetricsRegistry`), the
+  session registry and the admission controller, plus the pool of worker
+  threads that drain the run queue. Tests and the in-process load
+  benchmark drive this directly.
+* :class:`QueryServer` — the TCP front-end. A listener thread accepts
+  connections; each connection gets a reader thread that decodes
+  JSON-line requests (:mod:`repro.service.protocol`), routes them through
+  the service, and writes responses. Many concurrent clients multiplex
+  onto the one shared engine underneath — the paper's setting of ad-hoc
+  queries continuously arriving at a shared cluster.
+
+Every query passes ``service.admit`` (admission decision),
+``service.queue_wait`` (run-queue residency) and ``service.execute``
+(engine time) spans, labeled with session and tenant, and the registry
+gains ``service.*`` counters/histograms with tenant labels — so one trace
+shows a query's whole life from socket to answer.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.executor import Executor
+from repro.engine.table import Database
+from repro.errors import AdmissionRejected, ProtocolError, ReproError
+from repro.obs import log as obs_log
+from repro.obs import trace as obs_trace
+from repro.obs.registry import MetricsRegistry
+from repro.optimizer.planner import QuickrPlanner
+from repro.service import protocol
+from repro.service.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    QueryTicket,
+    drain_worker,
+)
+from repro.service.session import DEFAULT_TENANT, MODES, Session, SessionManager
+
+_LOG = obs_log.logger("service.server")
+
+__all__ = ["ServiceConfig", "QueryService", "QueryServer"]
+
+
+@dataclass
+class ServiceConfig:
+    """Service-level knobs (engine knobs ride on the Executor itself)."""
+
+    #: Worker threads draining the shared run queue.
+    num_workers: int = 4
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    #: Include full answer rows in responses (False = digest only).
+    include_rows: bool = True
+    #: Hard cap on rows serialized into one response.
+    max_result_rows: int = 100_000
+
+
+class QueryService:
+    """Transport-free service core: sessions + admission + shared engine."""
+
+    def __init__(
+        self,
+        database: Database,
+        config: Optional[ServiceConfig] = None,
+        executor: Optional[Executor] = None,
+        planner: Optional[QuickrPlanner] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.config = config or ServiceConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.database = database
+        self.executor = executor if executor is not None else Executor(
+            database, registry=self.registry
+        )
+        self.planner = planner if planner is not None else QuickrPlanner(database)
+        self.sessions = SessionManager()
+        self.admission = AdmissionController(self.config.admission, self.registry)
+        self._workers: List[threading.Thread] = []
+        self._started = False
+        self._closed = False
+        self._lifecycle_lock = threading.Lock()
+        from repro.workloads.tpcds import QUERY_BUILDERS
+
+        self._query_builders = dict(QUERY_BUILDERS)
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "QueryService":
+        with self._lifecycle_lock:
+            if self._started:
+                return self
+            self._started = True
+            for index in range(self.config.num_workers):
+                thread = threading.Thread(
+                    target=drain_worker,
+                    args=(self.admission, self._handle_ticket),
+                    name=f"service-worker-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                self._workers.append(thread)
+        _LOG.info("service started with %d workers", len(self._workers))
+        return self
+
+    def close(self) -> None:
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.admission.close()
+        for thread in self._workers:
+            thread.join(timeout=10.0)
+        _LOG.info("service closed")
+
+    @property
+    def query_names(self) -> Tuple[str, ...]:
+        return tuple(self._query_builders)
+
+    # -- session ops ---------------------------------------------------------
+    def open_session(
+        self,
+        tenant: str = DEFAULT_TENANT,
+        default_mode: str = "quickr",
+        default_deadline_ms: Optional[float] = None,
+    ) -> Session:
+        session = self.sessions.open(tenant, default_mode, default_deadline_ms)
+        self.registry.counter("service.sessions", tenant=session.tenant).inc()
+        return session
+
+    # -- query path ----------------------------------------------------------
+    def submit(
+        self,
+        session: Session,
+        query_name: str,
+        mode: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> QueryTicket:
+        """Admission-check and enqueue one query; raises
+        :class:`AdmissionRejected` or :class:`ProtocolError` immediately,
+        otherwise returns the ticket to wait on."""
+        resolved_mode = session.resolve_mode(mode)
+        if resolved_mode not in MODES:
+            raise ProtocolError(f"unknown mode {resolved_mode!r}; expected one of {MODES}")
+        if query_name not in self._query_builders:
+            raise ProtocolError(
+                f"unknown query {query_name!r}; available: "
+                f"{', '.join(self._query_builders)}"
+            )
+        resolved_deadline = session.resolve_deadline_ms(deadline_ms)
+        deadline_at = (
+            time.monotonic() + resolved_deadline / 1000.0
+            if resolved_deadline is not None else None
+        )
+        session.record_submitted()
+        self.registry.counter("service.requests", tenant=session.tenant).inc()
+        ticket = QueryTicket(session, query_name, resolved_mode, deadline_at)
+        tracer = obs_trace.current_tracer()
+        admit_span = (
+            tracer.begin("service.admit", session=session.session_id,
+                         tenant=session.tenant, query=query_name, mode=resolved_mode)
+            if tracer is not None else None
+        )
+        try:
+            self.admission.submit(ticket)
+        except AdmissionRejected as exc:
+            session.record_rejected()
+            if admit_span is not None:
+                tracer.end(admit_span, status="rejected", reason=exc.reason)
+            raise
+        if admit_span is not None:
+            tracer.end(admit_span, queue_depth=self.admission.queue_depth)
+        if tracer is not None:
+            ticket.queue_span = tracer.begin(
+                "service.queue_wait", parent_id=admit_span.span_id if admit_span else None,
+                session=session.session_id, tenant=session.tenant, query=query_name,
+            )
+            ticket.queue_tracer = tracer
+        return ticket
+
+    def execute(
+        self,
+        session: Session,
+        query_name: str,
+        mode: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Submit and wait; returns the response payload dict.
+
+        This is the one call a connection thread makes per query request.
+        Raises :class:`AdmissionRejected` on rejection/drop, re-raises the
+        engine's error on execution failure.
+        """
+        ticket = self.submit(session, query_name, mode, deadline_ms)
+        if not ticket.wait(timeout):
+            raise ReproError(f"query {query_name!r} timed out waiting for the service")
+        if ticket.rejection is not None:
+            session.record_rejected()
+            raise ticket.rejection
+        if ticket.error is not None:
+            session.record_failed()
+            raise ticket.error
+        return ticket.result
+
+    def _handle_ticket(self, ticket: QueryTicket) -> Optional[float]:
+        """Worker-side execution of one admitted ticket."""
+        ticket.close_queue_span(wait_seconds=round(ticket.queue_wait_seconds, 6))
+        session = ticket.session
+        t0 = time.perf_counter()
+        try:
+            with obs_trace.maybe_span(
+                "service.execute", session=session.session_id, tenant=ticket.tenant,
+                query=ticket.query_name, mode=ticket.mode,
+            ):
+                query = self._query_builders[ticket.query_name](self.database)
+                if ticket.mode == "exact":
+                    plan = self.planner.plan_baseline(query).plan
+                else:
+                    plan = self.planner.plan(query).plan
+                result = self.executor.execute(plan)
+        except BaseException as exc:  # noqa: BLE001 - reported to the client
+            session.record_failed()
+            ticket.fail(exc)
+            return None
+        execute_seconds = time.perf_counter() - t0
+        self.registry.histogram(
+            "service.execute_seconds", tenant=ticket.tenant
+        ).observe(execute_seconds)
+        wire = protocol.table_to_wire(
+            result.table,
+            include_rows=(
+                self.config.include_rows
+                and result.table.num_rows <= self.config.max_result_rows
+            ),
+        )
+        session.record_served(wire["digest"], result.table.num_rows, execute_seconds)
+        ticket.resolve({
+            "query": ticket.query_name,
+            "mode": ticket.mode,
+            "answer": wire,
+            "stats": {
+                "queue_wait_ms": round(ticket.queue_wait_seconds * 1000.0, 3),
+                "execute_ms": round(execute_seconds * 1000.0, 3),
+                "compile_ms": round((result.compile_seconds or 0.0) * 1000.0, 3),
+                "plan_cache_hit": bool(result.plan_cache_hit),
+                "degraded": bool(result.degraded),
+            },
+        })
+        return execute_seconds
+
+    # -- introspection -------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "sessions": self.sessions.summary(),
+            "admission": self.admission.summary(),
+            "plan_cache": self.executor.plan_cache.stats(),
+            "runtime_estimates": self.admission.estimator.snapshot(),
+            "queries": {
+                "served": self.registry.total("service.admitted"),
+                "rejected": self.registry.total("service.rejected"),
+            },
+        }
+
+
+class QueryServer:
+    """Threaded TCP front-end for a :class:`QueryService`."""
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        self._listener = socket.create_server((host, port))
+        # A blocked accept() holds the listening socket open past close()
+        # (the in-flight syscall pins the file description), so the port
+        # would keep accepting after stop(). Poll with a timeout instead;
+        # accepted connections come back in blocking mode.
+        self._listener.settimeout(0.2)
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._accept_thread: Optional[threading.Thread] = None
+        self._connections: List[socket.socket] = []
+        self._conn_threads: List[threading.Thread] = []
+        self._conn_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._stopped = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "QueryServer":
+        self.service.start()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="service-accept", daemon=True
+        )
+        self._accept_thread.start()
+        _LOG.info("listening on %s:%d", *self.address)
+        return self
+
+    def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain the queue (queued
+        tickets get explicit backpressure rejections), close connections."""
+        if self._stopping.is_set():
+            # Another thread is (or was) tearing down; wait it out so
+            # callers can rely on the port being released on return.
+            self._stopped.wait(timeout=30.0)
+            return
+        self._stopping.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self.service.close()
+        with self._conn_lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        for thread in list(self._conn_threads):
+            thread.join(timeout=5.0)
+        self._stopped.set()
+        _LOG.info("server stopped")
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until shutdown (e.g. via the shutdown op) has completed."""
+        return self._stopped.wait(timeout)
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- accept/read loops ---------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, peer = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed during shutdown
+            with self._conn_lock:
+                self._connections.append(conn)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn, peer),
+                name=f"service-conn-{peer[1]}", daemon=True,
+            )
+            self._conn_threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket, peer) -> None:
+        handler = _Connection(self, conn)
+        try:
+            handler.run()
+        finally:
+            with self._conn_lock:
+                if conn in self._connections:
+                    self._connections.remove(conn)
+
+
+class _Connection:
+    """State machine of one client connection: session + request loop."""
+
+    def __init__(self, server: QueryServer, conn: socket.socket):
+        self.server = server
+        self.service = server.service
+        self.conn = conn
+        self.session: Optional[Session] = None
+
+    def respond(self, message: Dict[str, Any]) -> None:
+        protocol.send_message(self.conn, message)
+
+    def run(self) -> None:
+        try:
+            for request in protocol.read_messages(self.conn):
+                if not self._handle(request):
+                    break
+        except ProtocolError as exc:
+            self.service.registry.counter("service.protocol_errors").inc()
+            try:
+                self.respond(protocol.error_response(None, "protocol", str(exc)))
+            except OSError:
+                pass
+        except OSError:
+            pass  # peer vanished mid-exchange; nothing left to say
+        finally:
+            if self.session is not None:
+                self.service.sessions.close(self.session.session_id)
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+    def _ensure_session(self) -> Session:
+        """Queries before ``hello`` bill the default tenant."""
+        if self.session is None:
+            self.session = self.service.open_session()
+        return self.session
+
+    def _handle(self, request: Dict[str, Any]) -> bool:
+        """Process one request; False ends the connection."""
+        request_id = request.get("id")
+        op = request.get("op")
+        try:
+            if op == "hello":
+                return self._op_hello(request_id, request)
+            if op == "query":
+                return self._op_query(request_id, request)
+            if op == "ping":
+                self.respond(protocol.ok_response(request_id, pong=True))
+                return True
+            if op == "stats":
+                self.respond(protocol.ok_response(request_id, stats=self.service.stats()))
+                return True
+            if op == "close":
+                self.respond(protocol.ok_response(request_id, closed=True))
+                return False
+            if op == "shutdown":
+                self.respond(protocol.ok_response(request_id, stopping=True))
+                # Stop from a helper thread: stop() joins connection
+                # threads, and this *is* one.
+                threading.Thread(target=self.server.stop, daemon=True).start()
+                return False
+            raise ProtocolError(f"unknown op {op!r}")
+        except ProtocolError as exc:
+            self.service.registry.counter("service.protocol_errors").inc()
+            self.respond(protocol.error_response(request_id, "protocol", str(exc)))
+            return True
+
+    def _op_hello(self, request_id, request: Dict[str, Any]) -> bool:
+        if self.session is not None:
+            self.service.sessions.close(self.session.session_id)
+        defaults = request.get("defaults") or {}
+        try:
+            self.session = self.service.open_session(
+                tenant=str(request.get("tenant", DEFAULT_TENANT)),
+                default_mode=str(defaults.get("mode", "quickr")),
+                default_deadline_ms=defaults.get("deadline_ms"),
+            )
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from exc
+        self.respond(protocol.ok_response(
+            request_id,
+            session_id=self.session.session_id,
+            tenant=self.session.tenant,
+            protocol_version=protocol.PROTOCOL_VERSION,
+            queries=list(self.service.query_names),
+        ))
+        return True
+
+    def _op_query(self, request_id, request: Dict[str, Any]) -> bool:
+        session = self._ensure_session()
+        query_name = request.get("query")
+        if not isinstance(query_name, str):
+            raise ProtocolError("query op requires a string 'query' field")
+        mode = request.get("mode")
+        deadline_ms = request.get("deadline_ms")
+        try:
+            payload = self.service.execute(session, query_name, mode, deadline_ms)
+        except AdmissionRejected as exc:
+            self.respond(protocol.error_response(
+                request_id, f"rejected.{exc.reason}", str(exc),
+                retryable=exc.reason != "deadline",
+            ))
+            return True
+        except ProtocolError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - reported, not fatal
+            self.respond(protocol.error_response(
+                request_id, "execution", f"{type(exc).__name__}: {exc}"
+            ))
+            return True
+        self.respond(protocol.ok_response(
+            request_id, session_id=session.session_id, tenant=session.tenant, **payload
+        ))
+        return True

@@ -195,6 +195,38 @@ class TestPlanCache:
         cache.clear()
         assert len(cache) == 0
 
+    def test_concurrent_get_put_keeps_invariants(self):
+        import threading
+
+        cache = PlanCache(capacity=8)
+        num_threads, iterations = 8, 500
+        barrier = threading.Barrier(num_threads)
+        errors = []
+
+        def worker(index):
+            try:
+                barrier.wait()
+                for step in range(iterations):
+                    key = f"k{(index + step) % 16}"  # 16 keys > capacity: evictions
+                    if cache.get(key) is None:
+                        cache.put(key, object())
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(num_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.stats()
+        # Every loop iteration performs exactly one lookup.
+        assert stats["hits"] + stats["misses"] == num_threads * iterations
+        assert stats["size"] <= 8
+        assert len(cache) == stats["size"]
+
 
 class TestExecutorCaching:
     def test_repeat_execution_hits(self, sales_db):

@@ -1,0 +1,237 @@
+"""Admission-control unit tests: backpressure, quotas, deadlines, WRR."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import AdmissionRejected
+from repro.service.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    QueryTicket,
+    RuntimeEstimator,
+    drain_worker,
+)
+from repro.service.session import SessionManager
+
+
+def make_ticket(sessions, tenant="t", query="q1", mode="quickr", deadline_ms=None):
+    session = sessions.open(tenant=tenant)
+    deadline_at = (
+        time.monotonic() + deadline_ms / 1000.0 if deadline_ms is not None else None
+    )
+    return QueryTicket(session, query, mode, deadline_at)
+
+
+@pytest.fixture()
+def sessions():
+    return SessionManager()
+
+
+class TestBackpressure:
+    def test_rejects_when_queue_full(self, sessions):
+        controller = AdmissionController(AdmissionConfig(max_queue_depth=2, tenant_quota=10))
+        controller.submit(make_ticket(sessions, tenant="a"))
+        controller.submit(make_ticket(sessions, tenant="b"))
+        with pytest.raises(AdmissionRejected) as info:
+            controller.submit(make_ticket(sessions, tenant="c"))
+        assert info.value.reason == "backpressure"
+        assert controller.queue_depth == 2
+
+    def test_rejection_is_instant_not_blocking(self, sessions):
+        controller = AdmissionController(AdmissionConfig(max_queue_depth=1))
+        controller.submit(make_ticket(sessions, tenant="a"))
+        start = time.monotonic()
+        with pytest.raises(AdmissionRejected):
+            controller.submit(make_ticket(sessions, tenant="b"))
+        assert time.monotonic() - start < 0.1
+
+    def test_peak_queue_depth_tracks_high_water_mark(self, sessions):
+        controller = AdmissionController(AdmissionConfig(max_queue_depth=10))
+        for tenant in ("a", "b", "c"):
+            controller.submit(make_ticket(sessions, tenant=tenant))
+        assert controller.peak_queue_depth == 3
+        controller.next_ticket(timeout=0.1)
+        assert controller.queue_depth == 2
+        assert controller.peak_queue_depth == 3
+
+    def test_rejections_counted_in_registry(self, sessions):
+        controller = AdmissionController(AdmissionConfig(max_queue_depth=1))
+        controller.submit(make_ticket(sessions, tenant="a"))
+        with pytest.raises(AdmissionRejected):
+            controller.submit(make_ticket(sessions, tenant="b"))
+        assert controller.registry.value(
+            "service.rejected", tenant="b", reason="backpressure"
+        ) == 1
+        assert controller.registry.value("service.admitted", tenant="a") == 1
+
+
+class TestQuota:
+    def test_per_tenant_quota_enforced(self, sessions):
+        controller = AdmissionController(AdmissionConfig(max_queue_depth=10, tenant_quota=2))
+        controller.submit(make_ticket(sessions, tenant="a"))
+        controller.submit(make_ticket(sessions, tenant="a"))
+        with pytest.raises(AdmissionRejected) as info:
+            controller.submit(make_ticket(sessions, tenant="a"))
+        assert info.value.reason == "quota"
+        # Other tenants are unaffected by a's exhaustion.
+        controller.submit(make_ticket(sessions, tenant="b"))
+
+    def test_running_counts_toward_quota(self, sessions):
+        controller = AdmissionController(AdmissionConfig(max_queue_depth=10, tenant_quota=1))
+        controller.submit(make_ticket(sessions, tenant="a"))
+        ticket = controller.next_ticket(timeout=0.5)
+        assert ticket is not None
+        assert controller.queue_depth == 0  # queued drained ...
+        with pytest.raises(AdmissionRejected) as info:
+            controller.submit(make_ticket(sessions, tenant="a"))  # ... but still running
+        assert info.value.reason == "quota"
+        controller.task_done(ticket, 0.01)
+        controller.submit(make_ticket(sessions, tenant="a"))  # slot returned
+
+
+class TestDeadline:
+    def test_expired_deadline_rejected_at_submit(self, sessions):
+        controller = AdmissionController(AdmissionConfig())
+        with pytest.raises(AdmissionRejected) as info:
+            controller.submit(make_ticket(sessions, deadline_ms=-5))
+        assert info.value.reason == "deadline"
+
+    def test_infeasible_estimate_rejected_at_submit(self, sessions):
+        controller = AdmissionController(AdmissionConfig())
+        controller.estimator.observe(("q1", "quickr"), 10.0)  # 10 s typical runtime
+        with pytest.raises(AdmissionRejected) as info:
+            controller.submit(make_ticket(sessions, query="q1", deadline_ms=100))
+        assert info.value.reason == "deadline"
+
+    def test_unknown_query_admitted_on_deadline_alone(self, sessions):
+        controller = AdmissionController(AdmissionConfig())
+        controller.submit(make_ticket(sessions, query="novel", deadline_ms=1000))
+        assert controller.queue_depth == 1
+
+    def test_queued_query_dropped_when_deadline_expires(self, sessions):
+        controller = AdmissionController(AdmissionConfig())
+        ticket = make_ticket(sessions, deadline_ms=30)
+        controller.submit(ticket)
+        time.sleep(0.06)  # deadline lapses while queued
+        assert controller.next_ticket(timeout=0.1) is None  # dropped, not dispatched
+        assert ticket.rejection is not None
+        assert ticket.rejection.reason == "deadline"
+        assert ticket.wait(0.1)  # the waiter was unblocked, no hang
+
+    def test_feasible_deadline_dispatches(self, sessions):
+        controller = AdmissionController(AdmissionConfig())
+        controller.estimator.observe(("q1", "quickr"), 0.01)
+        ticket = make_ticket(sessions, query="q1", deadline_ms=5000)
+        controller.submit(ticket)
+        assert controller.next_ticket(timeout=0.5) is ticket
+
+
+class TestFairScheduling:
+    def _drain_order(self, controller, count):
+        order = []
+        for _ in range(count):
+            ticket = controller.next_ticket(timeout=0.5)
+            assert ticket is not None
+            order.append(ticket.tenant)
+            controller.task_done(ticket, None)
+        return order
+
+    def test_equal_weights_interleave(self, sessions):
+        controller = AdmissionController(AdmissionConfig(max_queue_depth=100, tenant_quota=100))
+        # Tenant a floods first; b arrives after. FIFO would starve b.
+        for _ in range(4):
+            controller.submit(make_ticket(sessions, tenant="a"))
+        for _ in range(4):
+            controller.submit(make_ticket(sessions, tenant="b"))
+        order = self._drain_order(controller, 4)
+        assert order.count("a") == 2
+        assert order.count("b") == 2
+
+    def test_weighted_round_robin_respects_weights(self, sessions):
+        config = AdmissionConfig(
+            max_queue_depth=100, tenant_quota=100,
+            tenant_weights={"heavy": 3.0, "light": 1.0},
+        )
+        controller = AdmissionController(config)
+        for _ in range(9):
+            controller.submit(make_ticket(sessions, tenant="heavy"))
+        for _ in range(9):
+            controller.submit(make_ticket(sessions, tenant="light"))
+        order = self._drain_order(controller, 8)
+        # Throughput converges to the 3:1 weight ratio.
+        assert order.count("heavy") == 6
+        assert order.count("light") == 2
+
+    def test_single_tenant_fifo(self, sessions):
+        controller = AdmissionController(AdmissionConfig(max_queue_depth=100, tenant_quota=100))
+        tickets = [make_ticket(sessions, tenant="a", query=f"q{i}") for i in range(5)]
+        for ticket in tickets:
+            controller.submit(ticket)
+        drained = [controller.next_ticket(timeout=0.5) for _ in range(5)]
+        assert [t.query_name for t in drained] == [f"q{i}" for i in range(5)]
+
+
+class TestLifecycle:
+    def test_close_rejects_queued_and_future(self, sessions):
+        controller = AdmissionController(AdmissionConfig())
+        queued = make_ticket(sessions, tenant="a")
+        controller.submit(queued)
+        drained = controller.close()
+        assert drained == [queued]
+        assert queued.rejection.reason == "backpressure"
+        assert queued.wait(0.1)
+        with pytest.raises(AdmissionRejected):
+            controller.submit(make_ticket(sessions, tenant="b"))
+
+    def test_next_ticket_times_out_empty(self, sessions):
+        controller = AdmissionController(AdmissionConfig())
+        start = time.monotonic()
+        assert controller.next_ticket(timeout=0.05) is None
+        assert 0.03 < time.monotonic() - start < 1.0
+
+    def test_drain_worker_executes_and_survives_handler_errors(self, sessions):
+        controller = AdmissionController(AdmissionConfig())
+        results = []
+
+        def handler(ticket):
+            if ticket.query_name == "boom":
+                raise RuntimeError("injected")
+            ticket.resolve(ticket.query_name)
+            results.append(ticket.query_name)
+            return 0.01
+
+        worker = threading.Thread(
+            target=drain_worker, args=(controller, handler, 0.02), daemon=True
+        )
+        worker.start()
+        bad = make_ticket(sessions, query="boom")
+        good = make_ticket(sessions, query="fine")
+        controller.submit(bad)
+        controller.submit(good)
+        assert bad.wait(2.0) and good.wait(2.0)
+        assert isinstance(bad.error, RuntimeError)
+        assert good.result == "fine"
+        # Quota slots were returned by task_done in both paths.
+        assert controller.outstanding(bad.tenant) == 0
+        controller.close()
+        worker.join(timeout=2.0)
+        assert not worker.is_alive()
+
+
+class TestRuntimeEstimator:
+    def test_first_observation_seeds(self):
+        estimator = RuntimeEstimator(alpha=0.5)
+        assert estimator.estimate("k") is None
+        estimator.observe("k", 2.0)
+        assert estimator.estimate("k") == 2.0
+
+    def test_ewma_converges(self):
+        estimator = RuntimeEstimator(alpha=0.5)
+        estimator.observe("k", 2.0)
+        estimator.observe("k", 1.0)
+        assert estimator.estimate("k") == pytest.approx(1.5)
+        for _ in range(20):
+            estimator.observe("k", 1.0)
+        assert estimator.estimate("k") == pytest.approx(1.0, abs=1e-4)

@@ -1,0 +1,123 @@
+"""Wire-protocol tests: framing, table serialization, digest integrity."""
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.engine.table import Table
+from repro.errors import ProtocolError
+from repro.service import protocol
+
+
+def make_table(**columns):
+    return Table("answer", columns)
+
+
+class TestFraming:
+    def test_encode_decode_roundtrip(self):
+        message = {"id": 7, "op": "query", "query": "q12", "deadline_ms": 150.5}
+        assert protocol.decode_message(protocol.encode_message(message).rstrip(b"\n")) == message
+
+    def test_encode_is_one_line(self):
+        frame = protocol.encode_message({"op": "ping", "note": "a\nb"})
+        assert frame.endswith(b"\n")
+        assert frame.count(b"\n") == 1  # embedded newlines are escaped
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_message(b"{not json")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_message(b"[1, 2, 3]")
+
+    def test_read_messages_reassembles_split_frames(self):
+        left, right = socket.socketpair()
+        try:
+            frame = protocol.encode_message({"id": 1, "op": "ping"})
+            # Deliver the frame in three fragments plus a second message.
+            left.sendall(frame[:3])
+            left.sendall(frame[3:7])
+            left.sendall(frame[7:])
+            left.sendall(protocol.encode_message({"id": 2, "op": "close"}))
+            left.close()
+            messages = list(protocol.read_messages(right))
+        finally:
+            right.close()
+        assert [m["id"] for m in messages] == [1, 2]
+
+    def test_read_messages_raises_on_mid_frame_close(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(b'{"id": 1, "op": ')  # no newline, then close
+            left.close()
+            with pytest.raises(ProtocolError):
+                list(protocol.read_messages(right))
+        finally:
+            right.close()
+
+    def test_response_helpers(self):
+        ok = protocol.ok_response(3, pong=True)
+        assert ok == {"id": 3, "ok": True, "pong": True}
+        err = protocol.error_response(4, "rejected.quota", "over quota", retryable=True)
+        assert err["ok"] is False
+        assert err["error"]["code"] == "rejected.quota"
+        assert err["error"]["retryable"] is True
+
+
+class TestTableWire:
+    def test_roundtrip_bit_identical(self):
+        table = make_table(
+            g=np.array([1, 2, 3], dtype=np.int64),
+            x=np.array([1.5, -0.1, 3.25e-17], dtype=np.float64),
+            s=np.array(["a", "bb", "ccc"]),
+        )
+        wire = protocol.table_to_wire(table)
+        rebuilt = protocol.table_from_wire(wire)  # verify=True recomputes digest
+        assert rebuilt.column_names == table.column_names
+        for name in table.column_names:
+            np.testing.assert_array_equal(rebuilt.column(name), table.column(name))
+        assert protocol.table_digest(rebuilt) == wire["digest"]
+
+    def test_float_bits_survive_json(self):
+        import json
+
+        # Adversarial doubles: json must round-trip the exact bits.
+        values = np.array([0.1, 1 / 3, np.pi, 1e-300, -1e300, np.nan, np.inf])
+        table = make_table(x=values)
+        wire = json.loads(json.dumps(protocol.table_to_wire(table)))
+        rebuilt = protocol.table_from_wire(wire)
+        assert rebuilt.column("x").tobytes() == values.tobytes()
+
+    def test_digest_detects_tampering(self):
+        table = make_table(x=np.array([1.0, 2.0]))
+        wire = protocol.table_to_wire(table)
+        wire["columns"]["x"]["values"][0] = 1.0000000001
+        with pytest.raises(ProtocolError, match="digest mismatch"):
+            protocol.table_from_wire(wire)
+
+    def test_digest_independent_of_string_width(self):
+        # '<U1' vs '<U9' buffers holding equal values must hash equal.
+        narrow = make_table(s=np.array(["a", "b"], dtype="<U1"))
+        wide = make_table(s=np.array(["a", "b"], dtype="<U9"))
+        assert protocol.table_digest(narrow) == protocol.table_digest(wide)
+
+    def test_digest_sensitive_to_each_component(self):
+        base = make_table(x=np.array([1.0, 2.0]))
+        assert protocol.table_digest(base) != protocol.table_digest(
+            make_table(x=np.array([1.0, 2.5]))  # values
+        )
+        assert protocol.table_digest(base) != protocol.table_digest(
+            make_table(y=np.array([1.0, 2.0]))  # column name
+        )
+        assert protocol.table_digest(base) != protocol.table_digest(
+            make_table(x=np.array([1, 2], dtype=np.int64))  # dtype
+        )
+
+    def test_digest_only_payload(self):
+        table = make_table(x=np.array([1.0]))
+        wire = protocol.table_to_wire(table, include_rows=False)
+        assert "columns" not in wire
+        assert protocol.table_from_wire(wire) is None
+        assert wire["digest"] == protocol.table_digest(table)

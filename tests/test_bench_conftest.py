@@ -1,0 +1,32 @@
+"""The benchmark harness honors REPRO_BENCH_SCALE / REPRO_BENCH_SEED."""
+
+import importlib.util
+import pathlib
+
+BENCH_CONFTEST = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "conftest.py"
+
+
+def load_bench_conftest():
+    spec = importlib.util.spec_from_file_location("bench_conftest", BENCH_CONFTEST)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_defaults_match_docstring(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+    monkeypatch.delenv("REPRO_BENCH_SEED", raising=False)
+    module = load_bench_conftest()
+    assert module.bench_scale() == module.DEFAULT_BENCH_SCALE == 0.3
+    assert module.bench_seed() == module.DEFAULT_BENCH_SEED == 1
+    assert f"default {module.DEFAULT_BENCH_SCALE}" in module.__doc__
+
+
+def test_env_override_honored_after_import(monkeypatch):
+    # The override must win even when set after the module was imported.
+    monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+    module = load_bench_conftest()
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.05")
+    monkeypatch.setenv("REPRO_BENCH_SEED", "7")
+    assert module.bench_scale() == 0.05
+    assert module.bench_seed() == 7
