@@ -406,6 +406,63 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_bench_transport(args) -> int:
+    import multiprocessing as mp
+
+    from repro.experiments.report import format_table
+    from repro.experiments.transport import measure_transport, write_report
+    from repro.parallel import available_parallelism, transport
+    from repro.workloads.tpcds import QUERY_BUILDERS, generate_tpcds
+
+    if "fork" not in mp.get_all_start_methods() or not transport.shm_available():
+        print("bench-transport needs fork process workers and POSIX shared memory")
+        return 2
+    names = args.queries.split(",") if args.queries else None
+    if names:
+        unknown = [n for n in names if n not in QUERY_BUILDERS]
+        if unknown:
+            print(f"unknown queries: {', '.join(unknown)}; available: {', '.join(QUERY_BUILDERS)}")
+            return 2
+
+    db = generate_tpcds(scale=args.scale, seed=args.seed)
+    kwargs = dict(
+        degree=args.parallelism,
+        repeat=args.repeat,
+        shuffle_rows=args.shuffle_rows,
+        scale=args.scale,
+    )
+    if names:
+        kwargs["names"] = names
+    report = measure_transport(db, **kwargs)
+
+    rows = []
+    for r in report["queries"] + [report["shuffle"]]:
+        rows.append(
+            {
+                "query": r["query"],
+                "transport": r["transport"],
+                "pickle_s": f"{r['seconds_pickle']:.3f}",
+                "shm_s": f"{r['seconds_shm']:.3f}",
+                "bytes_pickled": f"{r['bytes_pickled']:,}",
+                "bytes_on_pipe": f"{r['bytes_on_pipe_shm']:,}",
+                "identical": "yes" if r["identical"] else "NO",
+            }
+        )
+    print(format_table(rows, title=f"shm vs pickle transport (D={args.parallelism})"))
+    print(
+        f"\nspeedup: tpc-ds {report['speedup_tpcds']}x, "
+        f"transport-bound shuffle {report['speedup_shuffle']}x; "
+        f"peak rss {report['peak_rss_kb']:,} KiB"
+    )
+    cores = available_parallelism()
+    if cores < args.parallelism:
+        print(f"note: only {cores} usable core(s); pickle serialization and worker "
+              "compute contend for the same core, so the measured ratio is a floor")
+    write_report(report, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_speedup(args) -> int:
     from repro.engine.executor import Executor
     from repro.experiments.report import format_table
@@ -519,6 +576,25 @@ def build_parser() -> argparse.ArgumentParser:
     speedup.add_argument("--pool", default="auto", choices=["auto", "process", "thread", "inline"])
     speedup.add_argument("--merge", default="rows", choices=["rows", "partial"])
     speedup.set_defaults(func=_cmd_speedup)
+
+    bench_transport = sub.add_parser(
+        "bench-transport", parents=[common],
+        help="compare shared-memory vs pickle result transport at fixed degree "
+             "(per-query wall clock, bytes on the pipe, peak RSS)",
+    )
+    bench_transport.add_argument("--scale", type=float, default=0.15)
+    bench_transport.add_argument("--seed", type=int, default=7)
+    bench_transport.add_argument("--parallelism", type=int, default=4)
+    bench_transport.add_argument("--repeat", type=int, default=1,
+                                 help="timed runs per transport; best is kept")
+    bench_transport.add_argument("--queries", default=None,
+                                 help="comma-separated query names (default: a "
+                                      "transport-heavy subset)")
+    bench_transport.add_argument("--shuffle-rows", type=int, default=1_500_000,
+                                 help="rows in the transport-bound shuffle microbench")
+    bench_transport.add_argument("--out", default="BENCH_exec.json",
+                                 help="where to write the JSON report")
+    bench_transport.set_defaults(func=_cmd_bench_transport)
 
     chaos = sub.add_parser(
         "chaos", parents=[common],

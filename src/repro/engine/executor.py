@@ -135,6 +135,10 @@ class Executor:
         below this executor records into (plan-cache traffic, compile vs.
         execute time, per-sampler telemetry, parallel fault counters). A
         fresh private registry is created when omitted.
+    morsel_rows:
+        Batch size for fused streamable chains, forwarded to
+        :meth:`PhysicalPlan.execute` (None = engine default, 0 disables
+        morsel-driven execution).
     """
 
     def __init__(
@@ -146,12 +150,14 @@ class Executor:
         attach_rowids: bool = True,
         plan_cache_size: int = 128,
         registry: Optional[MetricsRegistry] = None,
+        morsel_rows: Optional[int] = None,
     ):
         self.database = database
         self.config = config or ClusterConfig()
         self.parallelism = int(parallelism)
         self.parallel_options = parallel_options
         self.attach_rowids = bool(attach_rowids)
+        self.morsel_rows = morsel_rows
         self.plan_cache = PlanCache(capacity=int(plan_cache_size))
         self.compile_seconds = 0.0
         self.execute_seconds = 0.0
@@ -226,11 +232,12 @@ class Executor:
                 operators=physical.num_operators,
             ):
                 table, cardinalities, op_metrics = physical.execute(
-                    self.database, record_metrics=True, tracer=tracer
+                    self.database, record_metrics=True, tracer=tracer,
+                    morsel_rows=self.morsel_rows,
                 )
         else:
             table, cardinalities, op_metrics = physical.execute(
-                self.database, record_metrics=True
+                self.database, record_metrics=True, morsel_rows=self.morsel_rows
             )
         execute_s = perf_counter() - t0
         with self._stats_lock:
@@ -285,6 +292,7 @@ class Executor:
             overrides=overrides,
             should_abort=should_abort,
             tracer=obs_trace.current_tracer(),
+            morsel_rows=self.morsel_rows,
         )
         with self._stats_lock:
             self.execute_seconds += perf_counter() - t0
@@ -304,6 +312,10 @@ class Executor:
         registry.counter("executor.queries").inc()
         registry.histogram("executor.compile_seconds").observe(compile_s)
         registry.histogram("executor.execute_seconds").observe(execute_s)
+        morsels = sum(op.morsels for op in op_metrics)
+        if morsels:
+            registry.counter("memory.morsels_executed").inc(morsels)
+        self._absorb_memory_gauges()
         self._absorb_plan_cache()
         short = fingerprint[:12]
         for op in op_metrics:
@@ -321,6 +333,14 @@ class Executor:
                 op.sampler["effective_rate"]
             )
             registry.gauge("sampler.target_p", **labels).set(op.sampler["target_p"])
+
+    def _absorb_memory_gauges(self) -> None:
+        """Refresh the ``memory.*`` gauges from the shared-memory arena."""
+        from repro.memory import memory_stats
+
+        stats = memory_stats()
+        self.registry.gauge("memory.live_segments").set(stats["segments"])
+        self.registry.gauge("memory.bytes_mapped").set(stats["bytes_mapped"])
 
     def _absorb_plan_cache(self) -> None:
         """Forward plan-cache counter deltas into the registry (the cache
@@ -357,6 +377,7 @@ class Executor:
         """One JSON-able view of everything this executor measured: the
         legacy ``timings()`` block plus the full metrics registry."""
         self._absorb_plan_cache()
+        self._absorb_memory_gauges()
         if self._parallel is not None:
             self._parallel.serial_executor._absorb_plan_cache()
         return {"timings": self.timings(), "metrics": self.registry.snapshot()}

@@ -219,6 +219,15 @@ class ParallelMetrics:
     degraded: bool = False
     #: Fraction of partitions whose results made it into the answer.
     coverage: float = 1.0
+    #: -- transport (see repro.parallel.transport) ----------------------------
+    #: Result transport actually used: "shm" (TableRefs over the pipe,
+    #: bytes in shared memory) or "pickle" (whole payloads over the pipe).
+    transport: str = "pickle"
+    #: Bytes that crossed the result pipe (refs in shm mode; measured
+    #: pickled payloads in pickle mode when measurement was requested).
+    result_bytes_on_pipe: int = 0
+    #: Bytes of table data moved via shared memory instead of the pipe.
+    result_bytes_shared: int = 0
 
     @property
     def measured_speedup(self) -> Optional[float]:
@@ -245,6 +254,10 @@ class ParallelMetrics:
         }
         if self.measured_speedup is not None:
             out["measured_speedup"] = round(self.measured_speedup, 2)
+        if self.transport != "pickle":
+            out["transport"] = self.transport
+            out["result_bytes_on_pipe"] = self.result_bytes_on_pipe
+            out["result_bytes_shared"] = self.result_bytes_shared
         if self.task_retries:
             out["retries"] = self.task_retries
         if self.speculative_launches:

@@ -59,6 +59,10 @@ def group_codes(arrays: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray, i
 
 def execute_select(table: Table, predicate: Expr) -> Table:
     mask = np.asarray(predicate.evaluate(table), dtype=bool)
+    if mask.all():
+        # Nothing filtered: the input passes through untouched instead of
+        # being gathered into a same-sized copy.
+        return table
     return table.take(mask)
 
 
@@ -361,4 +365,8 @@ def execute_union_all(tables: Sequence[Table]) -> Table:
         if any_weights and not t.has_weights():
             t = t.with_columns({WEIGHT_COLUMN: np.ones(t.num_rows)})
         aligned.append(t)
+    if len(aligned) == 1:
+        # Degenerate union: concat would copy every column of the single
+        # input just to glue it to nothing.
+        return aligned[0]
     return Table.concat(aligned, name=aligned[0].name)

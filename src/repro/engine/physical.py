@@ -57,12 +57,25 @@ from repro.engine.table import Database, Table, rowid_column_name
 from repro.errors import PlanError, TaskCancelled
 
 __all__ = [
+    "DEFAULT_MORSEL_ROWS",
     "OperatorMetrics",
     "PhysicalOp",
     "PhysicalPlan",
     "PlanCache",
     "compile_plan",
 ]
+
+#: Default morsel size (rows) for fused select/project chains. 64 Ki rows of
+#: float64 is 512 KiB per column — a handful of columns stay L2/L3-resident
+#: through the whole chain instead of streaming each operator over the full
+#: partition.
+DEFAULT_MORSEL_ROWS = 65536
+
+#: Opcodes eligible for morsel-driven fusion: unary, streamable, row-local
+#: (output row *i* depends only on input row *i*). Samplers are excluded —
+#: the distinct sampler keeps per-stratum running state across rows, so its
+#: decisions are stream-order-global, not morsel-local.
+_STREAMABLE = ("select", "project")
 
 
 @dataclass(frozen=True)
@@ -77,6 +90,9 @@ class OperatorMetrics:
     #: Samplers only: accuracy telemetry — kind, target probability,
     #: effective pass rate and output Horvitz-Thompson weight mass.
     sampler: Optional[dict] = None
+    #: Morsel-driven operators only: number of row-range batches executed
+    #: (0 = the operator ran once over its whole input).
+    morsels: int = 0
 
     def summary(self) -> dict:
         out = {
@@ -88,6 +104,8 @@ class OperatorMetrics:
         }
         if self.sampler is not None:
             out["sampler"] = dict(self.sampler)
+        if self.morsels:
+            out["morsels"] = self.morsels
         return out
 
 
@@ -132,6 +150,11 @@ class PhysicalPlan:
     #: Scan occurrence address -> pre-order scan ordinal.
     scan_ordinals: Dict[NodeAddress, int]
     attach_rowids: bool = True
+    #: Morsel-fusable chains, keyed by first member index: maximal runs of
+    #: consecutive streamable unary ops (select/project) each consuming its
+    #: predecessor. Detected at compile time; executed morsel-wise at run
+    #: time when the chain input is large enough.
+    morsel_chains: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
 
     @property
     def num_operators(self) -> int:
@@ -144,23 +167,27 @@ class PhysicalPlan:
         record_metrics: bool = False,
         should_abort: Optional[Callable[[], bool]] = None,
         tracer=None,
+        morsel_rows: Optional[int] = None,
     ) -> Tuple[Table, Dict[NodeAddress, int], Tuple[OperatorMetrics, ...]]:
         """Run the pipeline against ``database``.
 
         ``overrides`` maps a node address to a pre-computed table: that
         operator's subtree is skipped and the table used as its output (the
         parallel executor splices merged partition results in this way).
-        ``should_abort`` is polled between operators; when it turns true the
-        run raises :class:`TaskCancelled` — the cooperative-cancellation
-        hook the task scheduler uses to stop speculative losers without
-        waiting out the whole pipeline. ``tracer`` (a
-        :class:`repro.obs.trace.Tracer`) records one span per executed
-        operator, carrying its address, rows-in/rows-out and — for samplers
-        — the effective rate vs. target ``p`` and output weight mass.
+        ``should_abort`` is polled between operators (and between morsels);
+        when it turns true the run raises :class:`TaskCancelled` — the
+        cooperative-cancellation hook the task scheduler uses to stop
+        speculative losers without waiting out the whole pipeline.
+        ``tracer`` (a :class:`repro.obs.trace.Tracer`) records one span per
+        executed operator, carrying its address, rows-in/rows-out and — for
+        samplers — the effective rate vs. target ``p`` and output weight
+        mass. ``morsel_rows`` sets the batch size for fused streamable
+        chains (None = :data:`DEFAULT_MORSEL_ROWS`; 0 disables fusion).
         Returns the raw root table (lineage intact), per-address output
         cardinalities, and per-operator metrics (empty unless requested).
         """
         ops = self.ops
+        morsel_rows = DEFAULT_MORSEL_ROWS if morsel_rows is None else int(morsel_rows)
         skipped = bytearray(len(ops))
         if overrides:
             for address in overrides:
@@ -177,13 +204,24 @@ class PhysicalPlan:
         metrics: List[OperatorMetrics] = []
         observe = record_metrics or tracer is not None
 
-        for op in ops:
+        index = 0
+        while index < len(ops):
+            op = ops[index]
+            index += 1
             if skipped[op.index]:
                 continue
             if should_abort is not None and should_abort():
                 raise TaskCancelled(
                     f"execution aborted before operator {format_address(op.address)}"
                 )
+            chain = self.morsel_chains.get(op.index) if morsel_rows > 0 else None
+            if chain is not None and self._chain_runnable(chain, skipped, overrides, slots, morsel_rows):
+                self._execute_chain(
+                    chain, slots, database, cardinalities, metrics,
+                    record_metrics, should_abort, tracer, morsel_rows,
+                )
+                index = chain[-1] + 1
+                continue
             started = time.perf_counter() if observe else 0.0
             span = (
                 tracer.begin(f"op.{op.opcode}", address=format_address(op.address))
@@ -234,6 +272,93 @@ class PhysicalPlan:
         result = slots[len(ops) - 1]
         assert result is not None
         return result, cardinalities, tuple(metrics)
+
+    # -- morsel-driven chain execution ----------------------------------------
+    def _chain_runnable(self, chain, skipped, overrides, slots, morsel_rows: int) -> bool:
+        """Whether a compiled chain can actually run fused for this call.
+
+        A chain falls back to one-op-at-a-time execution when any member is
+        masked out or overridden (the parallel executor splices results at
+        arbitrary addresses) or when the input is small enough that a single
+        pass already fits in cache.
+        """
+        if any(skipped[m] for m in chain):
+            return False
+        if overrides and any(self.ops[m].address in overrides for m in chain):
+            return False
+        source = slots[self.ops[chain[0]].child_slots[0]]
+        return source is not None and source.num_rows > morsel_rows
+
+    def _execute_chain(
+        self,
+        chain: Tuple[int, ...],
+        slots: List[Optional[Table]],
+        database: Database,
+        cardinalities: Dict[NodeAddress, int],
+        metrics: List[OperatorMetrics],
+        record_metrics: bool,
+        should_abort: Optional[Callable[[], bool]],
+        tracer,
+        morsel_rows: int,
+    ) -> None:
+        """Run a fused select/project chain morsel-by-morsel.
+
+        Each morsel is a zero-copy row-range view of the chain's input; the
+        whole chain runs over one morsel before the next is touched, so the
+        working set stays cache-resident. Because every member is row-local
+        (see :data:`_STREAMABLE`), concatenating the per-morsel outputs is
+        bit-identical to running each operator over the full input.
+        """
+        members = [self.ops[m] for m in chain]
+        source_slot = members[0].child_slots[0]
+        source = slots[source_slot]
+        assert source is not None
+        observe = record_metrics or tracer is not None
+
+        n = len(members)
+        rows_in = [0] * n
+        rows_out = [0] * n
+        seconds = [0.0] * n
+        pieces: List[Table] = []
+        num_morsels = 0
+        for start in range(0, source.num_rows, morsel_rows):
+            if should_abort is not None and should_abort():
+                raise TaskCancelled(
+                    f"execution aborted at morsel {num_morsels} of chain "
+                    f"{format_address(members[0].address)}"
+                )
+            num_morsels += 1
+            table = source.slice(start, start + morsel_rows)
+            for i, op in enumerate(members):
+                started = time.perf_counter() if observe else 0.0
+                rows_in[i] += table.num_rows
+                table = self._dispatch(op, [table], database)
+                rows_out[i] += table.num_rows
+                if observe:
+                    seconds[i] += time.perf_counter() - started
+            pieces.append(table)
+        result = Table.concat(pieces, name=pieces[-1].name)
+
+        slots[source_slot] = None
+        slots[chain[-1]] = result
+        for i, op in enumerate(members):
+            cardinalities[op.address] = rows_out[i] if i < n - 1 else result.num_rows
+            if tracer is not None:
+                span = tracer.begin(f"op.{op.opcode}", address=format_address(op.address))
+                tracer.end(
+                    span, rows_in=rows_in[i], rows_out=rows_out[i], morsels=num_morsels
+                )
+            if record_metrics:
+                metrics.append(
+                    OperatorMetrics(
+                        address=op.address,
+                        description=op.describe(),
+                        rows_in=rows_in[i],
+                        rows_out=rows_out[i],
+                        seconds=seconds[i],
+                        morsels=num_morsels,
+                    )
+                )
 
     # -- operator dispatch ----------------------------------------------------
     def _dispatch(self, op: PhysicalOp, inputs: List[Table], database: Database) -> Table:
@@ -371,7 +496,27 @@ def compile_plan(
         address_to_index=address_to_index,
         scan_ordinals=scan_ordinals,
         attach_rowids=attach_rowids,
+        morsel_chains=_find_morsel_chains(ops),
     )
+
+
+def _find_morsel_chains(ops: List[PhysicalOp]) -> Dict[int, Tuple[int, ...]]:
+    """Maximal runs of consecutive streamable unary ops, keyed by first index.
+
+    Post-order guarantees a unary operator's child sits at ``index - 1``, so
+    a filter→project chain is literally a contiguous slice of the pipeline.
+    Single streamable ops are not worth fusing (one morselized pass plus a
+    concat is strictly more work than one whole-input pass); only chains of
+    two or more become morsel-driven.
+    """
+    runs: List[List[int]] = []
+    for op in ops:
+        if op.opcode in _STREAMABLE and op.child_slots == (op.index - 1,):
+            if runs and runs[-1][-1] == op.index - 1:
+                runs[-1].append(op.index)
+            else:
+                runs.append([op.index])
+    return {run[0]: tuple(run) for run in runs if len(run) >= 2}
 
 
 @dataclass

@@ -48,14 +48,25 @@ def rowid_column_name(scan_index: int) -> str:
 
 
 class Table:
-    """An immutable-by-convention columnar table."""
+    """An immutable-by-convention columnar table.
 
-    __slots__ = ("name", "_columns", "num_rows")
+    Ownership/pinning contract for buffer-backed tables: a table built by
+    :meth:`from_ref` holds zero-copy views into a shared-memory segment.
+    The views themselves pin the underlying mapping (NumPy keeps the
+    exported buffer alive), and ``_pin`` records the :class:`TableRef` the
+    table came from so callers can tell a borrowed table from an owning
+    one. Releasing the segment while such a table is alive is safe — the
+    mapping survives until the last view dies — but the *name* is gone, so
+    the ref must not be re-shared after release.
+    """
+
+    __slots__ = ("name", "_columns", "num_rows", "_pin")
 
     def __init__(self, name: str, columns: Mapping[str, np.ndarray]):
         if not columns:
             raise SchemaError(f"table {name!r} must have at least one column")
         self.name = name
+        self._pin = None
         self._columns: Dict[str, np.ndarray] = {}
         length: Optional[int] = None
         for col_name, values in columns.items():
@@ -148,8 +159,21 @@ class Table:
         """Row subset by boolean mask or index array."""
         return Table(name or self.name, {c: arr[selector] for c, arr in self._columns.items()})
 
+    def slice(self, start: int, stop: int, name: Optional[str] = None) -> "Table":
+        """Zero-copy contiguous row range ``[start, stop)``.
+
+        Basic slicing never copies, so the result's columns are views into
+        this table's buffers (the morsel driver's unit of execution).
+        """
+        out = Table.__new__(Table)
+        out.name = name or self.name
+        out._pin = self._pin
+        out._columns = {c: arr[start:stop] for c, arr in self._columns.items()}
+        out.num_rows = int(next(iter(out._columns.values())).shape[0])
+        return out
+
     def head(self, n: int) -> "Table":
-        return self.take(np.arange(min(n, self.num_rows)))
+        return self.slice(0, min(n, self.num_rows))
 
     def sort_by(self, keys: Sequence[str], descending: bool = False) -> "Table":
         order = np.lexsort([self.column(k) for k in reversed(keys)])
@@ -207,6 +231,46 @@ class Table:
                 raise SchemaError(f"schema mismatch in concat: {schema} vs {other.column_names}")
         columns = {c: np.concatenate([t.column(c) for t in tables]) for c in schema}
         return Table(name or first.name, columns)
+
+    # -- shared-memory transport ---------------------------------------------
+    def to_ref(self, segment_name: Optional[str] = None, keep_open: bool = True):
+        """Write this table into a shared-memory segment; returns a
+        :class:`repro.memory.TableRef`.
+
+        The caller owns the segment and must eventually
+        :func:`repro.memory.release` it (or hand the ref — and with it the
+        release obligation — to another process). ``keep_open=False``
+        detaches the local mapping immediately after the copy, the right
+        mode for a worker shipping a result it will never read back.
+        """
+        # Local import: repro.memory is a leaf layer, but keeping the engine
+        # importable without it on exotic platforms costs nothing.
+        from repro.memory import arena
+
+        name = segment_name or arena.new_segment_name("tbl")
+        return arena.create_table_segment(
+            name, self.name, self._columns, self.num_rows, keep_open=keep_open
+        )
+
+    @classmethod
+    def from_ref(cls, ref, name: Optional[str] = None) -> "Table":
+        """Rebuild a table from a :class:`repro.memory.TableRef`.
+
+        Numeric columns are zero-copy read-only views into the segment;
+        the views pin the mapping for the table's lifetime (see the class
+        docstring). The segment itself stays live until someone calls
+        :func:`repro.memory.release` on the ref.
+        """
+        from repro.memory import arena
+
+        table = cls(name or ref.table_name, arena.map_ref(ref))
+        table._pin = ref
+        return table
+
+    @property
+    def backing_ref(self):
+        """The :class:`TableRef` this table was mapped from, or ``None``."""
+        return self._pin
 
     @staticmethod
     def from_rows(name: str, column_names: Sequence[str], rows: Iterable[tuple]) -> "Table":

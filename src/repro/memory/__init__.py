@@ -1,0 +1,42 @@
+"""Shared-memory column arenas and zero-copy table transport.
+
+See :mod:`repro.memory.arena` for the lifecycle contract and
+:mod:`repro.memory.layout` for the on-segment byte format.
+"""
+
+from repro.memory.arena import (
+    SEGMENT_PREFIX,
+    SegmentError,
+    SegmentManager,
+    TableRef,
+    create_table_segment,
+    leaked_system_segments,
+    live_segments,
+    manager,
+    map_ref,
+    memory_stats,
+    new_segment_name,
+    reap,
+    release,
+)
+from repro.memory.layout import ALIGNMENT, ColumnLayout, check_extent, plan_layout
+
+__all__ = [
+    "ALIGNMENT",
+    "SEGMENT_PREFIX",
+    "ColumnLayout",
+    "SegmentError",
+    "SegmentManager",
+    "TableRef",
+    "check_extent",
+    "create_table_segment",
+    "leaked_system_segments",
+    "live_segments",
+    "manager",
+    "map_ref",
+    "memory_stats",
+    "new_segment_name",
+    "plan_layout",
+    "reap",
+    "release",
+]

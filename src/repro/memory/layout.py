@@ -1,0 +1,171 @@
+"""Column layout arithmetic for shared-memory table segments.
+
+A table is flattened into one contiguous byte arena: each column occupies a
+64-byte-aligned extent described by a :class:`ColumnLayout`, and the whole
+segment is described by a :class:`TableRef` (see :mod:`repro.memory.arena`).
+Two storage kinds exist:
+
+* ``raw`` — any non-object NumPy dtype (ints, floats, bools, fixed-width
+  unicode/bytes). The column's bytes are copied verbatim; the dtype string
+  reconstructs the array exactly, so round trips are bit-identical.
+* ``strblob`` — object-dtype columns holding Python strings/bytes. The
+  values are encoded as one UTF-8 blob plus an ``int64`` offsets array
+  (``num_rows + 1`` entries; row *i* spans ``blob[offsets[i]:offsets[i+1]]``),
+  the classic Arrow-style varlen encoding.
+
+All extent arithmetic is done in Python ints and materialized as ``int64``:
+offsets must stay exact past 2 GiB (a ``uint32``/C-``int`` intermediate
+would silently wrap), which is what :func:`check_extent` guards and the
+unit tests force with synthetic multi-GiB layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+__all__ = ["ALIGNMENT", "ColumnLayout", "plan_layout", "check_extent", "encode_strings", "decode_strings"]
+
+#: Extent alignment (bytes): one cache line, so a column view never shares
+#: a line with its neighbour and SIMD loads start aligned.
+ALIGNMENT = 64
+
+#: Marker dtype recorded for varlen string columns.
+_OBJECT_KIND = "strblob"
+
+
+@dataclass(frozen=True)
+class ColumnLayout:
+    """One column's extent inside a table segment.
+
+    ``kind == "raw"``: the extent at ``offset`` holds ``length * itemsize``
+    bytes of dtype ``dtype``. ``kind == "strblob"``: the extent holds an
+    ``int64`` offsets array of ``length + 1`` entries at ``offset`` followed
+    (at ``blob_offset``) by ``blob_nbytes`` of UTF-8 payload.
+    """
+
+    name: str
+    kind: str  # "raw" | "strblob"
+    dtype: str  # numpy dtype string ("<i8", "<U12", ...); "object" for strblob
+    length: int
+    offset: int
+    nbytes: int
+    #: strblob only: where the UTF-8 payload starts and how long it is.
+    blob_offset: int = 0
+    blob_nbytes: int = 0
+
+    def end(self) -> int:
+        """First byte past this column's extent(s)."""
+        if self.kind == _OBJECT_KIND:
+            return self.blob_offset + self.blob_nbytes
+        return self.offset + self.nbytes
+
+
+def _align(offset: int) -> int:
+    """Round ``offset`` up to the next :data:`ALIGNMENT` boundary."""
+    return (int(offset) + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+def check_extent(offset: int, nbytes: int) -> Tuple[int, int]:
+    """Validate one extent's arithmetic in explicit 64-bit space.
+
+    Returns ``(offset, end)`` as Python ints after proving both survive an
+    ``int64`` round trip — the guard that keeps >2 GiB offsets exact on
+    platforms where a C ``long`` is 32 bits.
+    """
+    offset = int(offset)
+    nbytes = int(nbytes)
+    if offset < 0 or nbytes < 0:
+        raise SchemaError(f"negative extent: offset={offset} nbytes={nbytes}")
+    end = offset + nbytes
+    try:
+        exact = int(np.int64(offset)) == offset and int(np.int64(end)) == end
+    except OverflowError:  # numpy refuses values outside int64 outright
+        exact = False
+    if not exact:
+        raise SchemaError(f"extent [{offset}, {end}) overflows int64")
+    return offset, end
+
+
+def encode_strings(values: np.ndarray) -> Tuple[np.ndarray, bytes]:
+    """Encode an object array of strings/bytes as (int64 offsets, blob)."""
+    chunks: List[bytes] = []
+    offsets = np.zeros(len(values) + 1, dtype=np.int64)
+    total = 0
+    for i, value in enumerate(values):
+        if isinstance(value, bytes):
+            raise SchemaError("object columns must hold str values, got bytes")
+        if not isinstance(value, str):
+            raise SchemaError(
+                f"object column has non-string value of type {type(value).__name__}; "
+                "only string object columns are transportable"
+            )
+        encoded = value.encode("utf-8")
+        chunks.append(encoded)
+        total += len(encoded)
+        offsets[i + 1] = total
+    return offsets, b"".join(chunks)
+
+
+def decode_strings(offsets: np.ndarray, blob: memoryview) -> np.ndarray:
+    """Inverse of :func:`encode_strings`; returns an object array."""
+    out = np.empty(len(offsets) - 1, dtype=object)
+    raw = bytes(blob)
+    for i in range(len(out)):
+        out[i] = raw[offsets[i]:offsets[i + 1]].decode("utf-8")
+    return out
+
+
+def plan_layout(
+    columns: Mapping[str, np.ndarray],
+) -> Tuple[Tuple[ColumnLayout, ...], int, Dict[str, Tuple[np.ndarray, bytes]]]:
+    """Plan the segment layout for a table's columns.
+
+    Returns ``(layouts, total_bytes, encoded_strings)`` where
+    ``encoded_strings`` maps strblob column names to their pre-encoded
+    ``(offsets, blob)`` pair so the writer does not encode twice.
+    """
+    layouts: List[ColumnLayout] = []
+    encoded: Dict[str, Tuple[np.ndarray, bytes]] = {}
+    cursor = 0
+    for name, arr in columns.items():
+        arr = np.ascontiguousarray(arr)
+        if arr.ndim != 1:
+            raise SchemaError(f"column {name!r} must be 1-D to transport")
+        if arr.dtype == object:
+            offsets, blob = encode_strings(arr)
+            encoded[name] = (offsets, blob)
+            offset, end = check_extent(_align(cursor), offsets.nbytes)
+            blob_offset, blob_end = check_extent(_align(end), len(blob))
+            layouts.append(
+                ColumnLayout(
+                    name=name,
+                    kind=_OBJECT_KIND,
+                    dtype="object",
+                    length=len(arr),
+                    offset=offset,
+                    nbytes=offsets.nbytes,
+                    blob_offset=blob_offset,
+                    blob_nbytes=len(blob),
+                )
+            )
+            cursor = blob_end
+        else:
+            offset, end = check_extent(_align(cursor), arr.nbytes)
+            layouts.append(
+                ColumnLayout(
+                    name=name,
+                    kind="raw",
+                    dtype=arr.dtype.str,
+                    length=len(arr),
+                    offset=offset,
+                    nbytes=arr.nbytes,
+                )
+            )
+            cursor = end
+    # A zero-byte shared_memory segment cannot be created; keep a minimum.
+    return tuple(layouts), max(int(cursor), 1), encoded

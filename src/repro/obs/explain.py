@@ -90,7 +90,21 @@ def explain_analyze(planner, executor, query) -> str:
     """Plan, execute and render one query's annotated operator tree."""
     result = planner.plan(query)
     execution = executor.execute(result.plan)
-    return render_explain(planner, result, execution)
+    rendered = render_explain(planner, result, execution)
+    footer = _memory_footer(executor.registry)
+    return rendered + "\n" + footer if footer else rendered
+
+
+def _memory_footer(registry) -> str:
+    """One line of ``memory.*`` telemetry: arena occupancy after the run
+    plus the cumulative morsel count this executor has recorded."""
+    live = registry.gauge("memory.live_segments").value
+    mapped = registry.gauge("memory.bytes_mapped").value
+    morsels = registry.counter("memory.morsels_executed").value
+    return (
+        f"memory: {int(live)} live segment(s), {int(mapped):,} bytes mapped, "
+        f"{int(morsels):,} morsel(s) executed"
+    )
 
 
 def render_explain(planner, result, execution) -> str:

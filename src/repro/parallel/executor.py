@@ -40,6 +40,7 @@ the fault-tolerance ledger (retries, speculation, degradation).
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Optional, Tuple
@@ -59,7 +60,7 @@ from repro.engine.metrics import (
 )
 from repro.engine.physical import plan_fingerprint
 from repro.engine.table import WEIGHT_COLUMN, Database, Table, rowid_column_name
-from repro.errors import DegradedResultError, PlanError, TaskError
+from repro.errors import DegradedResultError, PlanError, SchemaError, TaskError
 from repro.obs import log as obs_log
 from repro.obs import trace as obs_trace
 from repro.obs.registry import MetricsRegistry
@@ -79,8 +80,10 @@ from repro.parallel.plan import (
     build_worker_plan,
     worker_table_name,
 )
-from repro.parallel.pool import WorkerPool
+from repro.parallel.pool import WorkerPool, scrub_shared_segments
 from repro.parallel.tasks import RetryPolicy, TaskRuntime, TaskSpec
+from repro.parallel import transport as shm_transport
+from repro.memory import TableRef
 from repro.stats.derivation import reweight_surviving_partitions
 
 __all__ = ["ParallelOptions", "ParallelExecutor"]
@@ -114,6 +117,15 @@ class ParallelOptions:
     testing); ``allow_degraded`` gates sample-aware graceful degradation —
     when False a permanently lost partition always falls back to serial
     re-execution, matching BlinkDB-style apriori-sample behavior.
+
+    ``transport`` picks how partition tables move between parent and
+    workers: ``"auto"`` uses shared-memory :class:`~repro.memory.TableRef`
+    descriptors whenever the run actually forks processes (and falls back
+    to pickle otherwise), ``"shm"`` insists on it where possible, and
+    ``"pickle"`` forces whole payloads over the pipe everywhere.
+    ``measure_transport_bytes`` additionally measures the pickled payload
+    sizes on the pickle path (an extra serialization pass per result, so it
+    is off outside benchmarks); the shm path always accounts its bytes.
     """
 
     pool: str = "auto"
@@ -125,10 +137,17 @@ class ParallelOptions:
     fault_plan: Optional[FaultPlan] = None
     allow_degraded: bool = True
     task_seed: int = 0
+    transport: str = "auto"
+    measure_transport_bytes: bool = False
 
     def __post_init__(self):
         if self.merge not in _MERGE_MODES:
             raise PlanError(f"unknown merge mode {self.merge!r}; expected one of {_MERGE_MODES}")
+        if self.transport not in shm_transport.TRANSPORT_MODES:
+            raise PlanError(
+                f"unknown transport {self.transport!r}; expected one of "
+                f"{shm_transport.TRANSPORT_MODES}"
+            )
 
 
 class ParallelExecutor:
@@ -203,8 +222,19 @@ class ParallelExecutor:
             registry.counter("parallel.failed_tasks").inc(len(metrics.failed_partitions))
         if metrics.degraded:
             registry.counter("parallel.degraded_queries").inc()
+        if metrics.transport == "shm":
+            registry.counter("transport.shm_queries").inc()
+        if metrics.result_bytes_on_pipe:
+            registry.counter("transport.result_bytes_on_pipe").inc(metrics.result_bytes_on_pipe)
+        if metrics.result_bytes_shared:
+            registry.counter("transport.result_bytes_shared").inc(metrics.result_bytes_shared)
         for seconds in metrics.worker_seconds:
             registry.histogram("parallel.task_seconds").observe(seconds)
+        from repro.memory import memory_stats
+
+        stats = memory_stats()
+        registry.gauge("memory.live_segments").set(stats["segments"])
+        registry.gauge("memory.bytes_mapped").set(stats["bytes_mapped"])
 
     def _execute(self, plan) -> ExecutionResult:
         start = perf_counter()
@@ -277,13 +307,51 @@ class ParallelExecutor:
             base_seed=self.options.task_seed,
         )
 
+        # Zero-copy transport: only worth it when the run actually crosses a
+        # process boundary (thread/inline workers share the address space and
+        # pass tables by reference already).
+        use_shm = (
+            self.options.transport in ("auto", "shm")
+            and runtime.pool.resolve_mode() == "process"
+            and runtime.pool.workers_for(degree) > 1
+            and shm_transport.shm_available()
+        )
+        if self.options.transport == "shm" and not use_shm:
+            _LOG.warning(
+                "transport='shm' requested but not usable here (pool mode %s, "
+                "%d worker(s)); using the pickle transport",
+                runtime.pool.resolve_mode(),
+                runtime.pool.workers_for(degree),
+            )
+        token = shm_transport.new_run_token() if use_shm else ""
+        input_segments: List[str] = []
+        partition_sources: Dict[str, list] = partitions
+        if use_shm:
+            try:
+                partition_sources, input_segments = shm_transport.ship_partitions(
+                    partitions, token
+                )
+            except SchemaError as exc:
+                _LOG.warning(
+                    "input partitions not arena-encodable (%s); "
+                    "falling back to the pickle transport",
+                    exc,
+                )
+                use_shm = False
+                partition_sources = partitions
+            else:
+                # Drop the parent's materialized partition copies before the
+                # pool forks: the fork image (and each worker) carries refs,
+                # not partition data. The base tables stay in self.database.
+                partitions = {}
+
         def run_partition(task: TaskSpec):
             t0 = perf_counter()
             if fault_plan is not None:
                 fault_plan.before_work(task.partition, task.attempt)
             worker_db = Database()
-            for parts in partitions.values():
-                worker_db.register(parts[task.partition])
+            for sources in partition_sources.values():
+                worker_db.register(shm_transport.open_partition(sources[task.partition]))
             key = (task.partition, task.attempt)
             table, cards = Executor(worker_db, config).run_plan(
                 worker_plans[task.partition],
@@ -299,6 +367,21 @@ class ParallelExecutor:
             if fault_plan is not None:
                 result = fault_plan.after_work(
                     task.partition, task.attempt, result, corrupter=_corrupt_result
+                )
+            # Ship the (possibly fault-corrupted) table through shared memory
+            # so validation still sees exactly what the worker produced.
+            # Non-table payloads (partial states, injected junk) take the
+            # pickle pipe as before.
+            if (
+                use_shm
+                and isinstance(result, tuple)
+                and len(result) == 3
+                and isinstance(result[2], Table)
+            ):
+                result = (
+                    result[0],
+                    result[1],
+                    shm_transport.ship_result(result[2], token, task.partition, task.attempt),
                 )
             return result
 
@@ -351,133 +434,189 @@ class ParallelExecutor:
                     kind="validation",
                 )
 
-        report = runtime.run(run_partition, degree, validate=validate)
-        lost = report.failed_partitions
+        # Parent-side transport hooks: map refs back into tables on receipt
+        # (accounting pipe vs shared bytes), release segments behind any
+        # result the runtime discards, and reap by deterministic name when a
+        # worker dies before delivering its ref.
+        transport_tally = {"pipe": 0, "shared": 0}
 
-        if lost and not self._degradable(analysis, merge_mode):
-            reason = (
-                f"partition(s) {list(lost)} permanently lost after "
-                f"{self.options.retry.max_attempts} attempt(s); "
-                + self._why_not_degradable(analysis, merge_mode)
-                + " — re-executing serially"
-            )
-            _LOG.warning("%s", reason)
-            self.stats.serial_reexecutions += 1
-            self.registry.counter("parallel.serial_reexecutions").inc()
-            try:
-                result = self._serial_fallback(plan, reason, start, record=False)
-            except Exception as exc:
-                raise DegradedResultError(
-                    f"query failed: {reason}, and the serial re-execution "
-                    f"also failed ({type(exc).__name__}: {exc})"
-                ) from exc
-            self._fold_report(result.parallel, report, fault_plan)
-            self.stats.record(result.parallel)
+        def receive(result, spec: TaskSpec):
+            if not (isinstance(result, tuple) and len(result) == 3):
+                return result  # malformed shape; validation rejects it below
+            if isinstance(result[2], TableRef):
+                ref = result[2]
+                transport_tally["pipe"] += ref.schema_bytes()
+                transport_tally["shared"] += ref.nbytes
+                return (result[0], result[1], Table.from_ref(ref))
             return result
 
-        survivors = [
-            (pid, payload)
-            for pid, payload in enumerate(report.payloads)
-            if payload is not None
-        ]
-        if not survivors:
-            raise DegradedResultError(
-                f"every partition of the parallel run failed "
-                f"(first error: {report.errors[0] if report.errors else 'unknown'})"
+        def reap_attempt(spec: TaskSpec):
+            scrub_shared_segments(
+                [shm_transport.result_segment_name(token, spec.partition, spec.attempt)]
             )
-        worker_seconds = report.latencies
-        card_maps = [payload[1] for _, payload in survivors]
-        payloads = [payload[2] for _, payload in survivors]
 
-        # Precursor cardinalities: worker plans mirror the split subtree
-        # node-for-node, so worker addresses are precursor-relative and sum
-        # directly under the split's absolute prefix.
-        cardinalities: Dict[NodeAddress, int] = {}
-        for cards in card_maps:
-            for rel_address, count in cards.items():
-                absolute = split_address + rel_address
-                cardinalities[absolute] = cardinalities.get(absolute, 0) + count
-
-        reweight_factor = 1.0
-        if do_partial:
-            merged_state = merge_partials(payloads)
-            finalized = finalize_partial(
-                merged_state,
-                aggregate,
-                compute_ci=compute_ci,
-                universe_rescale=universe_rescale,
-                universe_variance=universe_variance,
-            )
-            overrides = {analysis.aggregate_address: finalized}
-        else:
-            merged = merge_rows(payloads)
-            if lost:
-                # Sample-aware degradation: surviving partitions are a
-                # valid sample; re-weight and let the variance algebra
-                # widen the CIs downstream.
-                reweighted, reweight_factor = reweight_surviving_partitions(
-                    merged.weights(), degree, len(lost)
+        report = None
+        try:
+            if use_shm:
+                report = runtime.run(
+                    run_partition,
+                    degree,
+                    validate=validate,
+                    receive=receive,
+                    dispose=shm_transport.dispose_result,
+                    reap=reap_attempt,
                 )
-                merged = merged.with_columns({WEIGHT_COLUMN: reweighted})
-            overrides = {split_address: merged}
+            else:
+                report = runtime.run(run_partition, degree, validate=validate)
+            lost = report.failed_partitions
 
-        table, upper_cards = self.serial_executor.run_plan(plan, overrides)
-        cardinalities.update(upper_cards)
-        cost = cost_plan(plan, lambda node, address: cardinalities[address], config)
-        elapsed = perf_counter() - start
+            if lost and not self._degradable(analysis, merge_mode):
+                reason = (
+                    f"partition(s) {list(lost)} permanently lost after "
+                    f"{self.options.retry.max_attempts} attempt(s); "
+                    + self._why_not_degradable(analysis, merge_mode)
+                    + " — re-executing serially"
+                )
+                _LOG.warning("%s", reason)
+                self.stats.serial_reexecutions += 1
+                self.registry.counter("parallel.serial_reexecutions").inc()
+                try:
+                    result = self._serial_fallback(plan, reason, start, record=False)
+                except Exception as exc:
+                    raise DegradedResultError(
+                        f"query failed: {reason}, and the serial re-execution "
+                        f"also failed ({type(exc).__name__}: {exc})"
+                    ) from exc
+                self._fold_report(result.parallel, report, fault_plan)
+                self.stats.record(result.parallel)
+                return result
 
-        serial_seconds = None
-        if self.options.measure_serial_baseline:
-            t0 = perf_counter()
-            self.serial_executor.execute(plan)
-            serial_seconds = perf_counter() - t0
+            survivors = [
+                (pid, payload)
+                for pid, payload in enumerate(report.payloads)
+                if payload is not None
+            ]
+            if not survivors:
+                raise DegradedResultError(
+                    f"every partition of the parallel run failed "
+                    f"(first error: {report.errors[0] if report.errors else 'unknown'})"
+                )
+            worker_seconds = report.latencies
+            card_maps = [payload[1] for _, payload in survivors]
+            payloads = [payload[2] for _, payload in survivors]
+            if not use_shm and self.options.measure_transport_bytes:
+                transport_tally["pipe"] = sum(
+                    len(pickle.dumps(p, protocol=pickle.HIGHEST_PROTOCOL)) for p in payloads
+                )
 
-        coverage = (degree - len(lost)) / degree
-        metrics = ParallelMetrics(
-            parallelism=degree,
-            strategy=analysis.strategy,
-            pool_mode=runtime.pool.resolve_mode(),
-            merge_mode=merge_mode,
-            partitioned_tables=analysis.partitioned_tables,
-            wall_clock_seconds=elapsed,
-            serial_wall_clock_seconds=serial_seconds,
-            modeled_speedup=modeled_speedup(cost, degree, config),
-            worker_seconds=worker_seconds,
-            tasks=degree,
-            task_retries=report.total_retries,
-            speculative_launches=report.speculative_launches,
-            speculative_wins=report.speculative_wins,
-            faults_injected=fault_plan.num_faults if fault_plan is not None else 0,
-            failed_partitions=lost,
-            degraded=bool(lost),
-            coverage=coverage,
-        )
-        self.stats.record(metrics)
-        if lost:
-            _LOG.warning(
-                "degraded result: partition(s) %s permanently lost; "
-                "coverage %.2f, surviving weights rescaled by %.3f",
-                list(lost),
-                coverage,
-                reweight_factor,
+            # Precursor cardinalities: worker plans mirror the split subtree
+            # node-for-node, so worker addresses are precursor-relative and sum
+            # directly under the split's absolute prefix.
+            cardinalities: Dict[NodeAddress, int] = {}
+            for cards in card_maps:
+                for rel_address, count in cards.items():
+                    absolute = split_address + rel_address
+                    cardinalities[absolute] = cardinalities.get(absolute, 0) + count
+
+            reweight_factor = 1.0
+            if do_partial:
+                merged_state = merge_partials(payloads)
+                finalized = finalize_partial(
+                    merged_state,
+                    aggregate,
+                    compute_ci=compute_ci,
+                    universe_rescale=universe_rescale,
+                    universe_variance=universe_variance,
+                )
+                overrides = {analysis.aggregate_address: finalized}
+            else:
+                merged = merge_rows(payloads)
+                if lost:
+                    # Sample-aware degradation: surviving partitions are a
+                    # valid sample; re-weight and let the variance algebra
+                    # widen the CIs downstream.
+                    reweighted, reweight_factor = reweight_surviving_partitions(
+                        merged.weights(), degree, len(lost)
+                    )
+                    merged = merged.with_columns({WEIGHT_COLUMN: reweighted})
+                overrides = {split_address: merged}
+
+            table, upper_cards = self.serial_executor.run_plan(plan, overrides)
+            cardinalities.update(upper_cards)
+            cost = cost_plan(plan, lambda node, address: cardinalities[address], config)
+            elapsed = perf_counter() - start
+
+            serial_seconds = None
+            if self.options.measure_serial_baseline:
+                t0 = perf_counter()
+                self.serial_executor.execute(plan)
+                serial_seconds = perf_counter() - t0
+
+            coverage = (degree - len(lost)) / degree
+            metrics = ParallelMetrics(
+                parallelism=degree,
+                strategy=analysis.strategy,
+                pool_mode=runtime.pool.resolve_mode(),
+                merge_mode=merge_mode,
+                partitioned_tables=analysis.partitioned_tables,
+                wall_clock_seconds=elapsed,
+                serial_wall_clock_seconds=serial_seconds,
+                modeled_speedup=modeled_speedup(cost, degree, config),
+                worker_seconds=worker_seconds,
+                tasks=degree,
+                task_retries=report.total_retries,
+                speculative_launches=report.speculative_launches,
+                speculative_wins=report.speculative_wins,
+                faults_injected=fault_plan.num_faults if fault_plan is not None else 0,
+                failed_partitions=lost,
+                degraded=bool(lost),
+                coverage=coverage,
+                transport="shm" if use_shm else "pickle",
+                result_bytes_on_pipe=transport_tally["pipe"],
+                result_bytes_shared=transport_tally["shared"],
             )
-            return PartialResult(
+            self.stats.record(metrics)
+            if lost:
+                _LOG.warning(
+                    "degraded result: partition(s) %s permanently lost; "
+                    "coverage %.2f, surviving weights rescaled by %.3f",
+                    list(lost),
+                    coverage,
+                    reweight_factor,
+                )
+                return PartialResult(
+                    table=table.drop_lineage(),
+                    cost=cost,
+                    cardinalities=cardinalities,
+                    wall_clock_seconds=elapsed,
+                    parallel=metrics,
+                    lost_partitions=lost,
+                    coverage=coverage,
+                    reweight_factor=reweight_factor,
+                )
+            return ExecutionResult(
                 table=table.drop_lineage(),
                 cost=cost,
                 cardinalities=cardinalities,
                 wall_clock_seconds=elapsed,
                 parallel=metrics,
-                lost_partitions=lost,
-                coverage=coverage,
-                reweight_factor=reweight_factor,
             )
-        return ExecutionResult(
-            table=table.drop_lineage(),
-            cost=cost,
-            cardinalities=cardinalities,
-            wall_clock_seconds=elapsed,
-            parallel=metrics,
-        )
+        finally:
+            if use_shm:
+                if report is not None:
+                    # Winning payloads were mapped into parent-side tables;
+                    # by now the merge has copied their rows, so the segments
+                    # can go (release tolerates still-live views). The sweep
+                    # then reaps orphans of workers that died holding their
+                    # result — every name the attempt ledger could have used.
+                    for outcome in report.outcomes:
+                        shm_transport.dispose_result(outcome.payload)
+                    shm_transport.sweep_results(
+                        token,
+                        [outcome.attempts for outcome in report.outcomes],
+                        keep=set(),
+                    )
+                shm_transport.release_refs(input_segments)
 
     # -- degradation rules ----------------------------------------------------
     @staticmethod

@@ -84,7 +84,13 @@ def merge_rows(tables: Sequence[Table], name: Optional[str] = None) -> Table:
     """
     if not tables:
         raise PlanError("merge_rows needs at least one partition output")
-    merged = Table.concat(tables, name=name or tables[0].name)
+    if len(tables) == 1:
+        # Single survivor: its rows are already the whole stream (modulo the
+        # lineage sort below) — skip the concat copy. With the shm transport
+        # this keeps the answer a zero-copy view until materialization.
+        merged = tables[0] if name is None else tables[0].rename_columns({}, name=name)
+    else:
+        merged = Table.concat(tables, name=name or tables[0].name)
     lineage = merged.lineage_column_names()
     if lineage:
         merged = merged.sort_by(lineage)

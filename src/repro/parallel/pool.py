@@ -37,7 +37,12 @@ from typing import Any, Callable, List, Optional, Sequence
 
 from repro.errors import PlanError, ReproError, TaskError
 
-__all__ = ["WorkerPool", "available_parallelism", "fork_payload"]
+__all__ = [
+    "WorkerPool",
+    "available_parallelism",
+    "fork_payload",
+    "scrub_shared_segments",
+]
 
 #: Fork-inherited payload for process workers: (work function, items).
 #: ``items`` is None when callers ship the argument over the pipe instead
@@ -83,6 +88,20 @@ def fork_payload(fn: Callable, items: Optional[Sequence] = None):
     finally:
         _PAYLOAD = None
         _PAYLOAD_LOCK.release()
+
+
+def scrub_shared_segments(names: Sequence[str]) -> int:
+    """Reclaim shared-memory segments leaked by dead pool workers.
+
+    A worker that dies holding a segment (fork payload mid-result, a
+    ``BrokenProcessPool`` recycle) cannot release it; whoever rebuilds the
+    pool calls this with the deterministic names those attempts would have
+    used. Missing names are free; returns how many segments were actually
+    removed.
+    """
+    from repro.memory import reap
+
+    return sum(1 for name in names if reap(name))
 
 
 def available_parallelism() -> int:

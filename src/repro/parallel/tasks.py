@@ -263,6 +263,10 @@ class TaskRuntime:
         self.abandoned: Set[Tuple[int, int]] = set()
         #: Active tracer of the current :meth:`run` (None when tracing is off).
         self._tracer: Optional[obs_trace.Tracer] = None
+        # Transport hooks of the current run (see :meth:`run`).
+        self._receive: Optional[Callable[[Any, TaskSpec], Any]] = None
+        self._dispose: Optional[Callable[[Any], None]] = None
+        self._reap: Optional[Callable[[TaskSpec], None]] = None
 
     # -- public entry ---------------------------------------------------------
     def run(
@@ -270,13 +274,31 @@ class TaskRuntime:
         fn: Callable[[TaskSpec], Any],
         num_tasks: int,
         validate: Optional[Callable[[Any, TaskSpec], None]] = None,
+        receive: Optional[Callable[[Any, TaskSpec], Any]] = None,
+        dispose: Optional[Callable[[Any], None]] = None,
+        reap: Optional[Callable[[TaskSpec], None]] = None,
     ) -> TaskReport:
+        """Run ``fn`` over ``num_tasks`` partition tasks.
+
+        ``receive(payload, spec)`` transforms a candidate result before
+        validation — the shm transport maps a :class:`TableRef` back into a
+        table here; raising makes the attempt a retryable failure.
+        ``dispose(payload)`` is called on every result the runtime discards
+        (late speculative losers, post-success arrivals, validation
+        failures) so transports can release resources the payload owns.
+        ``reap(spec)`` is called for each in-flight attempt lost to a
+        broken process pool — the attempt may have died while holding a
+        shared segment it never got to hand over.
+        """
         if num_tasks < 1:
             raise PlanError(f"num_tasks must be >= 1, got {num_tasks}")
         self.abandoned.clear()
         self._tracer = obs_trace.current_tracer()
         if self._tracer is not None:
             fn = _traced_fn(fn)
+        self._receive = receive
+        self._dispose = dispose
+        self._reap = reap
         mode = self.pool.resolve_mode()
         workers = self.pool.workers_for(num_tasks)
         outcomes = [TaskOutcome(partition=i) for i in range(num_tasks)]
@@ -349,6 +371,24 @@ class TaskRuntime:
             return payload.payload
         return payload
 
+    def _discard(self, payload) -> None:
+        """Hand a dropped result to the dispose hook (never raises)."""
+        if self._dispose is None:
+            return
+        try:
+            self._dispose(payload)
+        except Exception:  # cleanup must not mask the scheduling path
+            _LOG.exception("dispose hook failed; continuing")
+
+    def _reap_attempt(self, spec: TaskSpec) -> None:
+        """Hand a pool-lost attempt to the reap hook (never raises)."""
+        if self._reap is None:
+            return
+        try:
+            self._reap(spec)
+        except Exception:
+            _LOG.exception("reap hook failed; continuing")
+
     @staticmethod
     def _wrap(exc: BaseException, spec: TaskSpec, kind: str = "exception") -> TaskError:
         if isinstance(exc, TaskError):
@@ -395,9 +435,20 @@ class TaskRuntime:
                         outcome.retries += 1
                     continue
                 payload = self._unwrap(payload, span)
+                if self._receive is not None:
+                    try:
+                        payload = self._receive(payload, spec)
+                    except Exception as exc:
+                        self._end_span(span, status="error", error=f"receive: {exc}")
+                        outcome.errors.append(self._wrap(exc, spec, kind="transport"))
+                        failures += 1
+                        if failures < policy.max_attempts:
+                            outcome.retries += 1
+                        continue
                 error = self._check(payload, spec, validate)
                 if error is not None:
                     self._end_span(span, status="error", error=str(error))
+                    self._discard(payload)
                     outcome.errors.append(error)
                     failures += 1
                     if failures < policy.max_attempts:
@@ -540,6 +591,9 @@ class TaskRuntime:
                         continue  # cooperative abort; never a failure
                     except BrokenProcessPool as exc:
                         self._end_span(attempt.span, status="error", error="pool broke")
+                        # The dead worker may have created its result segment
+                        # before dying; reap it by name — the ref never arrived.
+                        self._reap_attempt(spec)
                         if can_recycle:
                             executor, live = self._recycle(
                                 make_executor, live, outcomes, failures, retry_queue, done
@@ -561,10 +615,23 @@ class TaskRuntime:
                     if key in self.abandoned or partition in done:
                         self._end_span(attempt.span, status="cancelled")
                         self.abandoned.discard(key)
+                        self._discard(payload)
                         continue  # late loser; result discarded
+                    if self._receive is not None:
+                        try:
+                            payload = self._receive(payload, spec)
+                        except Exception as exc:
+                            self._end_span(
+                                attempt.span, status="error", error=f"receive: {exc}"
+                            )
+                            record_failure(
+                                attempt, self._wrap(exc, spec, kind="transport")
+                            )
+                            continue
                     error = self._check(payload, spec, validate)
                     if error is not None:
                         self._end_span(attempt.span, status="error", error=str(error))
+                        self._discard(payload)
                         record_failure(attempt, error)
                         continue
 
@@ -594,7 +661,14 @@ class TaskRuntime:
                         self._end_span(other.span, status="cancelled")
                         del live[other_future]
         finally:
-            executor.shutdown(wait=False, cancel_futures=True)
+            # When a transport hook owns out-of-process resources (shared
+            # segments named per attempt), wait for straggler workers to
+            # exit: an abandoned attempt may still write its result segment
+            # after losing, and the caller's post-run sweep can only see
+            # segments that exist by the time workers are gone. Without
+            # hooks, keep the old fire-and-forget shutdown.
+            wait_for_stragglers = self._dispose is not None or self._reap is not None
+            executor.shutdown(wait=wait_for_stragglers, cancel_futures=True)
 
     def _straggler_threshold(self, durations: List[float]) -> Optional[float]:
         policy = self.policy
@@ -615,6 +689,7 @@ class TaskRuntime:
         )
         for attempt in live.values():
             self._end_span(attempt.span, status="error", error="pool broke")
+            self._reap_attempt(attempt.spec)
             partition = attempt.spec.partition
             if partition in done:
                 continue

@@ -1,0 +1,205 @@
+"""Zero-copy shared-memory transport for partition inputs and results.
+
+The pickle transport ships whole partition tables over the process-pool
+result pipe — O(data) bytes serialized, copied and deserialized per task.
+This module replaces that with :class:`~repro.memory.TableRef` descriptors:
+column buffers live in named ``shared_memory`` segments and only O(schema)
+bytes cross the pipe.
+
+Two directions, two ownership rules:
+
+* **Inputs** (parent → workers): the parent writes every partition table
+  into a segment *before* the pool forks, drops its materialized copies,
+  and publishes refs. Workers attach read-only views on demand. The parent
+  owns the segments and releases them when the run ends.
+* **Results** (worker → parent): the worker writes its output table into a
+  segment whose name is a *deterministic function of (run token, partition,
+  attempt)* and detaches immediately; only the ref returns over the pipe.
+  The parent assumes ownership on receipt. Deterministic naming is the
+  crash-safety story: a worker that dies while holding a segment never
+  delivers the ref, but the parent can still reap the orphan by
+  reconstructing its name from the attempt ledger (:func:`sweep_results`,
+  plus the pool-recycle hook in :mod:`repro.parallel.tasks`).
+
+Fallback matrix: thread/inline backends share an address space, so tables
+pass by reference and shm would only add copies — they stay on the pickle
+path. A table the arena cannot encode (e.g. an object column holding
+non-strings) falls back to pickling that one payload; the parent accepts
+either form. ``transport="pickle"`` forces the old path everywhere.
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.engine.table import Table
+from repro.errors import SchemaError
+from repro.memory import SEGMENT_PREFIX, TableRef, reap, release
+from repro.obs import log as obs_log
+
+__all__ = [
+    "TRANSPORT_MODES",
+    "new_run_token",
+    "shm_available",
+    "result_segment_name",
+    "ship_partitions",
+    "open_partition",
+    "ship_result",
+    "dispose_result",
+    "sweep_results",
+    "release_refs",
+]
+
+_LOG = obs_log.logger("parallel.transport")
+
+#: Valid values of ``ParallelOptions.transport``.
+TRANSPORT_MODES = ("auto", "shm", "pickle")
+
+
+def new_run_token() -> str:
+    """Short unique token naming one parallel run's segment family."""
+    return secrets.token_hex(4)
+
+
+def shm_available() -> bool:
+    """Whether POSIX shared memory actually works here (some sandboxes
+    mount no /dev/shm)."""
+    try:
+        from multiprocessing import shared_memory
+
+        probe = shared_memory.SharedMemory(create=True, size=1)
+        probe.close()
+        # The stdlib unlink also unregisters the create-time tracker entry,
+        # so the probe leaves the tracker balanced.
+        probe.unlink()
+        return True
+    except Exception:
+        return False
+
+
+def _input_segment_name(token: str, partition: int, ordinal: int) -> str:
+    return f"{SEGMENT_PREFIX}{token}_i{partition}_{ordinal}"
+
+
+def result_segment_name(token: str, partition: int, attempt: int) -> str:
+    """Deterministic result-segment name for one (partition, attempt)."""
+    return f"{SEGMENT_PREFIX}{token}_r{partition}a{attempt}"
+
+
+def ship_partitions(
+    partitions: Dict[str, List[Table]], token: str
+) -> Tuple[Dict[str, List[TableRef]], List[str]]:
+    """Write every partition table into shared memory.
+
+    Returns ``(refs, segment_names)``: the refs dict mirrors the input's
+    shape (worker-table name → per-partition list), and ``segment_names``
+    is the parent's cleanup ledger — the parent owns every input segment
+    for the whole run. Raises :class:`~repro.errors.SchemaError` (after
+    cleaning up segments already written) if any column cannot be encoded;
+    callers then fall back to the pickle transport wholesale.
+    """
+    from repro.memory import arena
+
+    refs: Dict[str, List[TableRef]] = {}
+    names: List[str] = []
+    seen: Dict[int, TableRef] = {}  # id(table) -> ref, aliases broadcasts
+    try:
+        for ordinal, (wname, parts) in enumerate(sorted(partitions.items())):
+            shipped = []
+            for pid, part in enumerate(parts):
+                cached = seen.get(id(part))
+                if cached is not None:
+                    # Broadcast tables repeat one object per partition;
+                    # ship the bytes once and alias the ref.
+                    shipped.append(cached)
+                    continue
+                name = _input_segment_name(token, pid, ordinal)
+                ref = arena.create_table_segment(name, part.name, part.to_dict(), part.num_rows)
+                names.append(name)
+                seen[id(part)] = ref
+                shipped.append(ref)
+            refs[wname] = shipped
+    except Exception:
+        release_refs(names)
+        raise
+    return refs, names
+
+
+def open_partition(source: Union[Table, TableRef]) -> Table:
+    """Worker-side input resolution: map a ref, pass a table through."""
+    if isinstance(source, TableRef):
+        return Table.from_ref(source)
+    return source
+
+
+def ship_result(table: Table, token: str, partition: int, attempt: int):
+    """Worker-side result shipping: segment in, ref out.
+
+    Returns the :class:`TableRef` to send over the pipe, or the table
+    itself when its columns cannot be arena-encoded (per-payload pickle
+    fallback — correctness first, zero-copy when possible).
+    """
+    name = result_segment_name(token, partition, attempt)
+    try:
+        return table.to_ref(segment_name=name, keep_open=False)
+    except SchemaError as exc:
+        _LOG.warning(
+            "partition %d attempt %d result not arena-encodable (%s); "
+            "falling back to pickle for this payload",
+            partition,
+            attempt,
+            exc,
+        )
+        return table
+
+
+def dispose_result(result) -> None:
+    """Release the segment behind a discarded worker result.
+
+    Discards happen on three paths — late speculative losers, results
+    arriving after the task already succeeded, and validation failures —
+    and on each the parent is the last owner standing. Accepts the raw
+    ``(seconds, cards, payload)`` tuple in either transported form:
+    a not-yet-mapped :class:`TableRef` or an already-mapped table.
+    """
+    if not (isinstance(result, tuple) and len(result) == 3):
+        return
+    payload = result[2]
+    if isinstance(payload, TableRef):
+        release(payload)
+    elif isinstance(payload, Table) and payload.backing_ref is not None:
+        release(payload.backing_ref)
+
+
+def sweep_results(token: str, attempts_per_partition: Iterable[int], keep: Set[str]) -> int:
+    """Reap every result segment of a finished run except ``keep``.
+
+    ``attempts_per_partition[p]`` is how many attempts partition ``p``
+    launched; with deterministic names, that ledger enumerates every
+    segment any worker *may* have created — including workers that died
+    before delivering their ref. Reaping is idempotent, so segments that
+    were already consumed-and-released, or never created, cost one failed
+    ``shm_open`` each. Returns the number of orphans actually removed.
+    """
+    reaped = 0
+    for partition, attempts in enumerate(attempts_per_partition):
+        for attempt in range(attempts):
+            name = result_segment_name(token, partition, attempt)
+            if name in keep:
+                continue
+            if reap(name):
+                _LOG.info(
+                    "reaped orphaned result segment %s (partition %d attempt %d)",
+                    name,
+                    partition,
+                    attempt,
+                )
+                reaped += 1
+    return reaped
+
+
+def release_refs(refs_or_names: Iterable) -> None:
+    """Release a collection of refs / segment names (parent-side cleanup)."""
+    for item in refs_or_names:
+        release(item)

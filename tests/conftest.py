@@ -11,6 +11,18 @@ def rng():
     return np.random.default_rng(12345)
 
 
+@pytest.fixture(scope="session", autouse=True)
+def no_shared_memory_leaks():
+    """The whole run — including worker-crash chaos — must leave /dev/shm
+    clean: every qkr* segment is reclaimed by release, sweep, or reap."""
+    yield
+    from repro.memory import leaked_system_segments, manager
+
+    manager().release_all()
+    leaked = leaked_system_segments()
+    assert leaked == [], f"shared-memory segments leaked by the test run: {leaked}"
+
+
 def make_sales_db(n_sales: int = 20_000, n_items: int = 40, n_customers: int = 500, seed: int = 7) -> Database:
     """A two-table star plus a returns table for join tests."""
     gen = np.random.default_rng(seed)

@@ -1,0 +1,189 @@
+"""Shared-memory arena: layout, lifecycle, and degenerate-table coverage.
+
+The arena is the substrate of the zero-copy transport, so its unit bar is
+strict: every shape a partition output can take (zero rows, one column,
+all-NaN weights, unicode strings) must round-trip bit-exactly, refs must
+stay O(schema) on the pickle pipe, and every segment must be reclaimable —
+including by name alone, the crash path.
+"""
+
+import dataclasses
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine.table import WEIGHT_COLUMN
+from repro.errors import SchemaError
+from repro.memory import (
+    ALIGNMENT,
+    check_extent,
+    create_table_segment,
+    live_segments,
+    manager,
+    map_ref,
+    new_segment_name,
+    plan_layout,
+    reap,
+    release,
+)
+from repro.memory.arena import SegmentError
+
+
+@pytest.fixture(autouse=True)
+def clean_segments():
+    yield
+    manager().release_all()
+
+
+def roundtrip(columns, num_rows):
+    name = new_segment_name("t")
+    ref = create_table_segment(name, "t", columns, num_rows)
+    try:
+        return ref, map_ref(ref)
+    finally:
+        release(ref)
+
+
+class TestRoundTrip:
+    def test_mixed_dtypes_bit_exact(self):
+        columns = {
+            "i": np.arange(100, dtype=np.int64),
+            "f": np.linspace(0.0, 1.0, 100),
+            "u": np.array([f"v{i}" for i in range(100)]),  # '<U' dtype: raw
+            "o": np.array([f"räw-{i}" for i in range(100)], dtype=object),
+        }
+        _, out = roundtrip(columns, 100)
+        for key, expected in columns.items():
+            np.testing.assert_array_equal(out[key], expected, err_msg=key)
+        assert out["i"].dtype == np.int64
+        assert out["u"].dtype == columns["u"].dtype
+
+    def test_zero_row_table(self):
+        columns = {"a": np.array([], dtype=np.float64), "b": np.array([], dtype=object)}
+        ref, out = roundtrip(columns, 0)
+        assert ref.num_rows == 0
+        assert len(out["a"]) == 0 and len(out["b"]) == 0
+        assert out["a"].dtype == np.float64
+
+    def test_single_column_table(self):
+        ref, out = roundtrip({"only": np.arange(7, dtype=np.int32)}, 7)
+        assert ref.column_names == ("only",)
+        np.testing.assert_array_equal(out["only"], np.arange(7, dtype=np.int32))
+
+    def test_all_nan_weights_survive(self):
+        weights = np.full(16, np.nan)
+        _, out = roundtrip({WEIGHT_COLUMN: weights, "x": np.ones(16)}, 16)
+        assert np.isnan(out[WEIGHT_COLUMN]).all()
+        # Bit-exact, not just both-NaN.
+        assert out[WEIGHT_COLUMN].tobytes() == weights.tobytes()
+
+    def test_views_are_read_only(self):
+        _, out = roundtrip({"x": np.arange(4)}, 4)
+        with pytest.raises(ValueError):
+            out["x"][0] = 99
+
+    def test_columns_are_aligned(self):
+        layouts, _, _ = plan_layout(
+            {"a": np.arange(3, dtype=np.int8), "b": np.arange(3, dtype=np.float64)}
+        )
+        for layout in layouts:
+            assert layout.offset % ALIGNMENT == 0
+
+
+class TestRefs:
+    def test_schema_bytes_independent_of_rows(self):
+        small = create_table_segment(
+            new_segment_name("s"), "t", {"x": np.arange(10, dtype=np.float64)}, 10
+        )
+        big = create_table_segment(
+            new_segment_name("b"), "t", {"x": np.arange(200_000, dtype=np.float64)}, 200_000
+        )
+        try:
+            assert big.nbytes >= 1_600_000
+            # Both descriptors pickle to within a name's width of each other.
+            assert abs(big.schema_bytes() - small.schema_bytes()) < 64
+            assert big.schema_bytes() < 1_000
+        finally:
+            release(small)
+            release(big)
+
+    def test_ref_pickles(self):
+        ref = create_table_segment(new_segment_name("p"), "t", {"x": np.ones(5)}, 5)
+        try:
+            clone = pickle.loads(pickle.dumps(ref))
+            assert clone == ref
+            np.testing.assert_array_equal(map_ref(clone)["x"], np.ones(5))
+        finally:
+            release(ref)
+
+    def test_map_ref_refuses_short_segment(self):
+        ref = create_table_segment(new_segment_name("m"), "t", {"x": np.ones(5)}, 5)
+        try:
+            lying = dataclasses.replace(ref, nbytes=ref.nbytes + 4096)
+            with pytest.raises(SchemaError, match="refusing to read"):
+                map_ref(lying)
+        finally:
+            release(ref)
+
+
+class TestLifecycle:
+    def test_release_removes_segment(self):
+        name = new_segment_name("r")
+        ref = create_table_segment(name, "t", {"x": np.ones(3)}, 3)
+        assert name in live_segments()
+        release(ref)
+        assert name not in live_segments()
+        with pytest.raises(SegmentError, match="does not exist"):
+            map_ref(ref)
+
+    def test_release_tolerates_live_views(self):
+        name = new_segment_name("v")
+        ref = create_table_segment(name, "t", {"x": np.arange(8, dtype=np.int64)}, 8)
+        view = map_ref(ref)["x"]
+        release(ref)  # unlink + close; views pin the mapping
+        np.testing.assert_array_equal(view, np.arange(8))
+        assert name not in live_segments()
+
+    def test_reap_by_name_alone(self):
+        name = new_segment_name("crash")
+        create_table_segment(name, "t", {"x": np.ones(3)}, 3, keep_open=False)
+        # The "worker died" shape: segment exists, nobody holds a mapping.
+        assert name not in live_segments()
+        assert reap(name) is True
+        assert reap(name) is False  # idempotent
+
+    def test_duplicate_name_raises(self):
+        name = new_segment_name("dup")
+        ref = create_table_segment(name, "t", {"x": np.ones(2)}, 2)
+        try:
+            with pytest.raises(SegmentError, match="already exists"):
+                create_table_segment(name, "t", {"x": np.ones(2)}, 2)
+        finally:
+            release(ref)
+
+
+class TestLargeOffsets:
+    """>2 GiB arithmetic, forced at the unit level — no giant allocations."""
+
+    def test_extents_past_2gib_are_exact(self):
+        offset = 3 * 1024**3  # 3 GiB: past any 32-bit boundary
+        start, end = check_extent(offset, 1024**3)
+        assert start == offset and end == 4 * 1024**3
+        assert isinstance(start, int) and isinstance(end, int)
+
+    def test_int64_overflow_rejected(self):
+        with pytest.raises(SchemaError, match="overflows int64"):
+            check_extent(2**63 - 10, 100)
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(SchemaError, match="negative extent"):
+            check_extent(-1, 10)
+        with pytest.raises(SchemaError, match="negative extent"):
+            check_extent(0, -5)
+
+    def test_layout_end_uses_python_ints(self):
+        layouts, total, _ = plan_layout({"x": np.arange(10, dtype=np.int64)})
+        (layout,) = layouts
+        assert layout.end() <= total
+        assert isinstance(layout.end(), int)

@@ -1,0 +1,114 @@
+"""Zero-copy contracts of Table: shm pinning, slices, operator passthrough.
+
+``np.shares_memory`` is the regression oracle here — these tests pin down
+exactly which paths must NOT copy, so a future "harmless" refactor that
+reintroduces a copy fails loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algebra.expressions import col
+from repro.engine.operators import execute_select, execute_union_all
+from repro.engine.table import Table
+from repro.memory import manager, map_ref, release
+
+
+@pytest.fixture(autouse=True)
+def clean_segments():
+    yield
+    manager().release_all()
+
+
+def make_table(rows=64):
+    return Table(
+        "t",
+        {
+            "x": np.arange(rows, dtype=np.int64),
+            "y": np.linspace(0.0, 1.0, rows),
+        },
+    )
+
+
+class TestRefLifecycle:
+    def test_to_ref_from_ref_round_trip(self):
+        table = make_table()
+        ref = table.to_ref()
+        try:
+            back = Table.from_ref(ref)
+            assert back.name == table.name
+            assert back.num_rows == table.num_rows
+            for c in table.column_names:
+                np.testing.assert_array_equal(back.column(c), table.column(c))
+        finally:
+            release(ref)
+
+    def test_from_ref_pins_the_ref(self):
+        ref = make_table().to_ref()
+        try:
+            back = Table.from_ref(ref)
+            assert back.backing_ref is ref
+            assert make_table().backing_ref is None
+        finally:
+            release(ref)
+
+    def test_two_maps_share_one_mapping(self):
+        ref = make_table().to_ref()
+        try:
+            a, b = Table.from_ref(ref), Table.from_ref(ref)
+            assert np.shares_memory(a.column("x"), b.column("x"))
+        finally:
+            release(ref)
+
+    def test_mapped_columns_are_views_not_copies(self):
+        ref = make_table().to_ref()
+        try:
+            raw = map_ref(ref)["x"]
+            table = Table.from_ref(ref)
+            assert np.shares_memory(table.column("x"), raw)
+        finally:
+            release(ref)
+
+
+class TestSliceViews:
+    def test_slice_shares_memory(self):
+        table = make_table()
+        piece = table.slice(8, 24)
+        assert piece.num_rows == 16
+        assert np.shares_memory(piece.column("x"), table.column("x"))
+        np.testing.assert_array_equal(piece.column("x"), np.arange(8, 24))
+
+    def test_slice_propagates_pin(self):
+        ref = make_table().to_ref()
+        try:
+            table = Table.from_ref(ref)
+            assert table.slice(0, 4).backing_ref is ref
+        finally:
+            release(ref)
+
+    def test_head_is_a_view(self):
+        table = make_table()
+        assert np.shares_memory(table.head(10).column("y"), table.column("y"))
+
+
+class TestOperatorPassthrough:
+    def test_select_all_true_returns_input(self):
+        table = make_table()
+        out = execute_select(table, col("x") >= 0)
+        assert out is table  # not even a wrapper: the fast path
+
+    def test_select_filtering_still_copies(self):
+        table = make_table()
+        out = execute_select(table, col("x") < 10)
+        assert out.num_rows == 10
+        assert not np.shares_memory(out.column("x"), table.column("x"))
+
+    def test_union_of_one_skips_concat(self):
+        table = make_table()
+        out = execute_union_all([table])
+        assert np.shares_memory(out.column("x"), table.column("x"))
+
+    def test_union_of_two_concatenates(self):
+        a, b = make_table(8), make_table(8)
+        out = execute_union_all([a, b])
+        assert out.num_rows == 16
