@@ -255,6 +255,7 @@ def _cmd_serve(args) -> int:
 
     from repro.service import (
         AdmissionConfig,
+        GovernorConfig,
         QueryServer,
         QueryService,
         ServiceConfig,
@@ -277,16 +278,28 @@ def _cmd_serve(args) -> int:
             tenant_quota=args.tenant_quota,
             tenant_weights=weights,
         ),
+        governor=GovernorConfig(
+            enabled=not args.no_governor,
+            default_memory_budget_bytes=(
+                int(args.memory_budget_mb * 1024 * 1024)
+                if args.memory_budget_mb is not None else None
+            ),
+        ),
+        drain_seconds=args.drain_seconds,
     )
     service = QueryService(db, config)
     server = QueryServer(service, host=args.host, port=args.port)
     server.start()
     print(f"serving TPC-DS scale {args.scale} on {server.address[0]}:{server.address[1]} "
           f"({args.workers} workers, queue depth {args.max_queue_depth}, "
-          f"tenant quota {args.tenant_quota})", flush=True)
+          f"tenant quota {args.tenant_quota}, "
+          f"governor {'on' if not args.no_governor else 'off'})", flush=True)
 
     def _stop(signum, frame):
-        print(f"\nsignal {signum}: shutting down", flush=True)
+        print(f"\nsignal {signum}: draining (grace {args.drain_seconds:.1f}s) "
+              f"then shutting down", flush=True)
+        # stop() drains: new queries get rejected.draining, in-flight ones
+        # keep their grace, stragglers are cancelled at the next checkpoint.
         server.stop()
 
     signal.signal(signal.SIGINT, _stop)
@@ -306,7 +319,7 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_client(args) -> int:
-    from repro.errors import AdmissionRejected, ServiceError
+    from repro.errors import AdmissionRejected, GovernanceError, ServiceError
     from repro.service import ServiceClient
 
     try:
@@ -333,6 +346,9 @@ def _cmd_client(args) -> int:
         except AdmissionRejected as exc:
             print(f"rejected ({exc.reason}): {exc}")
             return 3
+        except GovernanceError as exc:
+            print(f"cancelled ({exc.reason_code}): {exc}")
+            return 4
         except ServiceError as exc:
             print(f"error: {exc}")
             return 1
@@ -368,8 +384,10 @@ def _cmd_loadgen(args) -> int:
         return f"{value * 1000:.1f} ms" if value is not None else "-"
 
     print(f"{summary['sessions']} sessions x {args.queries} queries: "
-          f"{summary['served']} served, {sum(report.rejected.values())} rejected "
-          f"{summary['rejected'] or ''}, {summary['errors']} errors, "
+          f"{summary['served']} served ({summary['degraded']} degraded), "
+          f"{sum(report.rejected.values())} rejected {summary['rejected'] or ''}, "
+          f"{sum(report.cancelled.values())} cancelled {summary['cancelled'] or ''}, "
+          f"{summary['errors']} errors, "
           f"{summary['protocol_errors']} protocol errors")
     print(f"throughput {summary['qps']:.2f} qps over {summary['wall_seconds']:.2f}s; "
           f"latency p50 {_ms(latency['p50'])}, p95 {_ms(latency['p95'])}, "
@@ -630,6 +648,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bounded run queue; overflow is rejected (backpressure)")
     serve.add_argument("--tenant-quota", type=int, default=16,
                        help="max outstanding queries per tenant")
+    serve.add_argument("--drain-seconds", type=float, default=5.0,
+                       help="grace given to in-flight queries on SIGTERM/SIGINT "
+                            "before their cancellation tokens fire")
+    serve.add_argument("--no-governor", action="store_true",
+                       help="disable in-flight governance (deadlines, budgets, "
+                            "degradation ladder)")
+    serve.add_argument("--memory-budget-mb", type=float, default=None,
+                       help="per-query cap on live intermediate bytes (MiB); "
+                            "over-budget queries degrade down the ladder")
     serve.add_argument("--tenant-weight", action="append", metavar="NAME=WEIGHT",
                        help="weighted round-robin weight for a tenant (repeatable)")
     serve.set_defaults(func=_cmd_serve)

@@ -101,6 +101,10 @@ class PartialResult(ExecutionResult):
     #: Horvitz-Thompson weight multiplier applied to surviving rows
     #: (``1 / coverage``).
     reweight_factor: float = 1.0
+    #: Governance reason code (``"deadline"`` / ``"budget"``) when the
+    #: partition loss was a governed mid-flight abort salvaged into
+    #: survivors-so-far; None when partitions were lost to faults.
+    abort_reason: Optional[str] = None
 
     @property
     def degraded(self) -> bool:
@@ -202,10 +206,17 @@ class Executor:
         return physical
 
     # -- execution ------------------------------------------------------------
-    def execute(self, query) -> ExecutionResult:
-        """Run a :class:`Query` or bare plan node; returns answer + cost."""
+    def execute(self, query, governance=None) -> ExecutionResult:
+        """Run a :class:`Query` or bare plan node; returns answer + cost.
+
+        ``governance`` (a :class:`~repro.engine.governance.GovernanceContext`)
+        makes the run cancellable/deadlined/memory-budgeted: it is checked
+        at every operator and morsel boundary (serially) or task boundary
+        (parallel) and raises the typed
+        :class:`~repro.errors.GovernanceError` when violated.
+        """
         if self.parallelism > 1:
-            return self._parallel_executor().execute(query)
+            return self._parallel_executor().execute(query, governance=governance)
         plan = query.plan if isinstance(query, Query) else query
         tracer = obs_trace.current_tracer()
 
@@ -233,11 +244,12 @@ class Executor:
             ):
                 table, cardinalities, op_metrics = physical.execute(
                     self.database, record_metrics=True, tracer=tracer,
-                    morsel_rows=self.morsel_rows,
+                    morsel_rows=self.morsel_rows, governance=governance,
                 )
         else:
             table, cardinalities, op_metrics = physical.execute(
-                self.database, record_metrics=True, morsel_rows=self.morsel_rows
+                self.database, record_metrics=True, morsel_rows=self.morsel_rows,
+                governance=governance,
             )
         execute_s = perf_counter() - t0
         with self._stats_lock:
@@ -265,6 +277,7 @@ class Executor:
         plan: LogicalNode,
         overrides: Optional[Dict[NodeAddress, Table]] = None,
         should_abort: Optional[Callable[[], bool]] = None,
+        governance=None,
     ) -> Tuple[Table, Dict[NodeAddress, int]]:
         """Run a plan, returning the raw result (lineage intact) and the
         per-address cardinalities.
@@ -276,7 +289,8 @@ class Executor:
         to ``plan``'s own structure, so the compiled plan is guaranteed to
         share it. ``should_abort`` is the cooperative-cancellation poll
         forwarded to :meth:`PhysicalPlan.execute` (parallel workers use it
-        to stop speculative losers early).
+        to stop speculative losers early); ``governance`` adds the typed
+        deadline/budget/cancel checks at the same boundaries.
         """
         t0 = perf_counter()
         if overrides:
@@ -293,6 +307,7 @@ class Executor:
             should_abort=should_abort,
             tracer=obs_trace.current_tracer(),
             morsel_rows=self.morsel_rows,
+            governance=governance,
         )
         with self._stats_lock:
             self.execute_seconds += perf_counter() - t0

@@ -53,6 +53,7 @@ from repro.algebra.logical import (
     UnionAll,
 )
 from repro.engine import operators
+from repro.engine.governance import table_nbytes as _table_nbytes
 from repro.engine.table import Database, Table, rowid_column_name
 from repro.errors import PlanError, TaskCancelled
 
@@ -168,6 +169,7 @@ class PhysicalPlan:
         should_abort: Optional[Callable[[], bool]] = None,
         tracer=None,
         morsel_rows: Optional[int] = None,
+        governance=None,
     ) -> Tuple[Table, Dict[NodeAddress, int], Tuple[OperatorMetrics, ...]]:
         """Run the pipeline against ``database``.
 
@@ -178,6 +180,12 @@ class PhysicalPlan:
         when it turns true the run raises :class:`TaskCancelled` — the
         cooperative-cancellation hook the task scheduler uses to stop
         speculative losers without waiting out the whole pipeline.
+        ``governance`` (a :class:`~repro.engine.governance.GovernanceContext`)
+        is checked at the same boundaries, with the executor's live
+        intermediate byte count: a fired cancellation token, passed
+        deadline or blown memory budget raises the matching typed
+        :class:`~repro.errors.GovernanceError`, unwinding the run with all
+        partial state discarded.
         ``tracer`` (a :class:`repro.obs.trace.Tracer`) records one span per
         executed operator, carrying its address, rows-in/rows-out and — for
         samplers — the effective rate vs. target ``p`` and output weight
@@ -203,6 +211,11 @@ class PhysicalPlan:
         cardinalities: Dict[NodeAddress, int] = {}
         metrics: List[OperatorMetrics] = []
         observe = record_metrics or tracer is not None
+        # Live-frontier memory ledger for the governance budget: bytes of
+        # each materialized slot, maintained only when a context is present.
+        governed = governance is not None
+        slot_bytes: List[int] = [0] * len(ops) if governed else []
+        live_bytes = 0
 
         index = 0
         while index < len(ops):
@@ -214,12 +227,22 @@ class PhysicalPlan:
                 raise TaskCancelled(
                     f"execution aborted before operator {format_address(op.address)}"
                 )
+            if governed:
+                governance.check(live_bytes)
             chain = self.morsel_chains.get(op.index) if morsel_rows > 0 else None
             if chain is not None and self._chain_runnable(chain, skipped, overrides, slots, morsel_rows):
+                source_slot = ops[chain[0]].child_slots[0]
                 self._execute_chain(
                     chain, slots, database, cardinalities, metrics,
                     record_metrics, should_abort, tracer, morsel_rows,
+                    governance, live_bytes,
                 )
+                if governed:
+                    live_bytes -= slot_bytes[source_slot]
+                    slot_bytes[source_slot] = 0
+                    produced = _table_nbytes(slots[chain[-1]])
+                    slot_bytes[chain[-1]] = produced
+                    live_bytes += produced
                 index = chain[-1] + 1
                 continue
             started = time.perf_counter() if observe else 0.0
@@ -243,7 +266,15 @@ class PhysicalPlan:
             # peak memory tracks the live frontier, not the whole plan.
             for slot in op.child_slots:
                 slots[slot] = None
+                if governed:
+                    live_bytes -= slot_bytes[slot]
+                    slot_bytes[slot] = 0
             slots[op.index] = table
+            if governed:
+                produced = _table_nbytes(table)
+                slot_bytes[op.index] = produced
+                live_bytes += produced
+                governance.check(live_bytes)
             cardinalities[op.address] = table.num_rows
             sampler_stats = (
                 _sampler_stats(op.node.spec, rows_in, table)
@@ -300,6 +331,8 @@ class PhysicalPlan:
         should_abort: Optional[Callable[[], bool]],
         tracer,
         morsel_rows: int,
+        governance=None,
+        live_bytes: int = 0,
     ) -> None:
         """Run a fused select/project chain morsel-by-morsel.
 
@@ -308,6 +341,10 @@ class PhysicalPlan:
         working set stays cache-resident. Because every member is row-local
         (see :data:`_STREAMABLE`), concatenating the per-morsel outputs is
         bit-identical to running each operator over the full input.
+        ``governance`` is checked at every morsel boundary — the tightest
+        cooperative-cancellation grain the engine has — against
+        ``live_bytes`` (the caller's slot frontier) plus the bytes this
+        chain has accumulated so far.
         """
         members = [self.ops[m] for m in chain]
         source_slot = members[0].child_slots[0]
@@ -320,6 +357,7 @@ class PhysicalPlan:
         rows_out = [0] * n
         seconds = [0.0] * n
         pieces: List[Table] = []
+        piece_bytes = 0
         num_morsels = 0
         for start in range(0, source.num_rows, morsel_rows):
             if should_abort is not None and should_abort():
@@ -327,6 +365,8 @@ class PhysicalPlan:
                     f"execution aborted at morsel {num_morsels} of chain "
                     f"{format_address(members[0].address)}"
                 )
+            if governance is not None:
+                governance.check(live_bytes + piece_bytes)
             num_morsels += 1
             table = source.slice(start, start + morsel_rows)
             for i, op in enumerate(members):
@@ -337,6 +377,8 @@ class PhysicalPlan:
                 if observe:
                     seconds[i] += time.perf_counter() - started
             pieces.append(table)
+            if governance is not None:
+                piece_bytes += _table_nbytes(table)
         result = Table.concat(pieces, name=pieces[-1].name)
 
         slots[source_slot] = None

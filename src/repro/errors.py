@@ -89,6 +89,45 @@ class DegradedResultError(ExecutionError):
     sampler root), and the serial re-execution fallback itself errored."""
 
 
+class GovernanceError(ExecutionError):
+    """An in-flight query was stopped by its governance contract.
+
+    Raised cooperatively at morsel/operator/task boundaries when a query's
+    :class:`~repro.engine.governance.GovernanceContext` says it must no
+    longer run — the client cancelled it, its deadline passed, or it blew
+    its memory budget. ``reason_code`` is the short machine-readable cause
+    the service puts on the wire (``client-disconnect``, ``deadline``,
+    ``budget``, ``shutdown``, ...).
+    """
+
+    reason_code = "governed"
+
+    def __init__(self, message: str, reason_code: str | None = None):
+        super().__init__(message)
+        if reason_code is not None:
+            self.reason_code = reason_code
+
+
+class QueryCancelled(GovernanceError):
+    """The query's cancellation token fired (client disconnect, shutdown
+    drain, explicit cancel) and execution unwound at the next cooperative
+    checkpoint."""
+
+    reason_code = "cancelled"
+
+
+class DeadlineExceeded(GovernanceError):
+    """The query's absolute deadline passed while it was still executing."""
+
+    reason_code = "deadline"
+
+
+class BudgetExceeded(GovernanceError):
+    """The query's live intermediate state exceeded its memory budget."""
+
+    reason_code = "budget"
+
+
 class ServiceError(ReproError):
     """The query service failed at the protocol or transport layer."""
 

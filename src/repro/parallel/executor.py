@@ -60,7 +60,14 @@ from repro.engine.metrics import (
 )
 from repro.engine.physical import plan_fingerprint
 from repro.engine.table import WEIGHT_COLUMN, Database, Table, rowid_column_name
-from repro.errors import DegradedResultError, PlanError, SchemaError, TaskError
+from repro.errors import (
+    BudgetExceeded,
+    DeadlineExceeded,
+    DegradedResultError,
+    PlanError,
+    SchemaError,
+    TaskError,
+)
 from repro.obs import log as obs_log
 from repro.obs import trace as obs_trace
 from repro.obs.registry import MetricsRegistry
@@ -177,18 +184,18 @@ class ParallelExecutor:
         #: executor ran (printed by ``evaluate`` and ``chaos``).
         self.stats = FaultToleranceStats()
 
-    def execute(self, query) -> ExecutionResult:
+    def execute(self, query, governance=None) -> ExecutionResult:
         plan = query.plan if isinstance(query, Query) else query
         tracer = obs_trace.current_tracer()
         if tracer is None:
-            result = self._execute(plan)
+            result = self._execute(plan, governance)
         else:
             with tracer.span(
                 "parallel.query",
                 parallelism=self.parallelism,
                 fingerprint=plan_fingerprint(plan)[:12],
             ) as span:
-                result = self._execute(plan)
+                result = self._execute(plan, governance)
                 if result.parallel is not None:
                     span.attributes.update(
                         strategy=result.parallel.strategy,
@@ -236,16 +243,16 @@ class ParallelExecutor:
         registry.gauge("memory.live_segments").set(stats["segments"])
         registry.gauge("memory.bytes_mapped").set(stats["bytes_mapped"])
 
-    def _execute(self, plan) -> ExecutionResult:
+    def _execute(self, plan, governance=None) -> ExecutionResult:
         start = perf_counter()
         if self.parallelism == 1:
-            return self._serial_fallback(plan, "parallelism=1", start)
+            return self._serial_fallback(plan, "parallelism=1", start, governance=governance)
 
         analysis = analyze_plan(
             plan, self.database, min_partition_rows=self.options.min_partition_rows
         )
         if not analysis.ok:
-            return self._serial_fallback(plan, analysis.reason, start)
+            return self._serial_fallback(plan, analysis.reason, start, governance=governance)
 
         degree = self.parallelism
         split = analysis.split
@@ -331,12 +338,16 @@ class ParallelExecutor:
                 partition_sources, input_segments = shm_transport.ship_partitions(
                     partitions, token
                 )
-            except SchemaError as exc:
+            except (SchemaError, OSError) as exc:
+                # SchemaError: columns the arena cannot encode. OSError: the
+                # arena itself failed (shm_open refused, /dev/shm full).
+                # Either way the run survives on the pickle transport.
                 _LOG.warning(
-                    "input partitions not arena-encodable (%s); "
+                    "input partitions cannot use shared memory (%s); "
                     "falling back to the pickle transport",
                     exc,
                 )
+                self.registry.counter("transport.shm_fallbacks").inc()
                 use_shm = False
                 partition_sources = partitions
             else:
@@ -353,9 +364,16 @@ class ParallelExecutor:
             for sources in partition_sources.values():
                 worker_db.register(shm_transport.open_partition(sources[task.partition]))
             key = (task.partition, task.attempt)
+            # Workers poll the abandoned set (live for thread/inline, a
+            # fork-time copy for processes) *and* the governance contract —
+            # whose token flag and monotonic deadline stay meaningful after
+            # fork — so a cancel/deadline stops every backend at the next
+            # operator/morsel boundary. The context also caps each worker's
+            # partition-local live bytes.
             table, cards = Executor(worker_db, config).run_plan(
                 worker_plans[task.partition],
                 should_abort=lambda: key in runtime.abandoned,
+                governance=governance,
             )
             if do_partial:
                 payload = partial_aggregate(
@@ -378,10 +396,16 @@ class ParallelExecutor:
                 and len(result) == 3
                 and isinstance(result[2], Table)
             ):
+                simulate = fault_plan is not None and fault_plan.shm_fault_for(
+                    task.partition, task.attempt
+                )
                 result = (
                     result[0],
                     result[1],
-                    shm_transport.ship_result(result[2], token, task.partition, task.attempt),
+                    shm_transport.ship_result(
+                        result[2], token, task.partition, task.attempt,
+                        simulate_exhaustion=simulate,
+                    ),
                 )
             return result
 
@@ -448,6 +472,11 @@ class ParallelExecutor:
                 transport_tally["pipe"] += ref.schema_bytes()
                 transport_tally["shared"] += ref.nbytes
                 return (result[0], result[1], Table.from_ref(ref))
+            if isinstance(result[2], Table):
+                # A whole table on a run that shipped refs means the worker's
+                # shm shipping fell back to pickle (unencodable columns or an
+                # exhausted arena) — the attempt survived on the slow path.
+                self.registry.counter("transport.shm_fallbacks").inc()
             return result
 
         def reap_attempt(spec: TaskSpec):
@@ -465,10 +494,41 @@ class ParallelExecutor:
                     receive=receive,
                     dispose=shm_transport.dispose_result,
                     reap=reap_attempt,
+                    governance=governance,
                 )
             else:
-                report = runtime.run(run_partition, degree, validate=validate)
+                report = runtime.run(
+                    run_partition, degree, validate=validate, governance=governance
+                )
             lost = report.failed_partitions
+
+            if report.aborted is not None:
+                # Governance stopped the run mid-flight. For a blown
+                # deadline/budget, salvage when the sample algebra allows
+                # it: completed partitions of a degradable plan are
+                # themselves a valid sample, so they flow into the standard
+                # survivors-reweighting path below (aborted partitions are
+                # simply "lost"). A *cancelled* query has no one waiting —
+                # it always propagates. Never a serial re-execution, which
+                # would double down on a contract already violated.
+                survivors_so_far = degree - len(lost)
+                salvageable = (
+                    isinstance(report.aborted, (DeadlineExceeded, BudgetExceeded))
+                    and self._degradable(analysis, merge_mode)
+                    and survivors_so_far > 0
+                )
+                if not salvageable:
+                    raise report.aborted
+                self.registry.counter(
+                    "parallel.governed_salvages", reason=report.aborted.reason_code
+                ).inc()
+                _LOG.warning(
+                    "governance abort (%s): salvaging %d/%d completed partition(s) "
+                    "as a survivors-only sample",
+                    report.aborted.reason_code,
+                    survivors_so_far,
+                    degree,
+                )
 
             if lost and not self._degradable(analysis, merge_mode):
                 reason = (
@@ -481,7 +541,9 @@ class ParallelExecutor:
                 self.stats.serial_reexecutions += 1
                 self.registry.counter("parallel.serial_reexecutions").inc()
                 try:
-                    result = self._serial_fallback(plan, reason, start, record=False)
+                    result = self._serial_fallback(
+                        plan, reason, start, record=False, governance=governance
+                    )
                 except Exception as exc:
                     raise DegradedResultError(
                         f"query failed: {reason}, and the serial re-execution "
@@ -541,7 +603,14 @@ class ParallelExecutor:
                     merged = merged.with_columns({WEIGHT_COLUMN: reweighted})
                 overrides = {split_address: merged}
 
-            table, upper_cards = self.serial_executor.run_plan(plan, overrides)
+            # After a salvage the contract is already blown; finishing the
+            # (cheap, post-merge) upper plan ungoverned is the availability
+            # promise — otherwise the expired deadline would instantly
+            # re-trip and void the survivors we just salvaged.
+            upper_governance = None if report.aborted is not None else governance
+            table, upper_cards = self.serial_executor.run_plan(
+                plan, overrides, governance=upper_governance
+            )
             cardinalities.update(upper_cards)
             cost = cost_plan(plan, lambda node, address: cardinalities[address], config)
             elapsed = perf_counter() - start
@@ -593,6 +662,10 @@ class ParallelExecutor:
                     lost_partitions=lost,
                     coverage=coverage,
                     reweight_factor=reweight_factor,
+                    abort_reason=(
+                        report.aborted.reason_code
+                        if report.aborted is not None else None
+                    ),
                 )
             return ExecutionResult(
                 table=table.drop_lineage(),
@@ -677,7 +750,7 @@ class ParallelExecutor:
         metrics.failed_partitions = report.failed_partitions
 
     def _serial_fallback(
-        self, plan, reason: str, start: float, record: bool = True
+        self, plan, reason: str, start: float, record: bool = True, governance=None
     ) -> ExecutionResult:
         """Run serially, reporting why parallel execution was declined.
 
@@ -685,7 +758,7 @@ class ParallelExecutor:
         (the re-execution path folds the failed parallel phase's task
         report into the metrics first)."""
         _LOG.info("falling back to serial execution: %s", reason)
-        result = self.serial_executor.execute(plan)
+        result = self.serial_executor.execute(plan, governance=governance)
         elapsed = perf_counter() - start
         result.wall_clock_seconds = elapsed
         result.parallel = ParallelMetrics(

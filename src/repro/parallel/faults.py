@@ -10,7 +10,12 @@ task execution should misbehave and how:
   corrupter (detected by result validation, charged as a failed attempt);
 * ``pickle``  — complete, but return a payload that dies mid-pickle on its
   way back through the process pool's result pipe (in thread/inline modes
-  the wrapper itself reaches validation and is rejected there).
+  the wrapper itself reaches validation and is rejected there);
+* ``shm``     — complete, but have the shared-memory result transport hit
+  an injected ``ENOSPC`` (a full ``/dev/shm`` arena); the transport falls
+  back to pickling that payload, so the attempt still *succeeds* — this
+  fault exercises the fallback, not the retry path (counted by the
+  ``transport.shm_fallbacks`` metric).
 
 Plans are deterministic: :meth:`FaultPlan.random` places faults with a
 seeded generator, so a chaos run is exactly reproducible from its seed —
@@ -36,7 +41,7 @@ from repro.errors import PlanError
 
 __all__ = ["FAULT_KINDS", "Fault", "InjectedFault", "UnpicklableResult", "FaultPlan", "corrupt_table"]
 
-FAULT_KINDS = ("crash", "hang", "corrupt", "pickle")
+FAULT_KINDS = ("crash", "hang", "corrupt", "pickle", "shm")
 
 
 @dataclass(frozen=True)
@@ -113,6 +118,7 @@ class FaultPlan:
         hangs: int = 1,
         corruptions: int = 0,
         pickle_bombs: int = 0,
+        shm_exhaustions: int = 0,
         hang_seconds: float = 0.5,
         attempts: int = 1,
     ) -> "FaultPlan":
@@ -123,7 +129,7 @@ class FaultPlan:
         a default retry budget always recovers). Raises if asked for more
         faults than the grid holds.
         """
-        total = crashes + hangs + corruptions + pickle_bombs
+        total = crashes + hangs + corruptions + pickle_bombs + shm_exhaustions
         slots = num_partitions * max(1, attempts)
         if total > slots:
             raise PlanError(
@@ -133,7 +139,7 @@ class FaultPlan:
         chosen = rng.choice(slots, size=total, replace=False)
         kinds = ["crash"] * crashes + ["hang"] * hangs + ["corrupt"] * corruptions + [
             "pickle"
-        ] * pickle_bombs
+        ] * pickle_bombs + ["shm"] * shm_exhaustions
         faults = [
             Fault(
                 partition=int(slot) % num_partitions,
@@ -171,6 +177,14 @@ class FaultPlan:
         if partition in self.lost_partitions:
             return Fault(partition=partition, attempt=attempt, kind="crash")
         return self._by_target.get((partition, attempt))
+
+    def shm_fault_for(self, partition: int, attempt: int) -> bool:
+        """Whether this execution's result transport should hit an injected
+        shared-memory ``ENOSPC`` (see :func:`~repro.parallel.transport.ship_result`).
+        ``shm`` faults pass through :meth:`before_work`/:meth:`after_work`
+        untouched — the work itself is healthy, only the shipping degrades."""
+        fault = self.fault_for(partition, attempt)
+        return fault is not None and fault.kind == "shm"
 
     def before_work(self, partition: int, attempt: int) -> None:
         """Apply pre-work faults: ``crash`` raises, ``hang`` straggles."""

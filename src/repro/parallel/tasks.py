@@ -39,7 +39,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-from repro.errors import PlanError, TaskCancelled, TaskError
+from repro.errors import GovernanceError, PlanError, TaskCancelled, TaskError
 from repro.obs import log as obs_log
 from repro.obs import trace as obs_trace
 from repro.parallel.pool import WorkerPool, fork_payload, _fork_available, _run_argument
@@ -150,6 +150,13 @@ class TaskReport:
     """Aggregate result of one :meth:`TaskRuntime.run`."""
 
     outcomes: List[TaskOutcome]
+    #: The :class:`~repro.errors.GovernanceError` that stopped the run
+    #: early (cancellation/deadline/budget), or None. The runtime *returns*
+    #: it instead of raising so the caller's transport cleanup still sees
+    #: the full attempt ledger in :attr:`outcomes`; unfinished tasks are
+    #: marked failed with kind ``governed``. The caller re-raises or
+    #: degrades to a survivors-only answer.
+    aborted: Optional[GovernanceError] = None
 
     @property
     def payloads(self) -> List[Any]:
@@ -277,6 +284,7 @@ class TaskRuntime:
         receive: Optional[Callable[[Any, TaskSpec], Any]] = None,
         dispose: Optional[Callable[[Any], None]] = None,
         reap: Optional[Callable[[TaskSpec], None]] = None,
+        governance=None,
     ) -> TaskReport:
         """Run ``fn`` over ``num_tasks`` partition tasks.
 
@@ -289,6 +297,13 @@ class TaskRuntime:
         ``reap(spec)`` is called for each in-flight attempt lost to a
         broken process pool — the attempt may have died while holding a
         shared segment it never got to hand over.
+        ``governance`` (a :class:`~repro.engine.governance.GovernanceContext`)
+        is checked every scheduler tick and before every inline attempt.
+        When it fires, the run stops *salvaging*: live attempts are
+        cancelled/abandoned, unfinished tasks are marked failed with kind
+        ``governed``, and the typed error is returned on
+        :attr:`TaskReport.aborted` rather than raised — completed payloads
+        stay in the outcomes for survivors-only degradation.
         """
         if num_tasks < 1:
             raise PlanError(f"num_tasks must be >= 1, got {num_tasks}")
@@ -302,8 +317,9 @@ class TaskRuntime:
         mode = self.pool.resolve_mode()
         workers = self.pool.workers_for(num_tasks)
         outcomes = [TaskOutcome(partition=i) for i in range(num_tasks)]
+        aborted: Optional[GovernanceError] = None
         if mode == "inline" or workers == 1:
-            self._run_inline(fn, outcomes, validate)
+            aborted = self._run_inline(fn, outcomes, validate, governance)
         elif mode == "process":
             if not _fork_available():
                 raise PlanError("process pool requires the fork start method; use thread/inline")
@@ -312,13 +328,18 @@ class TaskRuntime:
             ctx = mp.get_context("fork")
             with fork_payload(fn):
                 make = lambda: ProcessPoolExecutor(max_workers=workers, mp_context=ctx)  # noqa: E731
-                self._run_concurrent(_run_argument, make, outcomes, validate, can_recycle=True)
+                aborted = self._run_concurrent(
+                    _run_argument, make, outcomes, validate, can_recycle=True,
+                    governance=governance,
+                )
         elif mode == "thread":
             make = lambda: ThreadPoolExecutor(max_workers=workers)  # noqa: E731
-            self._run_concurrent(fn, make, outcomes, validate, can_recycle=False)
+            aborted = self._run_concurrent(
+                fn, make, outcomes, validate, can_recycle=False, governance=governance
+            )
         else:
             raise PlanError(f"unknown pool mode {mode!r}")
-        return TaskReport(outcomes=outcomes)
+        return TaskReport(outcomes=outcomes, aborted=aborted)
 
     # -- shared helpers -------------------------------------------------------
     def _spec(self, partition: int, attempt: int, deadline: Optional[float]) -> TaskSpec:
@@ -393,6 +414,8 @@ class TaskRuntime:
     def _wrap(exc: BaseException, spec: TaskSpec, kind: str = "exception") -> TaskError:
         if isinstance(exc, TaskError):
             return exc
+        if isinstance(exc, GovernanceError):
+            kind = "governed"
         error = TaskError(
             f"{type(exc).__name__}: {exc}",
             partition=spec.partition,
@@ -402,12 +425,36 @@ class TaskRuntime:
         error.__cause__ = exc  # keep the chain without re-raising
         return error
 
+    @staticmethod
+    def _mark_governed(outcomes: List[TaskOutcome], exc: GovernanceError) -> None:
+        """Mark every unfinished task failed with kind ``governed`` — not
+        retried (the contract that stopped them holds for any retry) and
+        counted as lost for survivors-only degradation."""
+        for outcome in outcomes:
+            if outcome.succeeded:
+                continue
+            error = TaskError(
+                f"{type(exc).__name__}: {exc}",
+                partition=outcome.partition,
+                kind="governed",
+            )
+            error.__cause__ = exc
+            outcome.errors.append(error)
+
     # -- inline (sequential) path ---------------------------------------------
-    def _run_inline(self, fn, outcomes: List[TaskOutcome], validate) -> None:
+    def _run_inline(
+        self, fn, outcomes: List[TaskOutcome], validate, governance=None
+    ) -> Optional[GovernanceError]:
         policy = self.policy
         for outcome in outcomes:
             failures = 0
             while failures < policy.max_attempts:
+                if governance is not None:
+                    try:
+                        governance.check()
+                    except GovernanceError as exc:
+                        self._mark_governed(outcomes, exc)
+                        return exc
                 spec = self._spec(outcome.partition, outcome.attempts, deadline=None)
                 outcome.attempts += 1
                 if failures:
@@ -427,6 +474,13 @@ class TaskRuntime:
                 except TaskCancelled:
                     self._end_span(span, status="cancelled")
                     continue  # not charged as a failure; relaunch
+                except GovernanceError as exc:
+                    # The worker saw the contract violation first (e.g. a
+                    # partition-local budget blow); same as a scheduler-side
+                    # trip — never retried, the run stops salvaging.
+                    self._end_span(span, status="cancelled")
+                    self._mark_governed(outcomes, exc)
+                    return exc
                 except Exception as exc:
                     self._end_span(span, status="error", error=f"{type(exc).__name__}: {exc}")
                     outcome.errors.append(self._wrap(exc, spec))
@@ -466,6 +520,7 @@ class TaskRuntime:
                     outcome.attempts,
                     outcome.errors[-1] if outcome.errors else "unknown error",
                 )
+        return None
 
     # -- concurrent (thread/process) path -------------------------------------
     def _run_concurrent(
@@ -475,7 +530,8 @@ class TaskRuntime:
         outcomes: List[TaskOutcome],
         validate,
         can_recycle: bool,
-    ) -> None:
+        governance=None,
+    ) -> Optional[GovernanceError]:
         policy = self.policy
         executor = make_executor()
         live: Dict[Any, _Attempt] = {}  # future -> attempt
@@ -536,11 +592,19 @@ class TaskRuntime:
                     error,
                 )
 
+        abort_exc: Optional[GovernanceError] = None
         try:
             for outcome in outcomes:
                 launch(outcome.partition, speculative=False)
 
             while len(done) < len(outcomes) and (live or retry_queue):
+                if governance is not None and abort_exc is None:
+                    try:
+                        governance.check()
+                    except GovernanceError as exc:
+                        abort_exc = exc
+                if abort_exc is not None:
+                    break
                 now = time.perf_counter()
                 # Launch retries whose backoff has elapsed.
                 due = [p for t, p in retry_queue if t <= now and p not in done]
@@ -567,9 +631,14 @@ class TaskRuntime:
                                 launch(partition, speculative=True)
 
                 if not live:
-                    # Only backed-off retries remain; sleep until the next one.
+                    # Only backed-off retries remain; sleep until the next
+                    # one (in poll-sized slices when governed, so a cancel
+                    # or deadline is still noticed within one tick).
                     if retry_queue:
-                        time.sleep(max(0.0, min(t for t, _ in retry_queue) - now))
+                        pause = max(0.0, min(t for t, _ in retry_queue) - now)
+                        if governance is not None:
+                            pause = min(pause, policy.poll_interval)
+                        time.sleep(pause)
                     continue
 
                 finished, _ = wait(
@@ -589,6 +658,14 @@ class TaskRuntime:
                         self._end_span(attempt.span, status="cancelled")
                         self.abandoned.discard(key)
                         continue  # cooperative abort; never a failure
+                    except GovernanceError as exc:
+                        # A worker tripped the contract before the scheduler
+                        # tick did; stop the whole run salvaging.
+                        self._end_span(attempt.span, status="cancelled")
+                        self.abandoned.discard(key)
+                        if abort_exc is None:
+                            abort_exc = exc
+                        continue
                     except BrokenProcessPool as exc:
                         self._end_span(attempt.span, status="error", error="pool broke")
                         # The dead worker may have created its result segment
@@ -660,6 +737,27 @@ class TaskRuntime:
                         self.abandoned.add((partition, other.spec.attempt))
                         self._end_span(other.span, status="cancelled")
                         del live[other_future]
+
+            if abort_exc is not None:
+                # Governance abort: cancel everything still in flight.
+                # Unstarted futures die now; running thread workers see the
+                # abandoned set, and fork workers see the token's shared
+                # mmap byte / the absolute monotonic deadline — all abort at
+                # their next morsel boundary, so the straggler wait in the
+                # finally block below stays short. Completed payloads remain
+                # in the outcomes for survivors-only degradation.
+                for future, attempt in list(live.items()):
+                    future.cancel()
+                    self.abandoned.add((attempt.spec.partition, attempt.spec.attempt))
+                    self._end_span(attempt.span, status="cancelled")
+                live.clear()
+                self._mark_governed(outcomes, abort_exc)
+                _LOG.warning(
+                    "run aborted by governance (%s); %d/%d task(s) salvaged",
+                    abort_exc.reason_code,
+                    len(done),
+                    len(outcomes),
+                )
         finally:
             # When a transport hook owns out-of-process resources (shared
             # segments named per attempt), wait for straggler workers to
@@ -669,6 +767,7 @@ class TaskRuntime:
             # hooks, keep the old fire-and-forget shutdown.
             wait_for_stragglers = self._dispose is not None or self._reap is not None
             executor.shutdown(wait=wait_for_stragglers, cancel_futures=True)
+        return abort_exc
 
     def _straggler_threshold(self, durations: List[float]) -> Optional[float]:
         policy = self.policy

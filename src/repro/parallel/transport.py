@@ -30,6 +30,7 @@ either form. ``transport="pickle"`` forces the old path everywhere.
 
 from __future__ import annotations
 
+import errno
 import secrets
 from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
@@ -133,19 +134,29 @@ def open_partition(source: Union[Table, TableRef]) -> Table:
     return source
 
 
-def ship_result(table: Table, token: str, partition: int, attempt: int):
+def ship_result(
+    table: Table, token: str, partition: int, attempt: int, simulate_exhaustion: bool = False
+):
     """Worker-side result shipping: segment in, ref out.
 
     Returns the :class:`TableRef` to send over the pipe, or the table
-    itself when its columns cannot be arena-encoded (per-payload pickle
-    fallback — correctness first, zero-copy when possible).
+    itself when shared memory is unusable for this payload — columns the
+    arena cannot encode, *or* the arena itself failing (``shm_open``
+    refused, ``/dev/shm`` full → ``ENOSPC``). Either way the per-payload
+    pickle fallback keeps the attempt alive: exhaustion degrades transport
+    efficiency, never correctness. ``simulate_exhaustion`` is the
+    fault-injection hook (:class:`~repro.parallel.faults.FaultPlan` kind
+    ``"shm"``): it raises the same ``ENOSPC`` a full arena would, routed
+    through the same fallback path.
     """
     name = result_segment_name(token, partition, attempt)
     try:
+        if simulate_exhaustion:
+            raise OSError(errno.ENOSPC, "injected shared-memory exhaustion")
         return table.to_ref(segment_name=name, keep_open=False)
-    except SchemaError as exc:
+    except (SchemaError, OSError) as exc:
         _LOG.warning(
-            "partition %d attempt %d result not arena-encodable (%s); "
+            "partition %d attempt %d result cannot use shared memory (%s); "
             "falling back to pickle for this payload",
             partition,
             attempt,

@@ -18,9 +18,11 @@ from repro.service.admission import (
     RuntimeEstimator,
     REJECT_BACKPRESSURE,
     REJECT_DEADLINE,
+    REJECT_DRAINING,
     REJECT_QUOTA,
 )
 from repro.service.client import QueryReply, ServiceClient
+from repro.service.governor import GovernorConfig, QueryGovernor, RUNGS, coarsen_samplers
 from repro.service.loadgen import LoadConfig, LoadReport, run_load
 from repro.service.server import QueryServer, QueryService, ServiceConfig
 from repro.service.session import Session, SessionManager
@@ -32,7 +34,12 @@ __all__ = [
     "RuntimeEstimator",
     "REJECT_BACKPRESSURE",
     "REJECT_DEADLINE",
+    "REJECT_DRAINING",
     "REJECT_QUOTA",
+    "GovernorConfig",
+    "QueryGovernor",
+    "RUNGS",
+    "coarsen_samplers",
     "QueryReply",
     "ServiceClient",
     "LoadConfig",

@@ -51,11 +51,13 @@ __all__ = [
     "REJECT_BACKPRESSURE",
     "REJECT_QUOTA",
     "REJECT_DEADLINE",
+    "REJECT_DRAINING",
 ]
 
 REJECT_BACKPRESSURE = "backpressure"
 REJECT_QUOTA = "quota"
 REJECT_DEADLINE = "deadline"
+REJECT_DRAINING = "draining"
 
 
 @dataclass(frozen=True)
@@ -96,16 +98,20 @@ class QueryTicket:
         "session", "tenant", "query_name", "mode", "deadline_at",
         "enqueued_at", "dispatched_at", "completed_at",
         "_done", "result", "error", "rejection", "queue_span", "queue_tracer",
+        "governance",
     )
 
     def __init__(self, session, query_name: str, mode: str,
-                 deadline_at: Optional[float] = None):
+                 deadline_at: Optional[float] = None, governance=None):
         self.session = session
         self.tenant: str = session.tenant
         self.query_name = query_name
         self.mode = mode
         #: Absolute monotonic deadline; None = run whenever.
         self.deadline_at = deadline_at
+        #: In-flight contract (:class:`~repro.engine.governance.GovernanceContext`);
+        #: attached at submit so even a still-queued query is cancellable.
+        self.governance = governance
         self.enqueued_at = time.monotonic()
         self.dispatched_at: Optional[float] = None
         self.completed_at: Optional[float] = None
@@ -133,6 +139,16 @@ class QueryTicket:
         self.error = error
         self.completed_at = time.monotonic()
         self._done.set()
+
+    def cancel(self, reason: str) -> bool:
+        """Fire the governance token (no-op without a contract).
+
+        The engine unwinds at its next cooperative checkpoint and the
+        worker then fails the ticket with the typed governance error —
+        this call only requests, never completes."""
+        if self.governance is None:
+            return False
+        return self.governance.token.cancel(reason)
 
     def close_queue_span(self, status: str = "ok", **attributes: Any) -> None:
         """End the open ``service.queue_wait`` span, if tracing is on."""
@@ -230,6 +246,10 @@ class AdmissionController:
         self._tenants: Dict[str, _TenantQueue] = {}
         self._queued_total = 0
         self._closed = False
+        self._draining = False
+        #: Tickets dispatched to workers and not yet finished — the set a
+        #: drain cancels when the grace period runs out.
+        self._running_tickets: List[QueryTicket] = []
         # Peak queue depth since start — the boundedness evidence the
         # load benchmark and the CI smoke assert on.
         self.peak_queue_depth = 0
@@ -242,6 +262,11 @@ class AdmissionController:
         with self._ready:
             if self._closed:
                 reason, message = REJECT_BACKPRESSURE, "service is shutting down"
+            elif self._draining:
+                reason, message = REJECT_DRAINING, (
+                    "service is draining: finishing in-flight queries, "
+                    "not admitting new ones"
+                )
             elif self._queued_total >= config.max_queue_depth:
                 reason, message = REJECT_BACKPRESSURE, (
                     f"run queue is full ({self._queued_total}/{config.max_queue_depth})"
@@ -333,6 +358,7 @@ class AdmissionController:
             if infeasible is None:
                 winner.running += 1
                 ticket.dispatched_at = time.monotonic()
+                self._running_tickets.append(ticket)
                 return ticket
             ticket.rejection = AdmissionRejected(
                 REJECT_DEADLINE, f"dropped after queueing: {infeasible}"
@@ -354,13 +380,45 @@ class AdmissionController:
             tenant = self._tenants.get(ticket.tenant)
             if tenant is not None and tenant.running > 0:
                 tenant.running -= 1
+            if ticket in self._running_tickets:
+                self._running_tickets.remove(ticket)
         if execute_seconds is not None:
             self.estimator.observe((ticket.query_name, ticket.mode), execute_seconds)
         self.registry.histogram(
             "service.queue_wait_seconds", tenant=ticket.tenant
         ).observe(ticket.queue_wait_seconds)
 
-    # -- shutdown / introspection -------------------------------------------
+    # -- drain / shutdown / introspection -------------------------------------
+    def begin_drain(self) -> None:
+        """Stop admitting (``rejected.draining``) while workers keep
+        serving what is already queued and running."""
+        with self._ready:
+            self._draining = True
+        _LOG.info("draining: admission closed, %d queued, %d running",
+                  self.queue_depth, len(self.running_tickets()))
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def running_tickets(self) -> List[QueryTicket]:
+        """Snapshot of dispatched-but-unfinished tickets."""
+        with self._lock:
+            return list(self._running_tickets)
+
+    def wait_idle(self, timeout: float, poll_seconds: float = 0.02) -> bool:
+        """Block until nothing is queued or running, or ``timeout`` passes."""
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                idle = self._queued_total == 0 and not self._running_tickets
+            if idle:
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(poll_seconds)
+
     def close(self) -> List[QueryTicket]:
         """Stop admitting; drain and return still-queued tickets (already
         rejected with backpressure so their waiters unblock)."""
@@ -408,6 +466,8 @@ class AdmissionController:
             }
             return {
                 "queue_depth": self._queued_total,
+                "draining": self._draining,
+                "running": len(self._running_tickets),
                 "peak_queue_depth": self.peak_queue_depth,
                 "max_queue_depth": self.config.max_queue_depth,
                 "tenant_quota": self.config.tenant_quota,

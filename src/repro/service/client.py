@@ -20,7 +20,14 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from repro.engine.table import Table
-from repro.errors import AdmissionRejected, ProtocolError, ServiceError
+from repro.errors import (
+    AdmissionRejected,
+    BudgetExceeded,
+    DeadlineExceeded,
+    ProtocolError,
+    QueryCancelled,
+    ServiceError,
+)
 from repro.service import protocol
 
 __all__ = ["QueryReply", "ServiceClient"]
@@ -40,6 +47,10 @@ class QueryReply:
     stats: Dict[str, Any]
     session_id: str
     tenant: str
+    #: None for a full-fidelity answer; otherwise the governor's ladder
+    #: record ``{"rung", "reason", "ladder"}`` — the answer is still
+    #: statistically valid (reweighted, CIs widened) but approximate.
+    degraded: Optional[Dict[str, Any]] = None
 
 
 class ServiceClient:
@@ -74,6 +85,13 @@ class ServiceClient:
             message = str(error.get("message", "unknown error"))
             if code.startswith("rejected."):
                 raise AdmissionRejected(code.split(".", 1)[1], message)
+            if code.startswith("cancelled."):
+                reason = code.split(".", 1)[1]
+                if reason == "deadline":
+                    raise DeadlineExceeded(message)
+                if reason == "budget":
+                    raise BudgetExceeded(message)
+                raise QueryCancelled(message, reason_code=reason)
             raise ServiceError(f"{code}: {message}")
         return response
 
@@ -108,6 +126,7 @@ class ServiceClient:
             stats=response.get("stats", {}),
             session_id=response.get("session_id", ""),
             tenant=response.get("tenant", ""),
+            degraded=response.get("degraded"),
         )
 
     def ping(self) -> bool:

@@ -23,7 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.errors import AdmissionRejected, ProtocolError, ServiceError
+from repro.errors import AdmissionRejected, GovernanceError, ProtocolError, ServiceError
 from repro.service.client import ServiceClient
 
 __all__ = ["LoadConfig", "LoadReport", "run_load", "percentile"]
@@ -64,6 +64,11 @@ class LoadReport:
     requests: int = 0
     served: int = 0
     rejected: Dict[str, int] = field(default_factory=dict)
+    #: Served answers that rode the degradation ladder (reply.degraded).
+    degraded: int = 0
+    #: Queries ended by the governance contract, keyed by reason code
+    #: (``deadline`` / ``budget`` / ``client-disconnect`` / ...).
+    cancelled: Dict[str, int] = field(default_factory=dict)
     errors: int = 0
     protocol_errors: int = 0
     wall_seconds: float = 0.0
@@ -107,6 +112,8 @@ class LoadReport:
             "requests": self.requests,
             "served": self.served,
             "rejected": dict(sorted(self.rejected.items())),
+            "degraded": self.degraded,
+            "cancelled": dict(sorted(self.cancelled.items())),
             "errors": self.errors,
             "protocol_errors": self.protocol_errors,
             "wall_seconds": round(self.wall_seconds, 3),
@@ -159,6 +166,12 @@ def _session_worker(host: str, port: int, config: LoadConfig, index: int,
                     report.requests += 1
                     report.rejected[exc.reason] = report.rejected.get(exc.reason, 0) + 1
                 continue
+            except GovernanceError as exc:
+                reason = exc.reason_code
+                with lock:
+                    report.requests += 1
+                    report.cancelled[reason] = report.cancelled.get(reason, 0) + 1
+                continue
             except ProtocolError:
                 with lock:
                     report.requests += 1
@@ -173,6 +186,8 @@ def _session_worker(host: str, port: int, config: LoadConfig, index: int,
             with lock:
                 report.requests += 1
                 report.served += 1
+                if reply.degraded is not None:
+                    report.degraded += 1
                 report.latencies.append(latency)
                 report.digests.setdefault((name, config.mode), set()).add(reply.digest)
     except threading.BrokenBarrierError:

@@ -80,11 +80,16 @@ def decode_message(line: bytes) -> Dict[str, Any]:
     return message
 
 
-def read_messages(sock: socket.socket) -> Iterator[Dict[str, Any]]:
+def read_messages(
+    sock: socket.socket, max_line_bytes: int = MAX_LINE_BYTES
+) -> Iterator[Dict[str, Any]]:
     """Yield decoded frames from a socket until the peer closes.
 
     Buffers partial lines across ``recv`` boundaries; a frame larger than
-    :data:`MAX_LINE_BYTES` raises :class:`ProtocolError`.
+    ``max_line_bytes`` (default :data:`MAX_LINE_BYTES`) raises
+    :class:`ProtocolError`. A socket read timeout (the server's slow-loris
+    guard) surfaces as ``socket.timeout`` — an ``OSError`` the caller
+    turns into a clean disconnect.
     """
     buffer = b""
     while True:
@@ -94,10 +99,12 @@ def read_messages(sock: socket.socket) -> Iterator[Dict[str, Any]]:
                 raise ProtocolError("connection closed mid-frame")
             return
         buffer += chunk
-        if len(buffer) > MAX_LINE_BYTES and b"\n" not in buffer:
-            raise ProtocolError(f"frame exceeds {MAX_LINE_BYTES} bytes")
+        if len(buffer) > max_line_bytes and b"\n" not in buffer:
+            raise ProtocolError(f"frame exceeds {max_line_bytes} bytes")
         while b"\n" in buffer:
             line, buffer = buffer.split(b"\n", 1)
+            if len(line) > max_line_bytes:
+                raise ProtocolError(f"frame exceeds {max_line_bytes} bytes")
             if line.strip():
                 yield decode_message(line)
 

@@ -25,6 +25,7 @@ shows a query's whole life from socket to answer.
 
 from __future__ import annotations
 
+import select
 import socket
 import threading
 import time
@@ -33,7 +34,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.engine.executor import Executor
 from repro.engine.table import Database
-from repro.errors import AdmissionRejected, ProtocolError, ReproError
+from repro.errors import AdmissionRejected, GovernanceError, ProtocolError, ReproError
 from repro.obs import log as obs_log
 from repro.obs import trace as obs_trace
 from repro.obs.registry import MetricsRegistry
@@ -45,6 +46,7 @@ from repro.service.admission import (
     QueryTicket,
     drain_worker,
 )
+from repro.service.governor import GovernorConfig, QueryGovernor
 from repro.service.session import DEFAULT_TENANT, MODES, Session, SessionManager
 
 _LOG = obs_log.logger("service.server")
@@ -59,10 +61,22 @@ class ServiceConfig:
     #: Worker threads draining the shared run queue.
     num_workers: int = 4
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    #: In-flight governance policy (deadlines, budgets, degradation ladder).
+    governor: GovernorConfig = field(default_factory=GovernorConfig)
     #: Include full answer rows in responses (False = digest only).
     include_rows: bool = True
     #: Hard cap on rows serialized into one response.
     max_result_rows: int = 100_000
+    #: Grace given to in-flight queries on shutdown before their tokens
+    #: are fired (``shutdown-drain``).
+    drain_seconds: float = 5.0
+    #: Per-connection socket read timeout — the slow-loris guard: a peer
+    #: that stalls mid-frame (or goes silent) longer than this is
+    #: disconnected cleanly instead of pinning a reader thread forever.
+    #: None disables.
+    idle_timeout_seconds: Optional[float] = 300.0
+    #: Per-connection frame-size cap (protocol robustness guard).
+    max_frame_bytes: int = protocol.MAX_LINE_BYTES
 
 
 class QueryService:
@@ -75,6 +89,7 @@ class QueryService:
         executor: Optional[Executor] = None,
         planner: Optional[QuickrPlanner] = None,
         registry: Optional[MetricsRegistry] = None,
+        query_builders: Optional[Dict[str, Any]] = None,
     ):
         self.config = config or ServiceConfig()
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -85,13 +100,20 @@ class QueryService:
         self.planner = planner if planner is not None else QuickrPlanner(database)
         self.sessions = SessionManager()
         self.admission = AdmissionController(self.config.admission, self.registry)
+        self.governor = QueryGovernor(
+            self.config.governor, self.planner, self.executor,
+            self.admission, self.registry,
+        )
         self._workers: List[threading.Thread] = []
         self._started = False
         self._closed = False
         self._lifecycle_lock = threading.Lock()
-        from repro.workloads.tpcds import QUERY_BUILDERS
+        if query_builders is not None:
+            self._query_builders = dict(query_builders)
+        else:
+            from repro.workloads.tpcds import QUERY_BUILDERS
 
-        self._query_builders = dict(QUERY_BUILDERS)
+            self._query_builders = dict(QUERY_BUILDERS)
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> "QueryService":
@@ -120,6 +142,32 @@ class QueryService:
         for thread in self._workers:
             thread.join(timeout=10.0)
         _LOG.info("service closed")
+
+    def drain(self, grace_seconds: Optional[float] = None) -> bool:
+        """Graceful shutdown: stop admitting (``rejected.draining``), let
+        in-flight and queued queries finish for ``grace_seconds``, then
+        fire the stragglers' cancellation tokens and close.
+
+        Returns True when everything finished inside the grace period
+        (nothing had to be cancelled)."""
+        grace = self.config.drain_seconds if grace_seconds is None else grace_seconds
+        self.admission.begin_drain()
+        finished = self.admission.wait_idle(max(0.0, grace))
+        if not finished:
+            stragglers = self.admission.running_tickets()
+            for ticket in stragglers:
+                if ticket.cancel("shutdown-drain"):
+                    self.registry.counter(
+                        "service.governor.cancelled", reason="shutdown-drain"
+                    ).inc()
+            _LOG.warning(
+                "drain grace (%.1fs) expired; cancelled %d in-flight queries",
+                grace, len(stragglers),
+            )
+            # Bounded wait for the engine to unwind at its checkpoints.
+            self.admission.wait_idle(10.0)
+        self.close()
+        return finished
 
     @property
     def query_names(self) -> Tuple[str, ...]:
@@ -162,7 +210,13 @@ class QueryService:
         )
         session.record_submitted()
         self.registry.counter("service.requests", tenant=session.tenant).inc()
-        ticket = QueryTicket(session, query_name, resolved_mode, deadline_at)
+        governance = (
+            self.governor.governance_for(deadline_at)
+            if self.config.governor.enabled else None
+        )
+        ticket = QueryTicket(
+            session, query_name, resolved_mode, deadline_at, governance=governance
+        )
         tracer = obs_trace.current_tracer()
         admit_span = (
             tracer.begin("service.admit", session=session.session_id,
@@ -207,7 +261,10 @@ class QueryService:
             session.record_rejected()
             raise ticket.rejection
         if ticket.error is not None:
-            session.record_failed()
+            if not isinstance(ticket.error, GovernanceError):
+                # Governance endings were already recorded as cancelled
+                # by the worker; don't double-book them as failures.
+                session.record_failed()
             raise ticket.error
         return ticket.result
 
@@ -216,17 +273,30 @@ class QueryService:
         ticket.close_queue_span(wait_seconds=round(ticket.queue_wait_seconds, 6))
         session = ticket.session
         t0 = time.perf_counter()
+        degraded_info: Optional[Dict[str, Any]] = None
         try:
             with obs_trace.maybe_span(
                 "service.execute", session=session.session_id, tenant=ticket.tenant,
                 query=ticket.query_name, mode=ticket.mode,
             ):
                 query = self._query_builders[ticket.query_name](self.database)
-                if ticket.mode == "exact":
-                    plan = self.planner.plan_baseline(query).plan
+                if ticket.governance is not None:
+                    result, degraded_info = self.governor.run(ticket, query)
                 else:
-                    plan = self.planner.plan(query).plan
-                result = self.executor.execute(plan)
+                    if ticket.mode == "exact":
+                        plan = self.planner.plan_baseline(query).plan
+                    else:
+                        plan = self.planner.plan(query).plan
+                    result = self.executor.execute(plan)
+        except GovernanceError as exc:
+            # The contract fired and nothing was salvageable: the query is
+            # over, typed — never a hang, never a worker kept busy.
+            session.record_cancelled()
+            self.registry.counter(
+                "service.governor.cancelled", reason=exc.reason_code
+            ).inc()
+            ticket.fail(exc)
+            return None
         except BaseException as exc:  # noqa: BLE001 - reported to the client
             session.record_failed()
             ticket.fail(exc)
@@ -243,16 +313,20 @@ class QueryService:
             ),
         )
         session.record_served(wire["digest"], result.table.num_rows, execute_seconds)
+        if degraded_info is not None:
+            session.record_degraded()
         ticket.resolve({
             "query": ticket.query_name,
             "mode": ticket.mode,
             "answer": wire,
+            # None for a full-fidelity answer, else {rung, reason, ladder}.
+            "degraded": degraded_info,
             "stats": {
                 "queue_wait_ms": round(ticket.queue_wait_seconds * 1000.0, 3),
                 "execute_ms": round(execute_seconds * 1000.0, 3),
                 "compile_ms": round((result.compile_seconds or 0.0) * 1000.0, 3),
                 "plan_cache_hit": bool(result.plan_cache_hit),
-                "degraded": bool(result.degraded),
+                "degraded": bool(result.degraded or degraded_info),
             },
         })
         return execute_seconds
@@ -267,6 +341,17 @@ class QueryService:
             "queries": {
                 "served": self.registry.total("service.admitted"),
                 "rejected": self.registry.total("service.rejected"),
+            },
+            "governor": {
+                "enabled": self.config.governor.enabled,
+                "downgrades": self.registry.total("service.governor.downgrades"),
+                "degraded_replies": self.registry.total(
+                    "service.governor.degraded_replies"
+                ),
+                "cancelled": self.registry.total("service.governor.cancelled"),
+                "client_disconnects": self.registry.total(
+                    "service.governor.client_disconnects"
+                ),
             },
         }
 
@@ -305,9 +390,10 @@ class QueryServer:
         _LOG.info("listening on %s:%d", *self.address)
         return self
 
-    def stop(self) -> None:
-        """Graceful shutdown: stop accepting, drain the queue (queued
-        tickets get explicit backpressure rejections), close connections."""
+    def stop(self, drain_seconds: Optional[float] = None) -> None:
+        """Graceful shutdown: stop accepting, drain in flight (new
+        submissions get ``rejected.draining``, running queries keep their
+        grace, stragglers are cancelled), close connections."""
         if self._stopping.is_set():
             # Another thread is (or was) tearing down; wait it out so
             # callers can rely on the port being released on return.
@@ -318,7 +404,7 @@ class QueryServer:
             self._listener.close()
         except OSError:
             pass
-        self.service.close()
+        self.service.drain(drain_seconds)
         with self._conn_lock:
             connections = list(self._connections)
         for conn in connections:
@@ -388,8 +474,19 @@ class _Connection:
         protocol.send_message(self.conn, message)
 
     def run(self) -> None:
+        config = self.service.config
+        if config.idle_timeout_seconds is not None:
+            # Slow-loris guard: a peer stalling mid-frame (or silent past
+            # the idle window) raises socket.timeout — an OSError — and
+            # the connection closes instead of pinning this thread.
+            try:
+                self.conn.settimeout(config.idle_timeout_seconds)
+            except OSError:
+                return
         try:
-            for request in protocol.read_messages(self.conn):
+            for request in protocol.read_messages(
+                self.conn, max_line_bytes=config.max_frame_bytes
+            ):
                 if not self._handle(request):
                     break
         except ProtocolError as exc:
@@ -399,7 +496,7 @@ class _Connection:
             except OSError:
                 pass
         except OSError:
-            pass  # peer vanished mid-exchange; nothing left to say
+            pass  # peer vanished (or timed out) mid-exchange; nothing left to say
         finally:
             if self.session is not None:
                 self.service.sessions.close(self.session.session_id)
@@ -465,6 +562,27 @@ class _Connection:
         ))
         return True
 
+    def _peer_closed(self) -> bool:
+        """Non-blocking probe for a client that hung up mid-query.
+
+        The connection protocol is one-request-at-a-time, so while a query
+        is in flight the socket should be quiet; a *readable* socket whose
+        peeked read returns no bytes is an EOF — the client is gone. (A
+        pipelining client that sends early merely reports not-closed.)
+        """
+        try:
+            readable, _, _ = select.select([self.conn], [], [], 0)
+        except (OSError, ValueError):
+            return True  # socket already torn down
+        if not readable:
+            return False
+        try:
+            return self.conn.recv(1, socket.MSG_PEEK) == b""
+        except (BlockingIOError, socket.timeout):
+            return False
+        except OSError:
+            return True
+
     def _op_query(self, request_id, request: Dict[str, Any]) -> bool:
         session = self._ensure_session()
         query_name = request.get("query")
@@ -473,21 +591,55 @@ class _Connection:
         mode = request.get("mode")
         deadline_ms = request.get("deadline_ms")
         try:
-            payload = self.service.execute(session, query_name, mode, deadline_ms)
+            ticket = self.service.submit(session, query_name, mode, deadline_ms)
         except AdmissionRejected as exc:
             self.respond(protocol.error_response(
                 request_id, f"rejected.{exc.reason}", str(exc),
-                retryable=exc.reason != "deadline",
+                retryable=exc.reason not in ("deadline",),
             ))
             return True
-        except ProtocolError:
-            raise
-        except BaseException as exc:  # noqa: BLE001 - reported, not fatal
+        # Wait for the ticket while watching the socket: a client that
+        # disconnects mid-query fires the cancellation token, and the
+        # engine stops at its next morsel/task boundary instead of
+        # finishing an answer nobody is waiting for.
+        while not ticket.wait(0.05):
+            if self._peer_closed():
+                if ticket.cancel("client-disconnect"):
+                    self.service.registry.counter(
+                        "service.governor.client_disconnects"
+                    ).inc()
+                    _LOG.info(
+                        "client of %s vanished; cancelled %s mid-flight",
+                        session.session_id, query_name,
+                    )
+                # Bounded wait for the worker to unwind and release the
+                # quota slot; then close — there is no one to answer.
+                ticket.wait(30.0)
+                return False
+        if ticket.rejection is not None:
+            session.record_rejected()
+            exc = ticket.rejection
             self.respond(protocol.error_response(
-                request_id, "execution", f"{type(exc).__name__}: {exc}"
+                request_id, f"rejected.{exc.reason}", str(exc),
+                retryable=exc.reason not in ("deadline",),
+            ))
+            return True
+        if ticket.error is not None:
+            error = ticket.error
+            if isinstance(error, GovernanceError):
+                # session.queries_cancelled was recorded by the worker.
+                self.respond(protocol.error_response(
+                    request_id, f"cancelled.{error.reason_code}", str(error),
+                    retryable=error.reason_code not in ("deadline",),
+                ))
+                return True
+            session.record_failed()
+            self.respond(protocol.error_response(
+                request_id, "execution", f"{type(error).__name__}: {error}"
             ))
             return True
         self.respond(protocol.ok_response(
-            request_id, session_id=session.session_id, tenant=session.tenant, **payload
+            request_id, session_id=session.session_id, tenant=session.tenant,
+            **ticket.result,
         ))
         return True

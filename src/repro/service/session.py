@@ -42,6 +42,11 @@ class Session:
     queries_served: int = 0
     queries_rejected: int = 0
     queries_failed: int = 0
+    #: Served, but down the degradation ladder (reply carried ``degraded``).
+    queries_degraded: int = 0
+    #: Ended by the governance contract (cancel / deadline / budget) with
+    #: nothing salvageable.
+    queries_cancelled: int = 0
     #: Digest + shape of the most recent served answer (not the rows — a
     #: session is not a result cache, the PlanCache below is).
     last_result: Optional[Dict[str, Any]] = None
@@ -74,6 +79,14 @@ class Session:
         with self._lock:
             self.queries_failed += 1
 
+    def record_degraded(self) -> None:
+        with self._lock:
+            self.queries_degraded += 1
+
+    def record_cancelled(self) -> None:
+        with self._lock:
+            self.queries_cancelled += 1
+
     def summary(self) -> Dict[str, Any]:
         with self._lock:
             return {
@@ -86,6 +99,8 @@ class Session:
                 "queries_served": self.queries_served,
                 "queries_rejected": self.queries_rejected,
                 "queries_failed": self.queries_failed,
+                "queries_degraded": self.queries_degraded,
+                "queries_cancelled": self.queries_cancelled,
                 "last_result": dict(self.last_result) if self.last_result else None,
             }
 

@@ -1,0 +1,184 @@
+"""Hostile-peer protocol tests: the server never hangs, never crashes.
+
+Each test throws one class of malformed traffic at a live
+:class:`QueryServer` — a slow-loris drip, a frame cut off mid-line, an
+oversized frame, bytes that aren't JSON — and asserts the contract from
+the protocol docstring: a typed ``protocol`` error or a clean disconnect,
+and a server that still answers well-behaved clients afterwards.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.service import (
+    AdmissionConfig,
+    QueryServer,
+    QueryService,
+    ServiceClient,
+    ServiceConfig,
+)
+from repro.service import protocol
+
+
+def start_server(tiny_tpcds, **config_kwargs):
+    defaults = dict(
+        num_workers=2,
+        admission=AdmissionConfig(max_queue_depth=16, tenant_quota=8),
+    )
+    defaults.update(config_kwargs)
+    service = QueryService(tiny_tpcds, ServiceConfig(**defaults))
+    return QueryServer(service, port=0).start()
+
+
+def raw_connect(server, timeout=10.0):
+    return socket.create_connection(server.address, timeout=timeout)
+
+
+def read_response(conn):
+    return next(protocol.read_messages(conn))
+
+
+def assert_still_serving(server):
+    """A well-behaved client gets a normal answer after the abuse."""
+    host, port = server.address
+    with ServiceClient(host, port, timeout=60.0) as client:
+        client.hello(tenant="survivor")
+        assert client.ping()
+
+
+class TestReadMessages:
+    def test_cap_parameter_trips_protocol_error(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"x" * 128)  # no newline: one unbounded frame
+            reader = protocol.read_messages(b, max_line_bytes=64)
+            with pytest.raises(ProtocolError, match="exceeds 64 bytes"):
+                next(reader)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestHostilePeers:
+    def test_slow_loris_is_disconnected_not_pinned(self, tiny_tpcds):
+        # A peer that sends one byte and goes quiet must be cut loose by
+        # the idle timeout, not hold a reader thread forever.
+        server = start_server(tiny_tpcds, idle_timeout_seconds=0.2)
+        try:
+            conn = raw_connect(server)
+            conn.sendall(b"{")  # partial frame, then silence
+            deadline = time.monotonic() + 5.0
+            conn.settimeout(5.0)
+            while True:
+                assert time.monotonic() < deadline, "server never closed the drip"
+                try:
+                    if conn.recv(4096) == b"":
+                        break  # server hung up: the guard fired
+                except socket.timeout:  # pragma: no cover - timing slack
+                    continue
+            conn.close()
+            assert_still_serving(server)
+        finally:
+            server.stop()
+
+    def test_partial_frame_then_close_is_clean(self, tiny_tpcds):
+        server = start_server(tiny_tpcds)
+        try:
+            conn = raw_connect(server)
+            conn.sendall(b'{"id": 1, "op": "pi')  # cut mid-frame
+            conn.close()
+            assert_still_serving(server)
+            assert server.service.registry.value("service.protocol_errors") == 1.0
+        finally:
+            server.stop()
+
+    def test_oversized_frame_is_rejected_typed(self, tiny_tpcds):
+        server = start_server(tiny_tpcds, max_frame_bytes=1024)
+        try:
+            conn = raw_connect(server)
+            # A legal-looking request bloated past the frame cap; the server
+            # must refuse to buffer it and answer with a typed error.
+            huge = {"id": 1, "op": "hello", "tenant": "x" * 4096}
+            conn.sendall(protocol.encode_message(huge))
+            response = read_response(conn)
+            assert response["ok"] is False
+            assert response["error"]["code"] == "protocol"
+            assert "exceeds" in response["error"]["message"]
+            conn.close()
+            assert_still_serving(server)
+        finally:
+            server.stop()
+
+    def test_garbage_json_is_typed_protocol_error(self, tiny_tpcds):
+        server = start_server(tiny_tpcds)
+        try:
+            conn = raw_connect(server)
+            conn.sendall(b"\x00\xffnot json at all\n")
+            response = read_response(conn)
+            assert response["ok"] is False
+            assert response["error"]["code"] == "protocol"
+            conn.close()
+            assert_still_serving(server)
+        finally:
+            server.stop()
+
+    def test_non_object_frame_is_typed_protocol_error(self, tiny_tpcds):
+        server = start_server(tiny_tpcds)
+        try:
+            conn = raw_connect(server)
+            conn.sendall(b"[1, 2, 3]\n")
+            response = read_response(conn)
+            assert response["ok"] is False
+            assert response["error"]["code"] == "protocol"
+            conn.close()
+            assert_still_serving(server)
+        finally:
+            server.stop()
+
+    def test_unknown_op_keeps_connection_usable(self, tiny_tpcds):
+        # An unknown op is a per-request error, not a connection killer:
+        # the same socket must still serve the next request.
+        server = start_server(tiny_tpcds)
+        try:
+            conn = raw_connect(server)
+            protocol.send_message(conn, {"id": 1, "op": "frobnicate"})
+            reader = protocol.read_messages(conn)
+            first = next(reader)
+            assert first["ok"] is False and first["error"]["code"] == "protocol"
+            protocol.send_message(conn, {"id": 2, "op": "ping"})
+            second = next(reader)
+            assert second == {"id": 2, "ok": True, "pong": True}
+            conn.close()
+        finally:
+            server.stop()
+
+    def test_query_without_name_is_typed(self, tiny_tpcds):
+        server = start_server(tiny_tpcds)
+        try:
+            conn = raw_connect(server)
+            protocol.send_message(conn, {"id": 7, "op": "query"})
+            response = read_response(conn)
+            assert response["ok"] is False
+            assert response["error"]["code"] == "protocol"
+            assert "requires a string" in response["error"]["message"]
+            conn.close()
+        finally:
+            server.stop()
+
+    def test_dribbled_valid_frame_still_parses(self, tiny_tpcds):
+        # Slow but honest: one byte at a time under the idle timeout.
+        # Each byte resets the timeout clock, so the frame completes.
+        server = start_server(tiny_tpcds, idle_timeout_seconds=1.0)
+        try:
+            conn = raw_connect(server)
+            for byte in protocol.encode_message({"id": 3, "op": "ping"}):
+                conn.sendall(bytes([byte]))
+                time.sleep(0.005)
+            response = read_response(conn)
+            assert response == {"id": 3, "ok": True, "pong": True}
+            conn.close()
+        finally:
+            server.stop()
