@@ -129,7 +129,15 @@ def drive_overload(service):
             payload = service.execute(
                 session, name, mode="quickr", deadline_ms=DEADLINE_MS, timeout=120.0
             )
-            outcome = "degraded" if payload["degraded"] is not None else "served"
+            # Tag degraded replies with the rung that served them, so the
+            # report distinguishes "degraded by sampler coarsening"
+            # (quickr-coarse) from "degraded by partition selection"
+            # (quickr-select) from mid-flight salvage (partial).
+            outcome = (
+                "served"
+                if payload["degraded"] is None
+                else f"degraded.{payload['degraded']['rung']}"
+            )
         except AdmissionRejected as exc:
             outcome = f"rejected.{exc.reason}"
         except GovernanceError as exc:
@@ -320,3 +328,49 @@ def test_deadline_salvage_covers_truth_per_group():
     assert covered.mean() >= 0.75, f"CI coverage {covered.mean():.0%}"
     assert abs(estimate.sum() - expected.sum()) <= np.sqrt((ci**2).sum())
     assert leaked_system_segments() == []
+
+
+def test_selection_rung_attributed_distinctly():
+    """Degradation by partition selection is distinguishable from
+    degradation by sampler coarsening — in the reply's rung and in
+    ``BENCH_governor.json``.
+
+    Permanent pressure with no coarsening headroom (``coarsen_factor=1.0``)
+    makes the ladder walk past ``quickr-coarse``: weighted-sampled plans
+    land on ``quickr-select`` (the catalog's weighted partition selection),
+    while distinct-only plans — which selection cannot serve — stay at full
+    accuracy instead of degrading wrongly.
+    """
+    db = database()
+    before = set(threading.enumerate())
+    service = governed_service(
+        db, queue_pressure_fraction=0.0, coarsen_factor=1.0
+    ).start()
+    rungs = {}
+    try:
+        session = service.open_session(tenant="attribution")
+        for name in ("q15", "q19", "q22", "q02"):
+            payload = service.execute(session, name, mode="quickr", timeout=120.0)
+            rungs[name] = (
+                None if payload["degraded"] is None else payload["degraded"]["rung"]
+            )
+    finally:
+        assert_clean_exit(service, before)
+
+    for name in ("q15", "q19", "q22"):  # uniform/universe-sampled plans
+        assert rungs[name] == "quickr-select", rungs
+    assert rungs["q02"] is None, rungs  # distinct-only: no selection rung
+
+    # Merge the attribution into the benchmark report (the overload test
+    # writes the file first when the whole module runs).
+    try:
+        with open(OUTPUT, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (FileNotFoundError, json.JSONDecodeError):
+        report = {}
+    report["selection_attribution"] = {
+        "config": {"queue_pressure_fraction": 0.0, "coarsen_factor": 1.0},
+        "rungs": {name: rung or "served-exactly" for name, rung in rungs.items()},
+    }
+    with open(OUTPUT, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)

@@ -12,6 +12,7 @@ Usage::
     python -m repro serve --port 8642      # run the concurrent query service
     python -m repro client q12 --tenant ads  # query a running service
     python -m repro loadgen --sessions 50  # load-test a running service
+    python -m repro stats-catalog build    # materialize the partition-stats catalog
 
 Every data-touching subcommand accepts ``--log-level`` (attach the
 ``repro`` logger hierarchy to stderr), ``--trace out.json`` (record a
@@ -28,6 +29,11 @@ import sys
 from typing import List, Optional
 
 __all__ = ["main"]
+
+
+def _wants_stats(args) -> bool:
+    """Whether the generated database should carry a partition-stats catalog."""
+    return not getattr(args, "no_stats", False)
 
 
 def _write_metrics(args, executor) -> None:
@@ -51,7 +57,7 @@ def _cmd_plan(args) -> int:
     if args.query not in QUERY_BUILDERS:
         print(f"unknown query {args.query!r}; available: {', '.join(QUERY_BUILDERS)}")
         return 2
-    db = generate_tpcds(scale=args.scale, seed=args.seed)
+    db = generate_tpcds(scale=args.scale, seed=args.seed, stats=_wants_stats(args))
     planner = QuickrPlanner(db)
     result = planner.plan(query_by_name(db, args.query))
 
@@ -86,9 +92,9 @@ def _cmd_explain(args) -> int:
     from repro.optimizer.planner import QuickrPlanner
     from repro.workloads.tpcds import QUERY_BUILDERS, generate_tpcds, queries, query_by_name
 
-    db = generate_tpcds(scale=args.scale, seed=args.seed)
+    db = generate_tpcds(scale=args.scale, seed=args.seed, stats=_wants_stats(args))
     planner = QuickrPlanner(db)
-    executor = Executor(db)
+    executor = Executor(db, parallelism=args.parallelism)
     if args.query:
         if args.query not in QUERY_BUILDERS:
             print(f"unknown query {args.query!r}; available: {', '.join(QUERY_BUILDERS)}")
@@ -126,7 +132,7 @@ def _cmd_evaluate(args) -> int:
     from repro.experiments.runner import ExperimentRunner
     from repro.workloads.tpcds import generate_tpcds, queries
 
-    db = generate_tpcds(scale=args.scale, seed=args.seed)
+    db = generate_tpcds(scale=args.scale, seed=args.seed, stats=_wants_stats(args))
     runner = ExperimentRunner(db, parallelism=args.parallelism)
     outcomes = runner.run_suite(queries(db))
 
@@ -172,7 +178,7 @@ def _cmd_chaos(args) -> int:
     from repro.parallel.tasks import RetryPolicy
     from repro.workloads.tpcds import generate_tpcds, queries
 
-    db = generate_tpcds(scale=args.scale, seed=args.seed)
+    db = generate_tpcds(scale=args.scale, seed=args.seed, stats=_wants_stats(args))
     planner = QuickrPlanner(db)
     options = ParallelOptions(
         pool=args.pool,
@@ -270,7 +276,7 @@ def _cmd_serve(args) -> int:
             return 2
         weights[name] = float(value)
 
-    db = generate_tpcds(scale=args.scale, seed=args.seed)
+    db = generate_tpcds(scale=args.scale, seed=args.seed, stats=_wants_stats(args))
     config = ServiceConfig(
         num_workers=args.workers,
         admission=AdmissionConfig(
@@ -442,7 +448,7 @@ def _cmd_bench_transport(args) -> int:
             print(f"unknown queries: {', '.join(unknown)}; available: {', '.join(QUERY_BUILDERS)}")
             return 2
 
-    db = generate_tpcds(scale=args.scale, seed=args.seed)
+    db = generate_tpcds(scale=args.scale, seed=args.seed, stats=_wants_stats(args))
     kwargs = dict(
         degree=args.parallelism,
         repeat=args.repeat,
@@ -488,7 +494,7 @@ def _cmd_speedup(args) -> int:
     from repro.parallel import ParallelOptions, available_parallelism
     from repro.workloads.tpcds import QUERY_BUILDERS, generate_tpcds, queries, query_by_name
 
-    db = generate_tpcds(scale=args.scale, seed=args.seed)
+    db = generate_tpcds(scale=args.scale, seed=args.seed, stats=_wants_stats(args))
     planner = QuickrPlanner(db)
     if args.query:
         if args.query not in QUERY_BUILDERS:
@@ -538,6 +544,88 @@ def _cmd_speedup(args) -> int:
     return 0
 
 
+def _cmd_stats_catalog(args) -> int:
+    """Build, inspect or validate the partition-statistics catalog."""
+    from repro.experiments.report import format_table
+
+    if args.workload == "tpch":
+        from repro.workloads.tpch import generate_tpch
+
+        db = generate_tpch(scale=args.scale, seed=args.seed)
+    else:
+        from repro.workloads.tpcds import generate_tpcds
+
+        db = generate_tpcds(scale=args.scale, seed=args.seed)
+    catalog = db.partition_stats
+    if catalog is None:
+        print("database carries no partition-statistics catalog")
+        return 1
+
+    if args.tables:
+        tables = [t.strip() for t in args.tables.split(",") if t.strip()]
+    else:
+        tables = sorted(catalog.cluster_columns) or sorted(db.table_names())
+    missing = [t for t in tables if t not in db]
+    if missing:
+        print(f"unknown table(s): {', '.join(missing)}")
+        return 1
+
+    if args.action == "build":
+        rows = []
+        for name in tables:
+            layout = catalog.layout(name, args.partitions)
+            rollup = catalog.table_rollup(name, args.partitions)
+            summaries = catalog.summaries(name, args.partitions)
+            rows.append(
+                {
+                    "table": name,
+                    "layout": layout.kind,
+                    "cluster_col": layout.cluster_column or "-",
+                    "partitions": len(summaries),
+                    "rows": rollup.rows,
+                    "MiB": round(rollup.bytes / (1024 * 1024), 2),
+                }
+            )
+        print(format_table(rows, title=f"partition catalog (P={args.partitions})"))
+        print(f"built: {len(catalog.built())} (table, partition-count) pair(s)")
+        return 0
+
+    if args.action == "inspect":
+        for name in tables:
+            summaries = catalog.summaries(name, args.partitions)
+            layout = catalog.layout(name, args.partitions)
+            cluster = layout.cluster_column
+            rows = []
+            for summary in summaries:
+                row = {
+                    "partition": summary.partition,
+                    "rows": summary.rows,
+                    "KiB": round(summary.bytes / 1024, 1),
+                }
+                if cluster and cluster in summary.columns:
+                    col = summary.columns[cluster]
+                    row[f"{cluster} min"] = col.min_value
+                    row[f"{cluster} max"] = col.max_value
+                    row["distinct~"] = col.distinct
+                rows.append(row)
+            print(format_table(rows, title=f"{name} ({layout.kind})"))
+        return 0
+
+    # validate: force summaries to exist, then cross-check against live data.
+    for name in tables:
+        catalog.summaries(name, args.partitions)
+    problems: List[str] = []
+    for name in tables:
+        problems.extend(catalog.validate(name))
+    if problems:
+        for problem in problems:
+            print(f"PROBLEM: {problem}")
+        print(f"{len(problems)} problem(s) found")
+        return 1
+    print(f"catalog consistent: {len(tables)} table(s) x {args.partitions} partition(s)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro.obs.log import LEVELS
 
@@ -555,6 +643,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write a Chrome/Perfetto trace of the run to FILE")
     common.add_argument("--metrics", default=None, metavar="FILE",
                         help="write the executor's metrics registry (JSON) to FILE")
+    common.add_argument("--no-stats", action="store_true",
+                        help="generate the workload database without a partition-"
+                             "statistics catalog (disables partition pruning)")
 
     plan = sub.add_parser("plan", parents=[common],
                           help="show ASALQA's plan for a TPC-DS query")
@@ -575,6 +666,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="query name, e.g. q07 (default: all 24)")
     explain.add_argument("--scale", type=float, default=0.3)
     explain.add_argument("--seed", type=int, default=1)
+    explain.add_argument("--parallelism", type=int, default=1,
+                         help="degree of partition parallelism; >1 also reports "
+                              "the partition prune/select decision")
     explain.set_defaults(func=_cmd_explain)
 
     evaluate = sub.add_parser("evaluate", parents=[common],
@@ -699,6 +793,24 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--output", default=None, metavar="FILE",
                          help="write the machine-readable load report (JSON) to FILE")
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    stats = sub.add_parser(
+        "stats-catalog", parents=[common],
+        help="build, inspect or validate the partition-statistics catalog "
+             "that drives partition pruning",
+    )
+    stats.add_argument("action", choices=["build", "inspect", "validate"],
+                       help="build: materialize + summarize; inspect: per-partition "
+                            "detail; validate: cross-check summaries against data")
+    stats.add_argument("--workload", default="tpcds", choices=["tpcds", "tpch"])
+    stats.add_argument("--scale", type=float, default=0.3)
+    stats.add_argument("--seed", type=int, default=1)
+    stats.add_argument("--partitions", type=int, default=8,
+                       help="partition count to lay out and summarize")
+    stats.add_argument("--tables", default=None,
+                       help="comma-separated table subset (default: the "
+                            "cluster-column tables)")
+    stats.set_defaults(func=_cmd_stats_catalog)
 
     trace = sub.add_parser("trace", help="regenerate the Figure 2 production-trace analysis")
     trace.add_argument("--queries", type=int, default=20_000)

@@ -18,14 +18,23 @@ that operator, with the state adjusted so accuracy is provably no worse
   join keys and the introduction of universe requirements when sampling
   both inputs.
 * ``push_past_union`` — the sampler clones into every branch.
+
+The second half of the module is **prune-predicate extraction**: turning a
+query predicate into per-partition feasibility checks against the summary
+statistics of the partition catalog (:mod:`repro.stats.catalog`). The
+contract is tri-state collapsed to a sound boolean:
+:func:`partition_feasible` returns ``False`` only when *no row of the
+partition can possibly satisfy the predicate* — every shape the analysis
+does not understand returns ``True`` (retain), so pruning never changes an
+answer, it only skips work (Rong et al., §3.1).
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Callable, List, Optional
+from typing import Callable, List, Mapping, Optional
 
-from repro.algebra.expressions import Col
+from repro.algebra.expressions import And, Cmp, Col, Expr, IsIn, Lit, Not, Or
 from repro.algebra.logical import Join, LogicalNode, Project, SamplerNode, Select, UnionAll
 from repro.core.sampler_state import SamplerState
 from repro.stats.derivation import StatsDeriver, estimate_selectivity
@@ -36,6 +45,8 @@ __all__ = [
     "push_past_join",
     "push_past_union",
     "alternatives_below",
+    "prune_conjuncts",
+    "partition_feasible",
 ]
 
 #: Enumerate all subsets of the remaining join keys only up to this size;
@@ -329,3 +340,114 @@ def alternatives_below(
     if isinstance(child, UnionAll):
         return push_past_union(state, child, deriver)
     return []
+
+
+# -- prune-predicate extraction (partition catalog, Rong et al.) ----------------
+
+#: Comparison rewrites for ``lit OP col`` -> ``col OP' lit``.
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+
+#: Comparison rewrites for ``NOT (col OP lit)`` -> ``col OP' lit``.
+_NEGATE = {"==": "!=", "!=": "==", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+
+def prune_conjuncts(predicate: Expr) -> List[Expr]:
+    """A predicate as its flat conjunct list (a single-element list when it
+    is not a conjunction). Each conjunct prunes independently: a partition
+    infeasible for *any* conjunct is infeasible for the whole predicate."""
+    if isinstance(predicate, And):
+        return predicate.conjuncts()
+    return [predicate]
+
+
+def partition_feasible(predicate: Expr, columns: Mapping[str, object]) -> bool:
+    """Can any row of a partition satisfy ``predicate``?
+
+    ``columns`` maps column names to
+    :class:`~repro.stats.catalog.ColumnSummary`-shaped objects (``min_value``
+    / ``max_value`` / ``null_count`` / ``values``). Returns ``False`` only on
+    proof of infeasibility; unknown expression shapes, missing summaries and
+    type mismatches all return ``True`` so the partition is retained.
+    """
+    if isinstance(predicate, And):
+        return all(partition_feasible(c, columns) for c in predicate.conjuncts())
+    if isinstance(predicate, Or):
+        return partition_feasible(predicate.left, columns) or partition_feasible(
+            predicate.right, columns
+        )
+    if isinstance(predicate, Not):
+        child = predicate.child
+        if isinstance(child, Cmp):
+            return partition_feasible(
+                Cmp(_NEGATE[child.op], child.left, child.right), columns
+            )
+        if isinstance(child, IsIn) and isinstance(child.child, Col):
+            summary = columns.get(child.child.name)
+            if summary is None or summary.values is None:
+                return True
+            # NOT IN is infeasible only when every present value is listed.
+            return not set(summary.values) <= set(child.values)
+        return True
+    if isinstance(predicate, Cmp):
+        return _cmp_feasible(predicate, columns)
+    if isinstance(predicate, IsIn):
+        return _isin_feasible(predicate, columns)
+    return True
+
+
+def _cmp_feasible(cmp: Cmp, columns: Mapping[str, object]) -> bool:
+    left, op, right = cmp.left, cmp.op, cmp.right
+    if isinstance(left, Lit) and isinstance(right, Col):
+        left, right = right, left
+        op = _FLIP[op]
+    if not (isinstance(left, Col) and isinstance(right, Lit)):
+        return True
+    summary = columns.get(left.name)
+    if summary is None:
+        return True
+    value = right.value
+    lo, hi = summary.min_value, summary.max_value
+    if lo is None:
+        # No non-null values: NaN comparisons are all False — except ``!=``,
+        # which every null row vacuously satisfies (NumPy semantics).
+        return op == "!=" and summary.null_count > 0
+    try:
+        if op == "==":
+            if summary.values is not None:
+                return value in set(summary.values)
+            return not (value < lo or value > hi)
+        if op == "!=":
+            if summary.null_count > 0:
+                return True  # a NaN row satisfies any inequality
+            if summary.values is not None:
+                return any(v != value for v in summary.values)
+            return not (lo == hi == value)
+        if op == "<":
+            return bool(lo < value)
+        if op == "<=":
+            return bool(lo <= value)
+        if op == ">":
+            return bool(hi > value)
+        if op == ">=":
+            return bool(hi >= value)
+    except TypeError:
+        return True  # incomparable literal/column types: retain
+    return True
+
+
+def _isin_feasible(pred: IsIn, columns: Mapping[str, object]) -> bool:
+    if not isinstance(pred.child, Col):
+        return True
+    summary = columns.get(pred.child.name)
+    if summary is None:
+        return True
+    lo, hi = summary.min_value, summary.max_value
+    if lo is None:
+        return False  # only nulls (or empty): NaN never matches a value list
+    if summary.values is not None:
+        present = set(summary.values)
+        return any(v in present for v in pred.values)
+    try:
+        return any(not (v < lo or v > hi) for v in pred.values)
+    except TypeError:
+        return True

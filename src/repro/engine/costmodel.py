@@ -44,7 +44,24 @@ from repro.algebra.logical import (
 from repro.engine.metrics import ClusterConfig, PlanCost, StageCost
 from repro.errors import PlanError
 
-__all__ = ["cost_plan"]
+__all__ = ["cost_plan", "prune_cost_credit"]
+
+
+def prune_cost_credit(
+    rows_skipped: float, config: Optional[ClusterConfig] = None
+) -> float:
+    """Machine-hours of scan work the partition prune/select pass avoided.
+
+    Measured plan costs already reflect pruning implicitly (workers only
+    report cardinalities for the partitions that ran); this makes the
+    credit explicit so reports can attribute the saving to the catalog
+    rather than to a smaller input. Only the scan-stage work is credited —
+    downstream operators' savings show up in their own measured stages.
+    """
+    if rows_skipped <= 0:
+        return 0.0
+    config = config or ClusterConfig()
+    return float(rows_skipped) * config.scan_cost
 
 
 @dataclass

@@ -136,7 +136,14 @@ class GovernanceContext:
     metrics.
     """
 
-    __slots__ = ("deadline_at", "memory_budget_bytes", "token", "checks", "peak_live_bytes")
+    __slots__ = (
+        "deadline_at",
+        "memory_budget_bytes",
+        "token",
+        "checks",
+        "peak_live_bytes",
+        "selection_fraction",
+    )
 
     def __init__(
         self,
@@ -151,6 +158,10 @@ class GovernanceContext:
         self.token = token if token is not None else CancellationToken()
         self.checks = 0
         self.peak_live_bytes = 0
+        #: Per-query weighted-partition-selection override (see the
+        #: governor's ``quickr-select`` rung); None leaves the executor's
+        #: own ``selection_fraction`` knob in charge.
+        self.selection_fraction: Optional[float] = None
 
     @classmethod
     def with_timeout(

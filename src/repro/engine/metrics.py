@@ -228,6 +228,10 @@ class ParallelMetrics:
     result_bytes_on_pipe: int = 0
     #: Bytes of table data moved via shared memory instead of the pipe.
     result_bytes_shared: int = 0
+    #: -- partition pruning (see repro.optimizer.pruning) ---------------------
+    #: ``ScanPrunePlan.summary()`` dict when the catalog prune/select pass
+    #: skipped anything this query; None otherwise.
+    pruning: Optional[dict] = None
 
     @property
     def measured_speedup(self) -> Optional[float]:
@@ -268,6 +272,18 @@ class ParallelMetrics:
             out["degraded"] = True
             out["coverage"] = round(self.coverage, 3)
             out["lost_partitions"] = list(self.failed_partitions)
+        if self.pruning:
+            out["pruning"] = (
+                f"{self.pruning['partitions_executed']}/"
+                f"{self.pruning['partitions_total']} partition(s) executed "
+                f"({self.pruning['partitions_pruned']} pruned"
+                + (
+                    f", {len(self.pruning.get('predicates', []))} predicate(s)"
+                    if self.pruning.get("predicates")
+                    else ""
+                )
+                + ")"
+            )
         if self.reason:
             out["note"] = self.reason
         return out

@@ -304,6 +304,9 @@ class Database:
 
     def __init__(self):
         self._tables: Dict[str, Table] = {}
+        #: Optional :class:`repro.stats.catalog.PartitionCatalog` attached
+        #: by datagen/load; the prune/select pass is a no-op without it.
+        self.partition_stats = None
 
     def register(self, table: Table) -> None:
         self._tables[table.name] = table

@@ -91,8 +91,45 @@ def explain_analyze(planner, executor, query) -> str:
     result = planner.plan(query)
     execution = executor.execute(result.plan)
     rendered = render_explain(planner, result, execution)
-    footer = _memory_footer(executor.registry)
-    return rendered + "\n" + footer if footer else rendered
+    for footer in (_pruning_footer(execution), _memory_footer(executor.registry)):
+        if footer:
+            rendered += "\n" + footer
+    return rendered
+
+
+def _pruning_footer(execution) -> str:
+    """One line of partition prune/select telemetry, when the pass fired.
+
+    Mirrors ``ParallelMetrics.pruning`` (the executed scan-prune plan's
+    summary dict); absent for serial runs and runs where no partition was
+    skipped.
+    """
+    parallel = getattr(execution, "parallel", None)
+    info = getattr(parallel, "pruning", None)
+    if not info:
+        return ""
+    line = (
+        f"pruning: {info['partitions_executed']}/{info['partitions_total']} "
+        f"{info['table']} partition(s) executed "
+        f"({info['partitions_pruned']} pruned exactly"
+    )
+    if info.get("partitions_selected"):
+        line += (
+            f", {info['partitions_selected']} kept by weighted selection"
+            f" at fraction {info.get('selection_fraction', 0):.2f}"
+            f", min inclusion p={info.get('inclusion_min', 1.0):.3f}"
+        )
+    if info.get("partitions_stale_retained"):
+        line += f", {info['partitions_stale_retained']} stale retained"
+    line += (
+        f"); {info['rows_pruned_actual'] + info['rows_unselected']:,} of "
+        f"{info['rows_total']:,} rows skipped  [token {info['token']}]"
+    )
+    for reason in info.get("predicates", ()):
+        line += f"\n  predicate: {reason}"
+    for reason in info.get("semijoins", ()):
+        line += f"\n  semi-join: {reason}"
+    return line
 
 
 def _memory_footer(registry) -> str:
@@ -114,11 +151,21 @@ def render_explain(planner, result, execution) -> str:
         f"explain analyze: {result.query_name} "
         f"({'approximable' if result.approximable else 'unapproximable — exact plan'})"
     )
+    compile_ms = (
+        f"{execution.compile_seconds * 1e3:.2f}ms"
+        if execution.compile_seconds is not None
+        else "-"
+    )
+    execute_ms = (
+        f"{execution.wall_clock_seconds * 1e3:.2f}ms"
+        if execution.wall_clock_seconds is not None
+        else "-"
+    )
     lines.append(
         f"plan fingerprint {plan_fingerprint(result.plan)[:12]}  "
-        f"compile {execution.compile_seconds * 1e3:.2f}ms "
+        f"compile {compile_ms} "
         f"(cache {'hit' if execution.plan_cache_hit else 'miss'})  "
-        f"execute {execution.wall_clock_seconds * 1e3:.2f}ms  "
+        f"execute {execute_ms}  "
         f"estimated gain {result.estimated_gain():.2f}x"
     )
 

@@ -50,7 +50,7 @@ import numpy as np
 from repro.algebra.addressing import NodeAddress
 from repro.algebra.builder import Query
 from repro.algebra.logical import Project, SamplerNode
-from repro.engine.costmodel import cost_plan
+from repro.engine.costmodel import cost_plan, prune_cost_credit
 from repro.engine.executor import ExecutionResult, Executor, PartialResult
 from repro.engine.metrics import (
     ClusterConfig,
@@ -75,6 +75,7 @@ from repro.parallel.faults import FaultPlan, corrupt_table
 from repro.parallel.merge import (
     PartialAggregate,
     finalize_partial,
+    inflate_selection_cis,
     merge_partials,
     merge_rows,
     partial_aggregate,
@@ -133,6 +134,16 @@ class ParallelOptions:
     ``measure_transport_bytes`` additionally measures the pickled payload
     sizes on the pickle path (an extra serialization pass per result, so it
     is off outside benchmarks); the shm path always accounts its bytes.
+
+    ``prune`` consults the database's partition catalog (when one is
+    attached) to skip partitions that provably cannot affect the answer;
+    it is a pure optimization — databases without a catalog are untouched.
+    ``selection_fraction`` additionally enables *weighted partition
+    selection* on sampled aggregate plans: roughly that fraction of the
+    surviving partitions run, and every executed row's weight is scaled by
+    its partition's inverse inclusion probability (Horvitz-Thompson), so
+    estimates stay unbiased while CIs widen. Per-query governance
+    (``GovernanceContext.selection_fraction``) overrides this knob.
     """
 
     pool: str = "auto"
@@ -146,6 +157,8 @@ class ParallelOptions:
     task_seed: int = 0
     transport: str = "auto"
     measure_transport_bytes: bool = False
+    prune: bool = True
+    selection_fraction: Optional[float] = None
 
     def __post_init__(self):
         if self.merge not in _MERGE_MODES:
@@ -154,6 +167,12 @@ class ParallelOptions:
             raise PlanError(
                 f"unknown transport {self.transport!r}; expected one of "
                 f"{shm_transport.TRANSPORT_MODES}"
+            )
+        if self.selection_fraction is not None and not (
+            0.0 < self.selection_fraction < 1.0
+        ):
+            raise PlanError(
+                f"selection_fraction must be in (0, 1), got {self.selection_fraction}"
             )
 
 
@@ -204,8 +223,51 @@ class ParallelExecutor:
                         retries=result.parallel.task_retries,
                         degraded=result.parallel.degraded,
                     )
+                    if result.parallel.pruning:
+                        span.attributes.update(
+                            pruned=result.parallel.pruning["partitions_pruned"],
+                            prune_token=result.parallel.pruning["token"],
+                        )
         self._fold_registry(result.parallel)
         return result
+
+    def _plan_pruning(self, analysis, degree: int, merge_mode: str, governance):
+        """Run the catalog prune/select pass; None when it does not apply.
+
+        Any failure inside the pass is demoted to "no pruning" — the
+        catalog is an accelerant, never a correctness dependency.
+        """
+        if not self.options.prune or merge_mode != "rows":
+            return None
+        fraction = None
+        if governance is not None and getattr(governance, "selection_fraction", None):
+            fraction = governance.selection_fraction
+        elif self.options.selection_fraction is not None:
+            fraction = self.options.selection_fraction
+        from repro.optimizer.pruning import plan_partition_pruning
+
+        try:
+            prune = plan_partition_pruning(
+                analysis,
+                self.database,
+                degree,
+                selection_fraction=fraction,
+                run_subtree=lambda node: self.serial_executor.run_plan(
+                    node, governance=governance
+                )[0],
+                task_seed=self.options.task_seed,
+            )
+        except Exception:  # noqa: BLE001 - run unpruned rather than fail
+            _LOG.exception("partition pruning failed; executing all partitions")
+            self.registry.counter("prune.planning_failures").inc()
+            return None
+        if prune is None:
+            return None
+        if not prune.pruned and not prune.selection_active:
+            # Nothing skipped: keep the plain round-robin path (it stays
+            # degradable, and the split needs no catalog layout).
+            return None
+        return prune
 
     def _fold_registry(self, metrics: Optional[ParallelMetrics]) -> None:
         """Mirror one query's parallel ledger into the shared registry."""
@@ -235,6 +297,26 @@ class ParallelExecutor:
             registry.counter("transport.result_bytes_on_pipe").inc(metrics.result_bytes_on_pipe)
         if metrics.result_bytes_shared:
             registry.counter("transport.result_bytes_shared").inc(metrics.result_bytes_shared)
+        if metrics.pruning:
+            registry.counter("prune.partitions_scanned").inc(
+                metrics.pruning["partitions_executed"]
+            )
+            registry.counter("prune.partitions_pruned").inc(
+                metrics.pruning["partitions_pruned"]
+            )
+            registry.counter("prune.partitions_selected").inc(
+                metrics.pruning["partitions_selected"]
+            )
+            if metrics.pruning["partitions_stale_retained"]:
+                registry.counter("prune.stale_retained").inc(
+                    metrics.pruning["partitions_stale_retained"]
+                )
+            skipped_rows = (
+                metrics.pruning["rows_pruned_actual"]
+                + metrics.pruning["rows_unselected"]
+            )
+            if skipped_rows:
+                registry.counter("prune.rows_skipped").inc(skipped_rows)
         for seconds in metrics.worker_seconds:
             registry.histogram("parallel.task_seconds").observe(seconds)
         from repro.memory import memory_stats
@@ -262,6 +344,28 @@ class ParallelExecutor:
         if merge_mode == "partial" and aggregate is None:
             merge_mode = "rows"  # nothing to two-phase; ship rows instead
 
+        prune = self._plan_pruning(analysis, degree, merge_mode, governance)
+        n_tasks = degree if prune is None else prune.executed
+        if prune is not None:
+            # The split now follows the catalog's layout and (possibly) a
+            # selected subset: a lost partition is no longer an exchangeable
+            # 1/degree slice, so the strategy string — which gates the
+            # degradation rules — says so.
+            if prune.selection_active:
+                analysis.strategy = f"selected[{prune.table}]"
+            elif prune.layout_kind == "range-cluster":
+                analysis.strategy = f"clustered[{prune.table}]"
+            _LOG.info(
+                "partition pruning: %s %d/%d partition(s) executed "
+                "(%d pruned exactly, %d skipped by selection, %d stale retained)",
+                prune.table,
+                prune.executed,
+                degree,
+                len(prune.pruned),
+                len(prune.unselected),
+                len(prune.stale),
+            )
+
         # Partition (or broadcast) each scan occurrence's base table, with
         # the occurrence's global lineage attached *before* the split so
         # workers see absolute base-row positions.
@@ -274,11 +378,17 @@ class ParallelExecutor:
                 name=wname,
             )
             if entry.mode == "broadcast":
-                parts = [lineaged] * degree
+                parts = [lineaged] * n_tasks
             elif entry.mode == "partition-hash":
                 parts = Partitioner(
                     degree, HASH, entry.hash_columns, seed=PARTITION_HASH_SEED
                 ).split(lineaged)
+            elif prune is not None and entry.address == prune.scan_address:
+                # Split along the catalog's layout (so the summaries that
+                # justified each prune describe exactly these rows), then
+                # keep only the partitions the prune plan executes.
+                parts = [lineaged.take(idx) for idx in prune.split_indices]
+                parts = [parts[pid] for pid in prune.keep]
             else:
                 parts = Partitioner(degree).split(lineaged)
             partitions[wname] = parts
@@ -291,7 +401,7 @@ class ParallelExecutor:
                 degree,
                 analysis.aligned_sampler_addresses,
             )
-            for pid in range(degree)
+            for pid in (range(degree) if prune is None else prune.keep)
         ]
         config = self.config
         do_partial = merge_mode == "partial"
@@ -489,7 +599,7 @@ class ParallelExecutor:
             if use_shm:
                 report = runtime.run(
                     run_partition,
-                    degree,
+                    n_tasks,
                     validate=validate,
                     receive=receive,
                     dispose=shm_transport.dispose_result,
@@ -498,7 +608,7 @@ class ParallelExecutor:
                 )
             else:
                 report = runtime.run(
-                    run_partition, degree, validate=validate, governance=governance
+                    run_partition, n_tasks, validate=validate, governance=governance
                 )
             lost = report.failed_partitions
 
@@ -511,7 +621,7 @@ class ParallelExecutor:
                 # simply "lost"). A *cancelled* query has no one waiting —
                 # it always propagates. Never a serial re-execution, which
                 # would double down on a contract already violated.
-                survivors_so_far = degree - len(lost)
+                survivors_so_far = n_tasks - len(lost)
                 salvageable = (
                     isinstance(report.aborted, (DeadlineExceeded, BudgetExceeded))
                     and self._degradable(analysis, merge_mode)
@@ -527,7 +637,7 @@ class ParallelExecutor:
                     "as a survivors-only sample",
                     report.aborted.reason_code,
                     survivors_so_far,
-                    degree,
+                    n_tasks,
                 )
 
             if lost and not self._degradable(analysis, merge_mode):
@@ -592,13 +702,30 @@ class ParallelExecutor:
                 )
                 overrides = {analysis.aggregate_address: finalized}
             else:
+                selection_pis: List[float] = []
+                if prune is not None and prune.selection_active:
+                    # Horvitz-Thompson fold: a row that ran in a partition
+                    # drawn with inclusion probability pi represents 1/pi
+                    # partitions' worth of its stratum.
+                    folded = []
+                    for (tid, _), payload in zip(survivors, payloads):
+                        pi = prune.inclusion[prune.keep[tid]]
+                        selection_pis.append(pi)
+                        if pi < 1.0:
+                            payload = payload.with_columns(
+                                {WEIGHT_COLUMN: payload.weights() * (1.0 / pi)}
+                            )
+                        folded.append(payload)
+                    payloads = folded
                 merged = merge_rows(payloads)
                 if lost:
                     # Sample-aware degradation: surviving partitions are a
                     # valid sample; re-weight and let the variance algebra
-                    # widen the CIs downstream.
+                    # widen the CIs downstream. Pruned partitions held no
+                    # qualifying rows, so the executed set is the population
+                    # the loss is measured against.
                     reweighted, reweight_factor = reweight_surviving_partitions(
-                        merged.weights(), degree, len(lost)
+                        merged.weights(), n_tasks, len(lost)
                     )
                     merged = merged.with_columns({WEIGHT_COLUMN: reweighted})
                 overrides = {split_address: merged}
@@ -612,6 +739,17 @@ class ParallelExecutor:
                 plan, overrides, governance=upper_governance
             )
             cardinalities.update(upper_cards)
+            if (
+                not do_partial
+                and compute_ci
+                and prune is not None
+                and prune.selection_active
+                and aggregate is not None
+            ):
+                # The row-level HT variance misses the between-partition
+                # (cluster-sampling) component of weighted selection; fold
+                # it into the CI columns now that the answer exists.
+                table = inflate_selection_cis(table, aggregate, payloads, selection_pis)
             cost = cost_plan(plan, lambda node, address: cardinalities[address], config)
             elapsed = perf_counter() - start
 
@@ -621,7 +759,7 @@ class ParallelExecutor:
                 self.serial_executor.execute(plan)
                 serial_seconds = perf_counter() - t0
 
-            coverage = (degree - len(lost)) / degree
+            coverage = (n_tasks - len(lost)) / n_tasks
             metrics = ParallelMetrics(
                 parallelism=degree,
                 strategy=analysis.strategy,
@@ -632,7 +770,7 @@ class ParallelExecutor:
                 serial_wall_clock_seconds=serial_seconds,
                 modeled_speedup=modeled_speedup(cost, degree, config),
                 worker_seconds=worker_seconds,
-                tasks=degree,
+                tasks=n_tasks,
                 task_retries=report.total_retries,
                 speculative_launches=report.speculative_launches,
                 speculative_wins=report.speculative_wins,
@@ -643,7 +781,12 @@ class ParallelExecutor:
                 transport="shm" if use_shm else "pickle",
                 result_bytes_on_pipe=transport_tally["pipe"],
                 result_bytes_shared=transport_tally["shared"],
+                pruning=prune.summary() if prune is not None else None,
             )
+            if metrics.pruning is not None:
+                metrics.pruning["machine_hours_credit"] = prune_cost_credit(
+                    prune.rows_pruned_actual + prune.rows_unselected, config
+                )
             self.stats.record(metrics)
             if lost:
                 _LOG.warning(

@@ -66,6 +66,7 @@ __all__ = [
     "partial_aggregate",
     "merge_partials",
     "finalize_partial",
+    "inflate_selection_cis",
     "merge_heavy_hitters",
     "merge_kmv",
 ]
@@ -392,6 +393,76 @@ def finalize_partial(
             out[alias + CI_SUFFIX] = Z_95 * np.sqrt(np.maximum(variance, 0.0))
 
     return Table(name, out)
+
+
+# -- weighted-selection CI inflation --------------------------------------------
+
+
+def inflate_selection_cis(
+    table: Table,
+    aggregate: Aggregate,
+    payloads: Sequence[Table],
+    inclusions: Sequence[float],
+) -> Table:
+    """Widen CI columns by the between-partition selection variance.
+
+    The row-level HT variance Σ (w² − w)·y² assumes independent per-row
+    inclusion, but weighted partition selection includes or excludes whole
+    partitions at once. With folded weights (w₀/π) the unbiased extra term
+    for a SUM-like aggregate is Σ_{p∈S, π_p<1} (1 − π_p)·T̂²_{p,g}, where
+    T̂_{p,g} is partition p's folded total for group g. CIs widen to
+    sqrt(ci² + z²·var_extra).
+
+    Best-effort by design: only SUM/COUNT (and IF forms) have an additive
+    per-partition total, and alignment needs the group-by keys to survive
+    into the answer — anything else is returned untouched.
+    """
+    targets = [
+        agg
+        for agg in aggregate.aggs
+        if agg.kind in _SUM_LIKE
+        and table.has_column(agg.alias)
+        and table.has_column(agg.alias + CI_SUFFIX)
+    ]
+    group_by = tuple(aggregate.group_by)
+    if not targets or any(not table.has_column(k) for k in group_by):
+        return table
+
+    extra = {agg.alias: np.zeros(table.num_rows) for agg in targets}
+    if group_by:
+        answer_keys = [table.column(k) for k in group_by]
+        row_of = {
+            tuple(arr[i] for arr in answer_keys): i for i in range(table.num_rows)
+        }
+    for payload, pi in zip(payloads, inclusions):
+        if pi >= 1.0 or payload.num_rows == 0:
+            continue
+        weights = payload.weights()
+        if group_by:
+            key_cols = [payload.column(k) for k in group_by]
+            codes, first_index, num_groups = group_codes(key_cols)
+            rows = [
+                row_of.get(tuple(arr[j] for arr in key_cols)) for j in first_index
+            ]
+            for agg in targets:
+                totals = _grouped_sum(
+                    codes, num_groups, weights * _per_row_contribution(agg, payload)
+                )
+                slot = extra[agg.alias]
+                for g, row in enumerate(rows):
+                    if row is not None:
+                        slot[row] += (1.0 - pi) * totals[g] * totals[g]
+        else:
+            for agg in targets:
+                total = float(np.sum(weights * _per_row_contribution(agg, payload)))
+                extra[agg.alias] += (1.0 - pi) * total * total
+
+    widened = {}
+    for agg in targets:
+        ci_col = agg.alias + CI_SUFFIX
+        old = np.asarray(table.column(ci_col), dtype=np.float64)
+        widened[ci_col] = np.sqrt(old * old + Z_95 * Z_95 * extra[agg.alias])
+    return table.with_columns(widened)
 
 
 # -- sketch folds ---------------------------------------------------------------

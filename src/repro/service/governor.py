@@ -20,6 +20,12 @@ the policy layer for queries already running. It owns two things:
   ``quickr``                ASALQA's sampled plan (the paper's normal mode)
   ``quickr-coarse``         the sampled plan with every *uniform* sampler's
                             rate multiplied down — same plan shape, fewer rows
+  ``quickr-select``         the coarse plan plus *weighted partition
+                            selection*: only ~``selection_fraction`` of the
+                            catalog partitions run, rows reweighted by their
+                            partition's inverse inclusion probability
+                            (requires a partition catalog and a
+                            uniform/universe-sampled plan)
   ``partial``               survivors-so-far: the parallel salvage path
                             reweights completed partitions (Horvitz-Thompson)
                             and widens the CIs; never re-planned, only reached
@@ -72,7 +78,7 @@ __all__ = ["RUNGS", "GovernorConfig", "QueryGovernor", "coarsen_samplers"]
 
 #: The degradation ladder, most exact first. ``partial`` is terminal and
 #: never planned for — it is what the parallel salvage path returns.
-RUNGS = ("exact", "quickr", "quickr-coarse", "partial")
+RUNGS = ("exact", "quickr", "quickr-coarse", "quickr-select", "partial")
 
 #: Rungs the governor can actually plan and execute.
 _PLANNABLE = RUNGS[:-1]
@@ -97,6 +103,11 @@ class GovernorConfig:
     coarsen_factor: float = 0.25
     #: Floor under coarsening — a sampler never drops below this rate.
     min_sampler_p: float = 1e-4
+    #: Expected fraction of catalog partitions executed at the
+    #: ``quickr-select`` rung (the executor's weighted partition
+    #: selection); rows are Horvitz-Thompson reweighted so estimates stay
+    #: unbiased while CIs widen.
+    selection_fraction: float = 0.5
     #: Maximum ladder steps one query may take (pre-flight + mid-flight).
     max_downgrades: int = 2
     #: Safety multiplier on the EWMA runtime estimate when judging whether
@@ -185,6 +196,18 @@ class QueryGovernor:
         index = _PLANNABLE.index(rung)
         return _PLANNABLE[index + 1] if index + 1 < len(_PLANNABLE) else None
 
+    def _step_down(self, rung: str, query) -> Optional[Tuple[str, LogicalNode]]:
+        """The next rung *with an available plan* below ``rung``, walking
+        past rungs that add nothing for this query (no uniform sampler to
+        coarsen, no partition catalog to select from)."""
+        stepped = self.next_rung(rung)
+        while stepped is not None:
+            plan = self._plan_for(stepped, query)
+            if plan is not None:
+                return stepped, plan
+            stepped = self.next_rung(stepped)
+        return None
+
     def _plan_for(self, rung: str, query) -> Optional[LogicalNode]:
         """The plan for one rung; None when the rung adds nothing (e.g. no
         uniform sampler left to coarsen)."""
@@ -198,6 +221,26 @@ class QueryGovernor:
                 base, self.config.coarsen_factor, self.config.min_sampler_p
             )
             return coarse if changed else None
+        if rung == "quickr-select":
+            # Selection itself happens in the executor (driven by the
+            # governance contract); the rung is only available when it can
+            # actually fire: a partition catalog on the database and a
+            # weighted (uniform/universe) sampled plan.
+            database = getattr(self.executor, "database", None)
+            if getattr(database, "partition_stats", None) is None:
+                return None
+            base = self.planner.plan(query).plan
+            kinds = {
+                node.spec.kind
+                for node in base.walk()
+                if isinstance(node, SamplerNode)
+            }
+            if not kinds & {"uniform", "universe"}:
+                return None
+            coarse, changed = coarsen_samplers(
+                base, self.config.coarsen_factor, self.config.min_sampler_p
+            )
+            return coarse if changed else base
         raise ValueError(f"rung {rung!r} is not plannable")
 
     def _infeasible(self, rung: str, query_name: str,
@@ -244,22 +287,22 @@ class QueryGovernor:
 
         pressure = self.pressure_reason()
         if pressure is not None:
-            stepped = self.next_rung(rung)
-            if stepped is not None and self._plan_for(stepped, query) is not None:
-                self._record_downgrade(ticket, ladder, rung, stepped, "pressure")
-                rung = stepped
+            step = self._step_down(rung, query)
+            if step is not None:
+                self._record_downgrade(ticket, ladder, rung, step[0], "pressure")
+                rung = step[0]
 
         while True:
             ctx.check()  # fail fast: queued-cancel or already-expired deadline
             if len(ladder) < self.config.max_downgrades:
                 infeasible = self._infeasible(rung, ticket.query_name, ctx)
                 if infeasible is not None:
-                    stepped = self.next_rung(rung)
-                    if stepped is not None and self._plan_for(stepped, query) is not None:
+                    step = self._step_down(rung, query)
+                    if step is not None:
                         self._record_downgrade(
-                            ticket, ladder, rung, stepped, "infeasible-deadline"
+                            ticket, ladder, rung, step[0], "infeasible-deadline"
                         )
-                        rung = stepped
+                        rung = step[0]
                         continue
             plan = self._plan_for(rung, query)
             if plan is None:
@@ -269,20 +312,22 @@ class QueryGovernor:
                 raise BudgetExceeded(
                     f"no coarser plan available below rung {rung!r}"
                 )
+            ctx.selection_fraction = (
+                self.config.selection_fraction if rung == "quickr-select" else None
+            )
             try:
                 result = self.executor.execute(plan, governance=ctx)
             except BudgetExceeded:
-                stepped = self.next_rung(rung)
+                step = self._step_down(rung, query)
                 if (
-                    stepped is None
+                    step is None
                     or len(ladder) >= self.config.max_downgrades
                     or ctx.token.cancelled
                     or ctx.expired()
-                    or self._plan_for(stepped, query) is None
                 ):
                     raise
-                self._record_downgrade(ticket, ladder, rung, stepped, "budget")
-                rung = stepped
+                self._record_downgrade(ticket, ladder, rung, step[0], "budget")
+                rung = step[0]
                 continue
             break
 

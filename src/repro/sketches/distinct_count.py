@@ -10,11 +10,11 @@ cardinalities by these counts.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Sequence
+from typing import Any, Dict, Hashable, Iterable, Sequence
 
 import numpy as np
 
-from repro.samplers.hashing import mix64
+from repro.samplers.hashing import _to_uint64, mix64
 
 __all__ = ["exact_distinct", "exact_distinct_multi", "KMVCounter"]
 
@@ -53,7 +53,7 @@ class KMVCounter:
         self._max: int = -1
 
     def add(self, value: Hashable) -> None:
-        h = int(mix64(np.asarray([hash(value)], dtype=np.uint64), self.seed)[0])
+        h = int(mix64(_to_uint64(np.asarray([value])), self.seed)[0])
         if len(self._hashes) < self.k:
             self._hashes.add(h)
             self._max = max(self._max, h)
@@ -65,6 +65,30 @@ class KMVCounter:
     def add_many(self, values: Iterable[Hashable]) -> None:
         for value in values:
             self.add(value)
+
+    def add_array(self, values: np.ndarray) -> None:
+        """Vectorized, seed-stable bulk insert (one hash pass per distinct
+        value; independent of ``PYTHONHASHSEED``, so sketches built in
+        different processes agree bit-for-bit). Equivalent to calling
+        :meth:`add` on every element."""
+        values = np.asarray(values)
+        if values.size == 0:
+            return
+        hashes = mix64(_to_uint64(np.unique(values)), self.seed)
+        if hashes.size > self.k:
+            hashes = np.partition(hashes, self.k - 1)[: self.k]
+        self._hashes.update(int(h) for h in hashes)
+        if len(self._hashes) > self.k:
+            self._hashes = set(sorted(self._hashes)[: self.k])
+        self._max = max(self._hashes) if self._hashes else -1
+
+    @classmethod
+    def from_values(
+        cls, values: np.ndarray, k: int = 1024, seed: int = 0x5EED
+    ) -> "KMVCounter":
+        sketch = cls(k, seed)
+        sketch.add_array(values)
+        return sketch
 
     def estimate(self) -> int:
         """Estimated number of distinct values observed."""
@@ -85,3 +109,14 @@ class KMVCounter:
         merged._hashes = set(union)
         merged._max = union[-1] if union else -1
         return merged
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot; inverse of :meth:`from_dict`."""
+        return {"k": self.k, "seed": self.seed, "hashes": sorted(self._hashes)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "KMVCounter":
+        sketch = cls(int(payload["k"]), int(payload["seed"]))
+        sketch._hashes = {int(h) for h in payload["hashes"]}
+        sketch._max = max(sketch._hashes) if sketch._hashes else -1
+        return sketch

@@ -1,11 +1,23 @@
 """Input statistics and derivation through plans (paper Table 2, §4.2.6)."""
 
-from repro.stats.catalog import Catalog, ColumnStats, TableStats
+from repro.stats.catalog import (
+    Catalog,
+    ColumnStats,
+    ColumnSummary,
+    PartitionCatalog,
+    PartitionLayout,
+    PartitionSummary,
+    TableStats,
+)
 from repro.stats.derivation import NodeStats, StatsDeriver, estimate_selectivity
 
 __all__ = [
     "Catalog",
     "ColumnStats",
+    "ColumnSummary",
+    "PartitionCatalog",
+    "PartitionLayout",
+    "PartitionSummary",
     "TableStats",
     "NodeStats",
     "StatsDeriver",

@@ -20,8 +20,19 @@ _NATIONS = np.asarray(
 )
 
 
-def generate_tpch(scale: float = 1.0, seed: int = 7) -> Database:
-    """Build a TPC-H-style database at the given scale factor."""
+#: Fact tables clustered on their date column (see the TPC-DS twin).
+CLUSTER_COLUMNS = {
+    "lineitem": "l_shipdate",
+    "orders": "o_orderdate",
+}
+
+
+def generate_tpch(scale: float = 1.0, seed: int = 7, stats: bool = True) -> Database:
+    """Build a TPC-H-style database at the given scale factor.
+
+    With ``stats`` (the default) the database carries a lazy partition
+    catalog clustered on the fact tables' date columns.
+    """
     rng = np.random.default_rng(seed)
     db = Database()
 
@@ -120,4 +131,8 @@ def generate_tpch(scale: float = 1.0, seed: int = 7) -> Database:
 
     for name, columns in TABLE_COLUMNS.items():
         assert set(db.columns(name)) == set(columns), name
+    if stats:
+        from repro.stats.catalog import PartitionCatalog
+
+        db.partition_stats = PartitionCatalog(db, cluster_columns=CLUSTER_COLUMNS)
     return db

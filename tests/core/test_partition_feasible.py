@@ -1,0 +1,120 @@
+"""``partition_feasible``: can any row of a summarized partition satisfy
+a predicate?
+
+The contract is asymmetric on purpose: ``False`` requires *proof* of
+infeasibility (the partition is then pruned), while every unknown —
+missing summary, unhandled expression shape, incomparable types —
+returns ``True`` and retains the partition. NaN rows satisfy ``!=`` and
+nothing else (NumPy comparison semantics).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algebra.expressions import And, Cmp, IsIn, Not, Or, col, lit
+from repro.core.pushdown import partition_feasible, prune_conjuncts
+from repro.stats import ColumnSummary
+
+
+def summarize(**arrays):
+    return {name: ColumnSummary.from_array(np.asarray(values)) for name, values in arrays.items()}
+
+
+# x spans [10, 20] with 64+ distinct values so only min/max (no exact
+# value set) is available; y has an exact value set {1, 3, 5}.
+WIDE = summarize(x=np.linspace(10, 20, 80), y=[1, 3, 5])
+
+
+class TestIntervals:
+    @pytest.mark.parametrize(
+        "predicate,feasible",
+        [
+            (col("x") == lit(15.0), True),
+            (col("x") == lit(25.0), False),
+            (col("x") == lit(5.0), False),
+            (col("x") < lit(10.0), False),
+            (col("x") < lit(10.5), True),
+            (col("x") <= lit(10.0), True),
+            (col("x") > lit(20.0), False),
+            (col("x") >= lit(20.0), True),
+            (col("x") != lit(15.0), True),
+        ],
+    )
+    def test_min_max(self, predicate, feasible):
+        assert partition_feasible(predicate, WIDE) is feasible
+
+    def test_not_equal_on_constant_column(self):
+        constant = summarize(c=[7, 7, 7])
+        assert partition_feasible(col("c") != lit(7), constant) is False
+        assert partition_feasible(col("c") != lit(8), constant) is True
+
+    def test_literal_on_the_left_is_flipped(self):
+        assert partition_feasible(Cmp(">", lit(25.0), col("x")), WIDE) is True
+        assert partition_feasible(Cmp("<", lit(25.0), col("x")), WIDE) is False
+
+
+class TestValueSets:
+    def test_equality_uses_exact_values(self):
+        # 2 is inside [1, 5] but provably absent from {1, 3, 5}.
+        assert partition_feasible(col("y") == lit(2), WIDE) is False
+        assert partition_feasible(col("y") == lit(3), WIDE) is True
+
+    def test_isin(self):
+        assert partition_feasible(IsIn(col("y"), (2, 4)), WIDE) is False
+        assert partition_feasible(IsIn(col("y"), (2, 5)), WIDE) is True
+        assert partition_feasible(IsIn(col("x"), (11.0,)), WIDE) is True
+        assert partition_feasible(IsIn(col("x"), (25.0,)), WIDE) is False
+
+    def test_not_isin(self):
+        assert partition_feasible(Not(IsIn(col("y"), (1, 3, 5))), WIDE) is False
+        assert partition_feasible(Not(IsIn(col("y"), (1, 3))), WIDE) is True
+
+
+class TestNulls:
+    ALL_NULL = summarize(z=[np.nan, np.nan])
+
+    def test_nan_satisfies_only_not_equal(self):
+        assert partition_feasible(col("z") != lit(1.0), self.ALL_NULL) is True
+        for predicate in (
+            col("z") == lit(1.0),
+            col("z") < lit(1.0),
+            col("z") >= lit(1.0),
+            IsIn(col("z"), (1.0,)),
+        ):
+            assert partition_feasible(predicate, self.ALL_NULL) is False
+
+    def test_mixed_nulls_keep_not_equal_feasible(self):
+        mixed = summarize(z=[5.0, np.nan])
+        assert partition_feasible(col("z") != lit(5.0), mixed) is True
+
+
+class TestBooleanStructure:
+    def test_and_prunes_when_any_conjunct_does(self):
+        predicate = (col("x") > lit(12.0)) & (col("y") == lit(2))
+        assert partition_feasible(predicate, WIDE) is False
+        assert len(prune_conjuncts(predicate)) == 2
+
+    def test_or_retains_when_any_branch_feasible(self):
+        feasible = Or(col("x") == lit(25.0), col("y") == lit(3))
+        infeasible = Or(col("x") == lit(25.0), col("y") == lit(2))
+        assert partition_feasible(feasible, WIDE) is True
+        assert partition_feasible(infeasible, WIDE) is False
+
+    def test_not_negates_comparisons(self):
+        assert partition_feasible(Not(col("x") <= lit(20.0)), WIDE) is False
+        assert partition_feasible(Not(col("x") >= lit(20.0)), WIDE) is True
+
+
+class TestConservatism:
+    def test_unknown_column_retained(self):
+        assert partition_feasible(col("missing") == lit(1), WIDE) is True
+
+    def test_incomparable_types_retained(self):
+        assert partition_feasible(col("x") == lit("north"), WIDE) is True
+        assert partition_feasible(col("x") < lit("north"), WIDE) is True
+
+    def test_column_to_column_retained(self):
+        assert partition_feasible(Cmp("==", col("x"), col("y")), WIDE) is True
+
+    def test_unhandled_shapes_retained(self):
+        assert partition_feasible(And(col("x") * lit(2) == lit(5), lit(True)), WIDE) is True

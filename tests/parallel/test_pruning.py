@@ -1,0 +1,270 @@
+"""Catalog-backed partition pruning: correctness end to end.
+
+Three bars (DESIGN §14):
+
+* **exact pruning never changes a byte** — every TPC-DS query answers
+  bit-identically with pruning on and off, while the selective-predicate
+  queries skip most of their fact partitions;
+* **a stale catalog can only cost performance** — a partition whose
+  summary disagrees with the live data is retained, never pruned;
+* **weighted selection stays honest** — fewer partitions run, weights
+  are scaled by inverse inclusion probabilities, and the reported
+  confidence intervals still cover the exact answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algebra.aggregates import count, sum_
+from repro.algebra.builder import from_node, scan
+from repro.algebra.expressions import col
+from repro.algebra.logical import SamplerNode
+from repro.engine.executor import Executor
+from repro.parallel import ParallelOptions
+from repro.samplers.uniform import UniformSpec
+from repro.stats import PartitionCatalog
+
+DEGREE = 8
+
+#: Queries whose predicates/semi-joins actually separate under the date
+#: clustering at scale 0.08 — the benchmark's "selective subset".
+SELECTIVE = ("q07", "q08", "q09", "q16")
+
+
+def options(**overrides):
+    base = dict(pool="thread", merge="rows", min_partition_rows=1_000)
+    base.update(overrides)
+    return ParallelOptions(**base)
+
+
+def assert_bit_identical(a, b):
+    assert a.table.column_names == b.table.column_names
+    assert a.table.num_rows == b.table.num_rows
+    for name in a.table.column_names:
+        np.testing.assert_array_equal(a.table.column(name), b.table.column(name), err_msg=name)
+
+
+@pytest.fixture(scope="module")
+def tpcds_executors(tiny_tpcds):
+    on = Executor(tiny_tpcds, parallelism=DEGREE, parallel_options=options())
+    off = Executor(tiny_tpcds, parallelism=DEGREE, parallel_options=options(prune=False))
+    return on, off
+
+
+@pytest.fixture(scope="module")
+def planner(tiny_tpcds):
+    from repro.optimizer.planner import QuickrPlanner
+
+    return QuickrPlanner(tiny_tpcds)
+
+
+class TestExactPruningBitIdentity:
+    def test_all_queries_prune_on_equals_prune_off(self, tiny_tpcds, tpcds_executors, planner):
+        from repro.workloads.tpcds import queries
+
+        on, off = tpcds_executors
+        fired = {}
+        for query in queries(tiny_tpcds):
+            plan = planner.plan(query).plan
+            pruned_run = on.execute(plan)
+            full_run = off.execute(plan)
+            assert_bit_identical(pruned_run, full_run)
+            if full_run.parallel is not None:
+                assert full_run.parallel.pruning is None
+            info = pruned_run.parallel.pruning if pruned_run.parallel else None
+            if info:
+                fired[query.name] = info
+        assert set(SELECTIVE) <= set(fired), f"pruning fired on {sorted(fired)}"
+
+        skipped = sum(fired[name]["partitions_pruned"] for name in SELECTIVE)
+        total = sum(fired[name]["partitions_total"] for name in SELECTIVE)
+        assert skipped / total >= 0.40  # the ISSUE's acceptance floor
+
+    def test_prune_decision_is_reported(self, tiny_tpcds, tpcds_executors, planner):
+        from repro.workloads.tpcds import query_by_name
+
+        on, _ = tpcds_executors
+        result = on.execute(planner.plan(query_by_name(tiny_tpcds, "q08")).plan)
+        info = result.parallel.pruning
+        assert info["table"] == "store_sales"
+        assert info["layout"] == "range-cluster"
+        assert info["partitions_executed"] == DEGREE - info["partitions_pruned"]
+        assert info["rows_pruned_actual"] == info["rows_pruned_est"]
+        assert info["semijoins"]  # q08 prunes through the date_dim semi-join
+        assert info["machine_hours_credit"] > 0
+        assert result.parallel.strategy == "clustered[store_sales]"
+
+    def test_empty_keep_retains_one_partition_for_schema(
+        self, tiny_tpcds, tpcds_executors, planner
+    ):
+        """q09's year predicate matches nothing at this scale: every
+        partition is infeasible, but one is taken back to carry the
+        schema through the merge."""
+        from repro.workloads.tpcds import query_by_name
+
+        on, off = tpcds_executors
+        plan = planner.plan(query_by_name(tiny_tpcds, "q09")).plan
+        info = on.execute(plan).parallel.pruning
+        assert info["partitions_executed"] == 1
+        assert info["partitions_pruned"] == DEGREE - 1
+
+
+class TestStaleCatalog:
+    def test_stale_partition_is_retained_not_pruned(self):
+        from repro.optimizer.planner import QuickrPlanner
+        from repro.workloads.tpcds import generate_tpcds, query_by_name
+
+        db = generate_tpcds(scale=0.08, seed=3)
+        planner = QuickrPlanner(db)
+        executor = Executor(db, parallelism=DEGREE, parallel_options=options())
+        plan = planner.plan(query_by_name(db, "q08")).plan
+
+        clean = executor.execute(plan)
+        clean_info = clean.parallel.pruning
+        pruned_before = clean_info["partitions_pruned"]
+        assert pruned_before > 0
+
+        # Corrupt each summary in turn until one that the clean run pruned
+        # flips to stale-retained (the prune plan does not name the pruned
+        # ordinals in its summary dict, so probe for one).
+        summaries = db.partition_stats.summaries("store_sales", DEGREE)
+        for victim in range(DEGREE):
+            summaries[victim].rows += 3
+            stale_run = executor.execute(plan)
+            info = stale_run.parallel.pruning
+            summaries[victim].rows -= 3
+            if info["partitions_stale_retained"]:
+                assert info["partitions_stale_retained"] == 1
+                assert info["partitions_pruned"] <= pruned_before
+                assert_bit_identical(stale_run, clean)
+                break
+        else:
+            pytest.fail("no corrupted summary was detected as stale")
+
+    def test_validate_reports_the_corruption(self):
+        from repro.workloads.tpcds import generate_tpcds
+
+        db = generate_tpcds(scale=0.08, seed=3)
+        db.partition_stats.summaries("store_sales", DEGREE)[1].rows += 3
+        problems = db.partition_stats.validate("store_sales")
+        assert any("store_sales[1]" in p for p in problems)
+
+
+@pytest.fixture(scope="module")
+def selection_db(sales_db):
+    """The conftest star schema with a (round-robin) partition catalog."""
+    import copy
+
+    db = copy.copy(sales_db)
+    db.partition_stats = PartitionCatalog(db)
+    return db
+
+
+@pytest.fixture(scope="module")
+def selection_query(selection_db):
+    from repro.core.rewrite import finalize_plan
+
+    built = (
+        from_node(SamplerNode(scan(selection_db, "sales").node, UniformSpec(0.2, seed=42)))
+        .groupby("s_item")
+        .agg(sum_(col("s_amount"), "total"), count("n"))
+        .orderby("s_item")
+        .build("selection_q")
+    )
+    # finalize_plan annotates the HT aggregate with compute_ci, as the
+    # planner does for every approximable plan.
+    return finalize_plan(built.plan)
+
+
+class TestWeightedSelection:
+    def test_fewer_partitions_reported_and_cis_cover_truth(
+        self, selection_db, selection_query
+    ):
+        executor = Executor(
+            selection_db,
+            parallelism=DEGREE,
+            parallel_options=options(selection_fraction=0.5),
+        )
+        result = executor.execute(selection_query)
+        info = result.parallel.pruning
+        assert info["partitions_selected"] == info["partitions_executed"]
+        assert 0 < info["partitions_executed"] < DEGREE
+        assert info["selection_fraction"] == 0.5
+        assert 0 < info["inclusion_min"] <= 1.0
+        assert result.parallel.strategy == "selected[sales]"
+
+        truth = (
+            Executor(selection_db)
+            .execute(
+                scan(selection_db, "sales")
+                .groupby("s_item")
+                .agg(sum_(col("s_amount"), "total"))
+                .orderby("s_item")
+                .build("exact_q")
+            )
+            .table
+        )
+        est = result.table
+        assert est.num_rows == truth.num_rows
+        np.testing.assert_array_equal(est.column("s_item"), truth.column("s_item"))
+        covered = (
+            np.abs(est.column("total") - truth.column("total"))
+            <= est.column("total__ci")
+        )
+        assert covered.mean() >= 0.8  # 95% CIs; selection must not break them
+
+    def test_selection_is_deterministic_for_a_seed(self, selection_db, selection_query):
+        runs = [
+            Executor(
+                selection_db,
+                parallelism=DEGREE,
+                parallel_options=options(selection_fraction=0.5, task_seed=9),
+            ).execute(selection_query)
+            for _ in range(2)
+        ]
+        assert runs[0].parallel.pruning["token"] == runs[1].parallel.pruning["token"]
+        assert_bit_identical(runs[0], runs[1])
+
+    def test_distinct_sampled_plans_are_never_touched(self, selection_db):
+        from repro.samplers.distinct import DistinctSpec
+
+        query = (
+            from_node(
+                SamplerNode(
+                    scan(selection_db, "sales").node,
+                    DistinctSpec(("s_item",), delta=8, p=0.1, seed=5),
+                )
+            )
+            .groupby("s_item")
+            .agg(count("n"))
+            .build("distinct_q")
+        )
+        executor = Executor(
+            selection_db,
+            parallelism=DEGREE,
+            parallel_options=options(selection_fraction=0.5),
+        )
+        result = executor.execute(query)
+        assert result.parallel.pruning is None
+
+    def test_invalid_fraction_rejected(self):
+        from repro.errors import PlanError
+
+        with pytest.raises(PlanError):
+            ParallelOptions(selection_fraction=1.5)
+
+
+class TestOptOuts:
+    def test_no_catalog_means_no_pruning(self, sales_db, selection_query):
+        assert sales_db.partition_stats is None
+        result = Executor(
+            sales_db, parallelism=DEGREE, parallel_options=options(selection_fraction=0.5)
+        ).execute(selection_query)
+        assert result.parallel.pruning is None
+        assert result.parallel.strategy == "round-robin[sales]"
+
+    def test_prune_false_disables_the_pass(self, selection_db, selection_query):
+        result = Executor(
+            selection_db, parallelism=DEGREE, parallel_options=options(prune=False)
+        ).execute(selection_query)
+        assert result.parallel.pruning is None

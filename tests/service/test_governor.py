@@ -182,6 +182,37 @@ class TestLadderMechanics:
             governor.run(ticket, query=None)
         assert executor.calls == []  # never reached the engine
 
+    def test_selection_rung_used_when_coarsening_has_no_headroom(self, sales_db):
+        """With coarsen_factor=1.0 the quickr-coarse rung produces no new
+        plan, so pressure steps past it onto quickr-select — available
+        because the executor's database carries a partition catalog — and
+        the ticket's governance context carries the selection fraction."""
+        governor, executor, _, _ = make_governor(
+            sales_db,
+            [OK],
+            config=GovernorConfig(
+                queue_pressure_fraction=0.0, coarsen_factor=1.0, selection_fraction=0.4
+            ),
+        )
+        executor.database = SimpleNamespace(partition_stats=object())
+        ticket = make_ticket()
+        result, info = governor.run(ticket, query=None)
+        assert info["rung"] == "quickr-select"
+        assert info["reason"] == "pressure"
+        assert ticket.governance.selection_fraction == pytest.approx(0.4)
+
+    def test_selection_rung_needs_a_catalog(self, sales_db):
+        governor, executor, _, _ = make_governor(
+            sales_db,
+            [OK],
+            config=GovernorConfig(queue_pressure_fraction=0.0, coarsen_factor=1.0),
+        )
+        # No database/catalog on the executor: both degradation rungs are
+        # unavailable, so the query is served at full fidelity.
+        result, info = governor.run(make_ticket(), query=None)
+        assert info is None
+        assert make_ticket().governance.selection_fraction is None
+
     def test_engine_salvage_is_the_partial_rung(self, sales_db):
         salvaged = SimpleNamespace(degraded=True, abort_reason="deadline")
         governor, _, _, registry = make_governor(sales_db, [salvaged])

@@ -1,0 +1,149 @@
+"""Partition-statistics catalog: summaries, layouts, validation.
+
+The prune pass (DESIGN §14) trusts exactly three things about the
+catalog: column summaries bound what a partition can contain, summaries
+merge associatively back to table level, and ``validate`` catches a
+summary that no longer matches the data. Each is pinned here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.table import Database, Table
+from repro.stats import ColumnSummary, PartitionCatalog, PartitionLayout
+from repro.stats.catalog import MAX_EXACT_VALUES
+
+
+def make_db(n=5_000, seed=11):
+    gen = np.random.default_rng(seed)
+    db = Database()
+    db.register(
+        Table(
+            "fact",
+            {
+                "f_date": np.sort(gen.integers(0, 365, n)),
+                "f_key": gen.integers(0, 1_000, n),
+                "f_amount": np.round(gen.exponential(20.0, n), 2),
+            },
+        )
+    )
+    db.register(Table("dim", {"d_key": np.arange(50), "d_flag": np.arange(50) % 3}))
+    return db
+
+
+class TestColumnSummary:
+    def test_min_max_nulls_distinct(self):
+        column = np.array([3.0, np.nan, 1.0, 4.0, 1.0, np.nan])
+        summary = ColumnSummary.from_array(column)
+        assert summary.min_value == 1.0
+        assert summary.max_value == 4.0
+        assert summary.null_count == 2
+        assert summary.distinct == 3
+        assert summary.values == (1.0, 3.0, 4.0)
+
+    def test_empty_and_all_null(self):
+        empty = ColumnSummary.from_array(np.array([], dtype=np.int64))
+        assert empty.min_value is None and empty.values == ()
+        nulls = ColumnSummary.from_array(np.array([np.nan, np.nan]))
+        assert nulls.min_value is None
+        assert nulls.null_count == 2
+
+    def test_wide_column_drops_exact_values(self):
+        column = np.arange(MAX_EXACT_VALUES + 10)
+        summary = ColumnSummary.from_array(column)
+        assert summary.values is None
+        assert summary.distinct == MAX_EXACT_VALUES + 10
+
+    def test_merge_matches_concatenated_build(self):
+        gen = np.random.default_rng(5)
+        a, b = gen.integers(0, 30, 400), gen.integers(10, 60, 600)
+        merged = ColumnSummary.from_array(a).merge(ColumnSummary.from_array(b))
+        whole = ColumnSummary.from_array(np.concatenate([a, b]))
+        assert merged.min_value == whole.min_value
+        assert merged.max_value == whole.max_value
+        assert merged.null_count == whole.null_count
+        assert merged.values == whole.values
+        assert merged.distinct == whole.distinct
+
+    def test_roundtrip(self):
+        summary = ColumnSummary.from_array(np.random.default_rng(3).integers(0, 9, 100))
+        back = ColumnSummary.from_dict(summary.to_dict())
+        assert back.min_value == summary.min_value
+        assert back.max_value == summary.max_value
+        assert back.values == summary.values
+        assert back.distinct == summary.distinct
+
+
+class TestLayouts:
+    def test_round_robin_matches_executor_split(self):
+        db = make_db()
+        layout = PartitionLayout(table="fact", num_partitions=4)
+        splits = layout.split_indices(db.table("fact"))
+        for p, idx in enumerate(splits):
+            np.testing.assert_array_equal(idx % 4, p)
+
+    def test_range_cluster_is_a_disjoint_cover_ordered_by_value(self):
+        db = make_db()
+        table = db.table("fact")
+        layout = PartitionLayout.range_cluster(table, "f_date", 6)
+        splits = layout.split_indices(table)
+        assert sum(len(s) for s in splits) == table.num_rows
+        assert len(np.unique(np.concatenate(splits))) == table.num_rows
+        highs = [table.column("f_date")[s].max() for s in splits if len(s)]
+        lows = [table.column("f_date")[s].min() for s in splits if len(s)]
+        for hi, lo in zip(highs, lows[1:]):
+            assert hi <= lo
+
+    def test_non_numeric_cluster_falls_back_to_round_robin(self):
+        db = Database()
+        db.register(Table("t", {"name": np.array(["a", "b", "c", "d"])}))
+        layout = PartitionLayout.range_cluster(db.table("t"), "name", 2)
+        assert layout.kind == "round-robin"
+
+
+class TestCatalog:
+    def test_rollup_equals_whole_table(self):
+        db = make_db()
+        catalog = PartitionCatalog(db, cluster_columns={"fact": "f_date"})
+        rollup = catalog.table_rollup("fact", 8)
+        table = db.table("fact")
+        assert rollup.rows == table.num_rows
+        whole = ColumnSummary.from_array(table.column("f_key"))
+        assert rollup.column("f_key").min_value == whole.min_value
+        assert rollup.column("f_key").max_value == whole.max_value
+
+    def test_lazy_build_tracking(self):
+        catalog = PartitionCatalog(make_db())
+        assert catalog.built() == ()
+        catalog.summaries("dim", 4)
+        assert catalog.built() == (("dim", 4),)
+
+    def test_payload_roundtrip(self):
+        db = make_db()
+        catalog = PartitionCatalog(db, cluster_columns={"fact": "f_date"})
+        catalog.summaries("fact", 4)
+        back = PartitionCatalog.from_payload(db, catalog.to_payload())
+        assert back.cluster_columns == catalog.cluster_columns
+        assert back.layout("fact", 4) == catalog.layout("fact", 4)
+        for mine, theirs in zip(back.summaries("fact", 4), catalog.summaries("fact", 4)):
+            assert mine.rows == theirs.rows
+            assert mine.column("f_date").min_value == theirs.column("f_date").min_value
+        assert back.validate() == []
+
+    def test_validate_clean_then_corrupted(self):
+        db = make_db()
+        catalog = PartitionCatalog(db, cluster_columns={"fact": "f_date"})
+        catalog.summaries("fact", 4)
+        assert catalog.validate() == []
+        catalog.summaries("fact", 4)[2].rows += 7
+        problems = catalog.validate("fact")
+        assert len(problems) == 2  # the partition and the table total
+        assert "fact[2]" in problems[0]
+
+    def test_merge_rejects_cross_table(self):
+        db = make_db()
+        catalog = PartitionCatalog(db)
+        fact = catalog.summaries("fact", 2)[0]
+        dim = catalog.summaries("dim", 2)[0]
+        with pytest.raises(Exception, match="merge"):
+            fact.merge(dim)
