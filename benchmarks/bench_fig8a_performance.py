@@ -144,7 +144,16 @@ def test_tracing_overhead(tpcds_db, tpcds_queries):
     (fresh tracer per run, so span buffers never amortize), taking the
     min of a few rounds per mode to suppress scheduler noise, and asserts
     the median per-query on/off ratio stays under 5%.
+
+    The "on" phase additionally runs a concurrent OpenMetrics scraper
+    against the executor's live registry — the production configuration
+    is tracer + scrape endpoint, and the snapshot locks must not show up
+    in query wall-clock either.
     """
+    import threading
+
+    from repro.obs.export import render_openmetrics, validate_openmetrics
+
     planner = QuickrPlanner(tpcds_db)
     plans = [planner.plan(q).plan for q in tpcds_queries]
     executor = Executor(tpcds_db)
@@ -156,22 +165,51 @@ def test_tracing_overhead(tpcds_db, tpcds_queries):
         executor.execute(plan)
         return perf_counter() - t0
 
+    stop_scraping = threading.Event()
+    scrapes = [0]
+    scrape_problems = []
+
+    def scraper():
+        # Failures are collected, not asserted: an assert here would only
+        # kill this thread, invisibly to pytest.
+        while not stop_scraping.is_set():
+            problems = validate_openmetrics(render_openmetrics(executor.registry))
+            if problems:
+                scrape_problems.extend(problems[:3])
+                return
+            scrapes[0] += 1
+            # Production scrapers poll on a seconds cadence; 0.25s still
+            # lands a scrape inside every measured phase without the
+            # render itself dominating a single-core ratio.
+            stop_scraping.wait(0.25)
+
     ratios = []
     for plan in plans:
         off = min(timed_run(plan) for _ in range(TRACING_ROUNDS))
         on_times = []
-        for _ in range(TRACING_ROUNDS):
-            tracer = obs_trace.Tracer()
-            obs_trace.set_tracer(tracer)
-            try:
-                on_times.append(timed_run(plan))
-            finally:
-                obs_trace.set_tracer(None)
+        stop_scraping.clear()
+        thread = threading.Thread(target=scraper, name="bench-scraper", daemon=True)
+        thread.start()
+        try:
+            for _ in range(TRACING_ROUNDS):
+                tracer = obs_trace.Tracer()
+                obs_trace.set_tracer(tracer)
+                try:
+                    on_times.append(timed_run(plan))
+                finally:
+                    obs_trace.set_tracer(None)
+        finally:
+            stop_scraping.set()
+            thread.join(timeout=10.0)
+        assert not thread.is_alive(), "scraper thread hung"
+        assert not scrape_problems, scrape_problems
         ratios.append(min(on_times) / max(off, 1e-9))
 
     median = float(np.median(ratios))
     print(f"\ntracing overhead: median {median:.3f}x, worst {max(ratios):.3f}x "
-          f"over {len(plans)} queries ({TRACING_ROUNDS} rounds each)")
+          f"over {len(plans)} queries ({TRACING_ROUNDS} rounds each, "
+          f"{scrapes[0]} concurrent scrapes)")
+    assert scrapes[0] > 0, "exporter never scraped during the traced phase"
     assert median <= MAX_TRACING_OVERHEAD, (
         f"median tracing overhead {median:.3f}x exceeds {MAX_TRACING_OVERHEAD}x"
     )

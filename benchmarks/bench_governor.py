@@ -219,18 +219,21 @@ def test_governed_overload_bounds_p99_vs_ungoverned_baseline():
     )
     assert moved > 0, runs
 
+    from repro.experiments.report import bench_envelope
+
     with open(OUTPUT, "w", encoding="utf-8") as fh:
         json.dump(
-            {
-                "scale": SCALE,
-                "seed": SEED,
-                "deadline_ms": DEADLINE_MS,
-                "slack_seconds": SLACK_SECONDS,
-                "requests": REQUESTS,
-                "workers": WORKERS,
-                "query_mix": list(QUERY_MIX),
-                "runs": runs,
-            },
+            bench_envelope(
+                "governor",
+                {"runs": runs},
+                scale=SCALE,
+                seed=SEED,
+                deadline_ms=DEADLINE_MS,
+                slack_seconds=SLACK_SECONDS,
+                requests=REQUESTS,
+                workers=WORKERS,
+                query_mix=list(QUERY_MIX),
+            ),
             fh,
             indent=2,
             sort_keys=True,
@@ -363,14 +366,18 @@ def test_selection_rung_attributed_distinctly():
 
     # Merge the attribution into the benchmark report (the overload test
     # writes the file first when the whole module runs).
+    from repro.experiments.report import bench_envelope, load_bench
+
     try:
-        with open(OUTPUT, "r", encoding="utf-8") as fh:
-            report = json.load(fh)
+        payload = load_bench(OUTPUT)
     except (FileNotFoundError, json.JSONDecodeError):
-        report = {}
-    report["selection_attribution"] = {
+        payload = bench_envelope("governor", {})
+    if not isinstance(payload.get("series"), dict):
+        payload = bench_envelope("governor", {})
+    payload["meta"]["bench"] = "governor"
+    payload["series"]["selection_attribution"] = {
         "config": {"queue_pressure_fraction": 0.0, "coarsen_factor": 1.0},
         "rungs": {name: rung or "served-exactly" for name, rung in rungs.items()},
     }
     with open(OUTPUT, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
+        json.dump(payload, fh, indent=2, sort_keys=True)

@@ -166,8 +166,15 @@ def test_prune_bars():
             f"{name}: CIs cover only {covered}/{checked} exact values"
         )
 
+    from repro.experiments.report import bench_envelope
+
     with open(OUTPUT, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
+        json.dump(
+            bench_envelope("prune", report, scale=SCALE, seed=SEED, degree=DEGREE),
+            fh,
+            indent=2,
+            sort_keys=True,
+        )
     print(
         f"\nprune bars: {report['selective_skip_fraction']:.0%} of selective-subset "
         f"partitions skipped (bar {SKIP_BAR:.0%}), zero drift on "

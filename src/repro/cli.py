@@ -12,6 +12,9 @@ Usage::
     python -m repro serve --port 8642      # run the concurrent query service
     python -m repro client q12 --tenant ads  # query a running service
     python -m repro loadgen --sessions 50  # load-test a running service
+    python -m repro slo --port 8642        # accuracy calibration + SLO burn report
+    python -m repro postmortem postmortems/  # render a flight-recorder bundle
+    python -m repro bench-report           # merge BENCH_*.json into one table
     python -m repro stats-catalog build    # materialize the partition-stats catalog
 
 Every data-touching subcommand accepts ``--log-level`` (attach the
@@ -261,6 +264,7 @@ def _cmd_serve(args) -> int:
 
     from repro.service import (
         AdmissionConfig,
+        AuditorConfig,
         GovernorConfig,
         QueryServer,
         QueryService,
@@ -292,6 +296,16 @@ def _cmd_serve(args) -> int:
             ),
         ),
         drain_seconds=args.drain_seconds,
+        metrics_port=args.metrics_port,
+        metrics_host=args.host,
+        telemetry_path=args.telemetry,
+        telemetry_interval_seconds=args.telemetry_interval,
+        postmortem_dir=args.postmortem_dir,
+        audit=AuditorConfig(
+            enabled=args.audit_fraction > 0,
+            sample_fraction=args.audit_fraction,
+        ),
+        latency_slo_ms=args.latency_slo_ms,
     )
     service = QueryService(db, config)
     server = QueryServer(service, host=args.host, port=args.port)
@@ -300,6 +314,18 @@ def _cmd_serve(args) -> int:
           f"({args.workers} workers, queue depth {args.max_queue_depth}, "
           f"tenant quota {args.tenant_quota}, "
           f"governor {'on' if not args.no_governor else 'off'})", flush=True)
+    if service.metrics_address is not None:
+        mhost, mport = service.metrics_address
+        print(f"metrics: http://{mhost}:{mport}/metrics "
+              f"(OpenMetrics; /healthz also served)", flush=True)
+    if args.telemetry:
+        print(f"telemetry: appending JSONL snapshots to {args.telemetry} "
+              f"every {args.telemetry_interval:.1f}s", flush=True)
+    if args.postmortem_dir:
+        print(f"postmortems: dumping bundles to {args.postmortem_dir}", flush=True)
+    if args.audit_fraction > 0:
+        print(f"auditor: exact-replaying ~{args.audit_fraction:.0%} of served "
+              f"approximate answers in the background", flush=True)
 
     def _stop(signum, frame):
         print(f"\nsignal {signum}: draining (grace {args.drain_seconds:.1f}s) "
@@ -411,6 +437,191 @@ def _cmd_loadgen(args) -> int:
     if report.protocol_errors or report.errors:
         return 1
     return 0
+
+
+def _cmd_slo(args) -> int:
+    from repro.experiments.report import format_table
+    from repro.service import ServiceClient
+
+    try:
+        client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    except OSError as exc:
+        print(f"cannot connect to {args.host}:{args.port}: {exc}")
+        return 1
+    with client:
+        client.hello()
+        payload = client.slo()
+    if args.json:
+        import json
+
+        print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+        return 0
+
+    calibration = payload.get("calibration") or []
+    if calibration:
+        nominal = payload.get("nominal_coverage", 0.95)
+        rows = [
+            {
+                "tenant": row["tenant"],
+                "sampler": row["sampler_kind"],
+                "rung": row["rung"],
+                "audits": row["audits"],
+                "coverage": (
+                    f"{row['observed_coverage']:.1%}"
+                    if row["observed_coverage"] is not None else "-"
+                ),
+                "rel_err mean/max": (
+                    f"{row['mean_rel_error']:.4f}/{row['max_rel_error']:.4f}"
+                    if row["mean_rel_error"] is not None else "-"
+                ),
+                "missed groups": (
+                    f"{row['groups_missed']}/"
+                    f"{row['groups_missed'] + row['groups_matched']}"
+                ),
+            }
+            for row in calibration
+        ]
+        print(format_table(
+            rows,
+            title=f"CI calibration vs nominal {nominal:.0%} (exact-replay audits)",
+        ))
+    else:
+        print("no completed audits yet (serve with --audit-fraction > 0 "
+              "and send approximate queries)")
+
+    slo = payload.get("slo") or {}
+    if slo:
+        slo_ms = payload.get("latency_slo_ms")
+        target = payload.get("slo_target", 0.99)
+        rows = [
+            {
+                "tenant": tenant,
+                "requests": entry["requests"],
+                "violations": entry["violations"],
+                "cancelled": entry["cancelled"],
+                "mean_ms": (
+                    entry["mean_latency_ms"]
+                    if entry["mean_latency_ms"] is not None else "-"
+                ),
+                "budget burn": (
+                    f"{entry['error_budget_burn']:.2f}x"
+                    if entry["error_budget_burn"] is not None else "-"
+                ),
+            }
+            for tenant, entry in sorted(slo.items())
+        ]
+        bound = f"{slo_ms:.0f} ms bound" if slo_ms is not None else "no latency bound"
+        print("\n" + format_table(
+            rows, title=f"latency SLO (target {target:.0%}, {bound})"
+        ))
+
+    extras = []
+    for name in ("auditor", "flight"):
+        section = payload.get(name) or {}
+        if section:
+            detail = ", ".join(f"{k}={v}" for k, v in sorted(section.items()))
+            extras.append(f"{name}: {detail}")
+    if payload.get("audits_abandoned"):
+        extras.append(f"audits abandoned: {payload['audits_abandoned']}")
+    if extras:
+        print("\n" + "\n".join(extras))
+    return 0
+
+
+def _cmd_postmortem(args) -> int:
+    import os
+
+    from repro.obs.flight import render_bundle
+
+    path = args.path
+    if os.path.isdir(path) and not os.path.exists(os.path.join(path, "record.json")):
+        # A dump directory rather than one bundle: bundle names embed the
+        # zero-padded query id, so lexical order is arrival order.
+        bundles = sorted(
+            os.path.join(path, entry)
+            for entry in os.listdir(path)
+            if entry.startswith("postmortem-")
+        )
+        if not bundles:
+            print(f"{path}: no postmortem bundles")
+            return 1
+        if args.list:
+            for bundle in bundles:
+                print(bundle)
+            return 0
+        path = bundles[-1]
+        print(f"rendering newest of {len(bundles)} bundle(s): {path}\n")
+    try:
+        print(render_bundle(path))
+    except (OSError, ValueError) as exc:
+        print(f"cannot render {path}: {exc}")
+        return 1
+    return 0
+
+
+def _bench_headline(bench, series) -> str:
+    """One-line summary of a bench artifact's series, keyed by producer."""
+    if bench == "transport":
+        rss = series.get("peak_rss_kb")
+        return (f"shuffle speedup {series.get('speedup_shuffle')}x, "
+                f"tpc-ds {series.get('speedup_tpcds')}x"
+                + (f", peak rss {rss:,} KiB" if rss else ""))
+    if bench == "governor":
+        runs = series.get("runs") or {}
+        parts = [
+            f"{label} p99 {entry.get('p99_seconds')}s"
+            for label, entry in sorted(runs.items())
+            if isinstance(entry, dict)
+        ]
+        attribution = series.get("selection_attribution") or {}
+        if attribution.get("rungs"):
+            parts.append(f"{len(attribution['rungs'])} queries rung-attributed")
+        return ", ".join(parts) or "-"
+    if bench == "prune":
+        skip = series.get("selective_skip_fraction")
+        credit = series.get("machine_hours_credit_total")
+        if skip is None:
+            return "-"
+        return (f"selective skip {skip:.0%}, "
+                f"machine-hours credit {credit:.3f}" if credit is not None
+                else f"selective skip {skip:.0%}")
+    known = [k for k in ("qps", "served", "rejected", "sessions") if k in series]
+    if known:
+        return ", ".join(f"{k}={series[k]}" for k in known)
+    return f"{len(series)} top-level key(s)"
+
+
+def _cmd_bench_report(args) -> int:
+    import glob as globmod
+
+    from repro.experiments.report import format_table, load_bench
+
+    files = list(args.files) or sorted(globmod.glob("BENCH_*.json"))
+    if not files:
+        print("no BENCH_*.json artifacts found; pass paths explicitly")
+        return 1
+    rows = []
+    failures = 0
+    for path in files:
+        try:
+            payload = load_bench(path)
+        except (OSError, ValueError) as exc:
+            rows.append({"file": path, "bench": "ERROR", "schema": "-",
+                         "headline": str(exc)})
+            failures += 1
+            continue
+        meta = payload["meta"]
+        series = payload["series"] if isinstance(payload["series"], dict) else {}
+        rows.append(
+            {
+                "file": path,
+                "bench": meta.get("bench", "?"),
+                "schema": meta.get("schema", "-"),
+                "headline": _bench_headline(meta.get("bench"), series),
+            }
+        )
+    print(format_table(rows, title="bench artifacts"))
+    return 1 if failures else 0
 
 
 def _cmd_trace(args) -> int:
@@ -753,6 +964,25 @@ def build_parser() -> argparse.ArgumentParser:
                             "over-budget queries degrade down the ladder")
     serve.add_argument("--tenant-weight", action="append", metavar="NAME=WEIGHT",
                        help="weighted round-robin weight for a tenant (repeatable)")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="serve OpenMetrics at /metrics on this port "
+                            "(0 picks an ephemeral port)")
+    serve.add_argument("--telemetry", default=None, metavar="FILE",
+                       help="append a JSONL metrics snapshot to FILE every "
+                            "--telemetry-interval seconds")
+    serve.add_argument("--telemetry-interval", type=float, default=10.0,
+                       help="seconds between telemetry snapshots")
+    serve.add_argument("--postmortem-dir", default=None, metavar="DIR",
+                       help="dump flight-recorder postmortem bundles (spans, "
+                            "decision trail, metrics) for cancelled/failed/"
+                            "degraded queries into DIR")
+    serve.add_argument("--audit-fraction", type=float, default=0.0,
+                       help="fraction of served approximate answers the "
+                            "background auditor re-executes exactly to check "
+                            "CI calibration (0 disables)")
+    serve.add_argument("--latency-slo-ms", type=float, default=None,
+                       help="latency SLO bound; served answers over it burn "
+                            "the tenant's error budget (see 'repro slo')")
     serve.set_defaults(func=_cmd_serve)
 
     client = sub.add_parser(
@@ -793,6 +1023,42 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--output", default=None, metavar="FILE",
                          help="write the machine-readable load report (JSON) to FILE")
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    slo = sub.add_parser(
+        "slo",
+        help="fetch a running service's accuracy calibration (exact-replay "
+             "audits) and latency-SLO error-budget report",
+    )
+    slo.add_argument("--host", default="127.0.0.1")
+    slo.add_argument("--port", type=int, default=8642)
+    slo.add_argument("--timeout", type=float, default=30.0)
+    slo.add_argument("--json", action="store_true",
+                     help="print the raw ledger payload as JSON")
+    slo.set_defaults(func=_cmd_slo)
+
+    postmortem = sub.add_parser(
+        "postmortem",
+        help="render a flight-recorder postmortem bundle (decision trail, "
+             "governance ticket, prune footer, span tree)",
+    )
+    postmortem.add_argument(
+        "path",
+        help="a bundle directory, its record.json, or the dump dir "
+             "(renders the newest bundle)",
+    )
+    postmortem.add_argument("--list", action="store_true",
+                            help="when PATH is a dump dir, list bundles "
+                                 "instead of rendering")
+    postmortem.set_defaults(func=_cmd_postmortem)
+
+    bench_report = sub.add_parser(
+        "bench-report",
+        help="merge BENCH_*.json artifacts (shared repro-bench envelope) "
+             "into one summary table",
+    )
+    bench_report.add_argument("files", nargs="*",
+                              help="artifact paths (default: ./BENCH_*.json)")
+    bench_report.set_defaults(func=_cmd_bench_report)
 
     stats = sub.add_parser(
         "stats-catalog", parents=[common],

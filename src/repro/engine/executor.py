@@ -405,12 +405,15 @@ class Executor:
         ``reset_metrics()`` guarantees the measured pass's counters start
         from zero instead of bleeding across phases.
         """
-        final = self.snapshot()
+        final = {"timings": self.timings()}
         self.compile_seconds = 0.0
         self.execute_seconds = 0.0
         self.plan_cache.reset_stats()
         self._cache_seen = {"hits": 0, "misses": 0, "evictions": 0}
-        self.registry.reset()
+        # The registry harvest is the atomic drain, not snapshot-then-zero:
+        # a counter increment racing this call lands either in the snapshot
+        # returned here or in the next one, never in neither.
+        final["metrics"] = self.registry.reset()
         if self._parallel is not None:
             serial = self._parallel.serial_executor
             serial.compile_seconds = 0.0

@@ -204,6 +204,17 @@ def measure_transport(
 
 
 def write_report(report: Dict, path: str) -> None:
+    """Write the transport report in the shared bench envelope
+    (``{"meta": {...}, "series": <report>}``; see
+    :mod:`repro.experiments.report`)."""
+    from repro.experiments.report import bench_envelope
+
+    payload = bench_envelope(
+        "transport",
+        report,
+        degree=report.get("degree"),
+        scale=report.get("scale"),
+    )
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
+        json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")

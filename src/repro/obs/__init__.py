@@ -19,11 +19,28 @@ organically (``PlanCache`` counters, ``ParallelMetrics``,
 * :mod:`repro.obs.explain` — the ``explain-analyze`` renderer: the
   annotated operator tree (estimated vs. actual rows, sampler accuracy
   telemetry, C1/C2 dominance-check values).
+* :mod:`repro.obs.export` — the production telemetry plane's egress:
+  OpenMetrics/Prometheus text exposition, a ``/metrics`` scrape endpoint,
+  and a periodic JSONL snapshot writer.
+* :mod:`repro.obs.accuracy` — the accuracy/SLO ledger: per-(tenant,
+  sampler-kind, rung) CI-coverage calibration fed by exact-replay audits,
+  plus latency-SLO error-budget burn.
+* :mod:`repro.obs.flight` — the flight recorder: a bounded ring of recent
+  queries' spans and decisions, dumped as postmortem bundles on bad
+  endings.
 
 Everything is optional and pay-for-play: with no tracer installed and no
 registry consulted, the instrumented hot paths cost one ``is None`` branch.
 """
 
+from repro.obs.accuracy import AccuracyLedger, AuditComparison, compare_tables
+from repro.obs.export import (
+    MetricsHTTPServer,
+    TelemetrySnapshotWriter,
+    render_openmetrics,
+    validate_openmetrics,
+)
+from repro.obs.flight import FlightRecorder, QueryRecord, load_bundle, render_bundle
 from repro.obs.log import configure as configure_logging
 from repro.obs.log import logger
 from repro.obs.registry import MetricsRegistry
@@ -37,13 +54,23 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AccuracyLedger",
+    "AuditComparison",
+    "FlightRecorder",
+    "MetricsHTTPServer",
     "MetricsRegistry",
+    "QueryRecord",
     "Span",
+    "TelemetrySnapshotWriter",
     "Tracer",
+    "compare_tables",
     "configure_logging",
     "current_tracer",
     "get_tracer",
+    "load_bundle",
     "logger",
+    "render_bundle",
+    "render_openmetrics",
     "set_tracer",
     "validate_chrome_trace",
 ]

@@ -1,0 +1,309 @@
+"""The accuracy/SLO ledger: is the error bar we returned actually honest?
+
+Quickr's contract is a cheap answer *with a calibrated confidence
+interval*: each aggregate column ``x`` on a sampled answer carries an
+``x__ci`` column holding the 95% CI half-width. Nothing in the serving
+path verifies that promise — the ledger does. The background auditor
+(:mod:`repro.service.auditor`) re-executes a fraction of served
+approximate queries exactly and reports each comparison here; the ledger
+maintains, per ``(tenant, sampler-kind, governor rung)``:
+
+* **observed coverage** — the fraction of audited aggregate cells whose
+  CI actually contained the exact value, to be compared against the
+  nominal level (95%). A well-calibrated system hovers at or above
+  nominal; systematically lower coverage means the variance estimates
+  are optimistic for that slice of traffic.
+* **relative error** — mean/max |approx - exact| / |exact| over audited
+  cells, the headline accuracy number.
+* **missed groups** — group-by rows present exactly but absent from the
+  sampled answer (small-group loss, the failure mode CI columns cannot
+  express).
+
+Separately the ledger tracks the **latency SLO error budget** per tenant:
+every request is recorded with its latency and outcome; a violation is a
+served answer over the SLO latency or a cancelled query. With an SLO
+target of ``slo_target`` (e.g. 0.99 = 1% allowed violations), the burn
+rate is ``observed_violation_rate / allowed_rate`` — burn > 1 means the
+budget is being spent faster than the SLO allows.
+
+Everything the ledger learns is mirrored into the metrics registry
+(``accuracy.*`` and ``slo.*`` instruments), so the scrape endpoint and
+the JSONL telemetry stream carry calibration state without extra wiring,
+and :meth:`AccuracyLedger.report` renders the ``repro slo`` view.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["AuditComparison", "AccuracyLedger", "compare_tables", "CI_SUFFIX"]
+
+#: Suffix of CI half-width columns on sampled answers (mirrors
+#: ``repro.engine.operators.CI_SUFFIX`` without importing the engine).
+CI_SUFFIX = "__ci"
+
+
+@dataclass
+class AuditComparison:
+    """Outcome of one exact-replay audit of one served answer."""
+
+    query: str
+    tenant: str
+    sampler_kind: str
+    rung: str
+    #: Aggregate cells compared (CI column present, both values finite).
+    cells_checked: int = 0
+    #: Cells whose CI half-width covered the exact value.
+    cells_covered: int = 0
+    #: Group rows in the exact answer with no match in the approximation.
+    groups_missed: int = 0
+    #: Group rows matched between the two answers.
+    groups_matched: int = 0
+    max_rel_error: float = 0.0
+    mean_rel_error: float = 0.0
+    audit_seconds: float = 0.0
+
+
+def compare_tables(approx, exact) -> AuditComparison:
+    """Compare a sampled answer against its exact replay.
+
+    Aggregate columns are identified by their ``__ci`` companions; the
+    remaining columns are the group keys rows are aligned on. Returns a
+    comparison with query/tenant/kind/rung left blank for the caller to
+    fill.
+    """
+    out = AuditComparison(query="", tenant="", sampler_kind="", rung="")
+    ci_cols = [c for c in approx.column_names if c.endswith(CI_SUFFIX)]
+    agg_cols = [c[: -len(CI_SUFFIX)] for c in ci_cols]
+    key_cols = [
+        c for c in approx.column_names
+        if c not in agg_cols and not c.endswith(CI_SUFFIX)
+    ]
+    approx_by_key = {
+        tuple(approx.column(k)[i] for k in key_cols): i
+        for i in range(approx.num_rows)
+    }
+    rel_errors: List[float] = []
+    for j in range(exact.num_rows):
+        key = tuple(exact.column(k)[j] for k in key_cols)
+        i = approx_by_key.get(key)
+        if i is None:
+            out.groups_missed += 1
+            continue
+        out.groups_matched += 1
+        for agg, ci in zip(agg_cols, ci_cols):
+            if agg not in exact.column_names:
+                continue
+            truth = float(exact.column(agg)[j])
+            est = float(approx.column(agg)[i])
+            half = float(approx.column(ci)[i])
+            if not (np.isfinite(truth) and np.isfinite(est)):
+                continue
+            out.cells_checked += 1
+            if abs(est - truth) <= half:
+                out.cells_covered += 1
+            denom = abs(truth) if abs(truth) > 1e-12 else 1.0
+            rel_errors.append(abs(est - truth) / denom)
+    if rel_errors:
+        out.max_rel_error = float(max(rel_errors))
+        out.mean_rel_error = float(np.mean(rel_errors))
+    return out
+
+
+@dataclass
+class _CalibrationCell:
+    """Running calibration totals for one (tenant, kind, rung)."""
+
+    audits: int = 0
+    cells_checked: int = 0
+    cells_covered: int = 0
+    groups_missed: int = 0
+    groups_matched: int = 0
+    rel_error_sum: float = 0.0
+    rel_error_max: float = 0.0
+    audit_seconds: float = 0.0
+
+    @property
+    def observed_coverage(self) -> Optional[float]:
+        if self.cells_checked == 0:
+            return None
+        return self.cells_covered / self.cells_checked
+
+
+@dataclass
+class _TenantSLO:
+    """Latency-SLO accounting for one tenant."""
+
+    requests: int = 0
+    violations: int = 0
+    cancelled: int = 0
+    latency_sum: float = 0.0
+
+
+class AccuracyLedger:
+    """Per-(tenant, sampler-kind, rung) calibration plus SLO burn.
+
+    Thread-safe; written by the auditor thread and the service workers,
+    read by the scrape endpoint and ``repro slo``.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        nominal_coverage: float = 0.95,
+        latency_slo_ms: Optional[float] = None,
+        slo_target: float = 0.99,
+    ):
+        if not 0.0 < nominal_coverage < 1.0:
+            raise ValueError("nominal_coverage must be in (0, 1)")
+        if not 0.0 < slo_target < 1.0:
+            raise ValueError("slo_target must be in (0, 1)")
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.nominal_coverage = float(nominal_coverage)
+        self.latency_slo_ms = latency_slo_ms
+        self.slo_target = float(slo_target)
+        self._lock = threading.Lock()
+        self._calibration: Dict[Tuple[str, str, str], _CalibrationCell] = {}
+        self._slo: Dict[str, _TenantSLO] = {}
+        #: Audits the auditor could not finish (preempted past the retry
+        #: cap, or the replay itself failed).
+        self.audits_abandoned = 0
+
+    # -- calibration side (auditor thread) -------------------------------------
+    def record_audit(self, comparison: AuditComparison) -> None:
+        key = (comparison.tenant, comparison.sampler_kind, comparison.rung)
+        with self._lock:
+            cell = self._calibration.get(key)
+            if cell is None:
+                cell = self._calibration[key] = _CalibrationCell()
+            cell.audits += 1
+            cell.cells_checked += comparison.cells_checked
+            cell.cells_covered += comparison.cells_covered
+            cell.groups_missed += comparison.groups_missed
+            cell.groups_matched += comparison.groups_matched
+            cell.rel_error_sum += comparison.mean_rel_error * max(
+                1, comparison.cells_checked
+            )
+            cell.rel_error_max = max(cell.rel_error_max, comparison.max_rel_error)
+            cell.audit_seconds += comparison.audit_seconds
+            coverage = cell.observed_coverage
+        labels = dict(
+            tenant=comparison.tenant,
+            kind=comparison.sampler_kind,
+            rung=comparison.rung,
+        )
+        registry = self.registry
+        registry.counter("accuracy.audits", **labels).inc()
+        registry.counter("accuracy.cells_checked", **labels).inc(
+            comparison.cells_checked
+        )
+        registry.counter("accuracy.cells_covered", **labels).inc(
+            comparison.cells_covered
+        )
+        registry.counter("accuracy.groups_missed", **labels).inc(
+            comparison.groups_missed
+        )
+        if coverage is not None:
+            registry.gauge("accuracy.observed_coverage", **labels).set(coverage)
+        registry.histogram("accuracy.audit_seconds").observe(
+            comparison.audit_seconds
+        )
+
+    def record_abandoned(self, reason: str) -> None:
+        with self._lock:
+            self.audits_abandoned += 1
+        self.registry.counter("accuracy.audits_abandoned", reason=reason).inc()
+
+    # -- SLO side (service workers) --------------------------------------------
+    def record_request(
+        self, tenant: str, latency_seconds: Optional[float], cancelled: bool = False
+    ) -> None:
+        """One finished request: served (with its latency) or cancelled."""
+        over_slo = (
+            not cancelled
+            and self.latency_slo_ms is not None
+            and latency_seconds is not None
+            and latency_seconds * 1000.0 > self.latency_slo_ms
+        )
+        violation = cancelled or over_slo
+        with self._lock:
+            slo = self._slo.get(tenant)
+            if slo is None:
+                slo = self._slo[tenant] = _TenantSLO()
+            slo.requests += 1
+            if latency_seconds is not None:
+                slo.latency_sum += latency_seconds
+            if cancelled:
+                slo.cancelled += 1
+            if violation:
+                slo.violations += 1
+            burn = self._burn_locked(slo)
+        self.registry.counter("slo.requests", tenant=tenant).inc()
+        if violation:
+            self.registry.counter(
+                "slo.violations",
+                tenant=tenant,
+                reason="cancelled" if cancelled else "latency",
+            ).inc()
+        if burn is not None:
+            self.registry.gauge("slo.error_budget_burn", tenant=tenant).set(burn)
+
+    def _burn_locked(self, slo: _TenantSLO) -> Optional[float]:
+        if slo.requests == 0:
+            return None
+        allowed = 1.0 - self.slo_target
+        return (slo.violations / slo.requests) / allowed
+
+    # -- reporting -------------------------------------------------------------
+    def report(self) -> Dict[str, Any]:
+        """The ``repro slo`` payload: calibration rows + per-tenant burn."""
+        with self._lock:
+            calibration = [
+                {
+                    "tenant": tenant,
+                    "sampler_kind": kind,
+                    "rung": rung,
+                    "audits": cell.audits,
+                    "cells_checked": cell.cells_checked,
+                    "cells_covered": cell.cells_covered,
+                    "observed_coverage": cell.observed_coverage,
+                    "nominal_coverage": self.nominal_coverage,
+                    "groups_matched": cell.groups_matched,
+                    "groups_missed": cell.groups_missed,
+                    "mean_rel_error": (
+                        cell.rel_error_sum / cell.cells_checked
+                        if cell.cells_checked else None
+                    ),
+                    "max_rel_error": cell.rel_error_max,
+                    "audit_seconds": round(cell.audit_seconds, 4),
+                }
+                for (tenant, kind, rung), cell in sorted(self._calibration.items())
+            ]
+            slo = {
+                tenant: {
+                    "requests": entry.requests,
+                    "violations": entry.violations,
+                    "cancelled": entry.cancelled,
+                    "mean_latency_ms": (
+                        round(entry.latency_sum / entry.requests * 1000.0, 3)
+                        if entry.requests else None
+                    ),
+                    "error_budget_burn": self._burn_locked(entry),
+                }
+                for tenant, entry in sorted(self._slo.items())
+            }
+            abandoned = self.audits_abandoned
+        return {
+            "nominal_coverage": self.nominal_coverage,
+            "latency_slo_ms": self.latency_slo_ms,
+            "slo_target": self.slo_target,
+            "calibration": calibration,
+            "slo": slo,
+            "audits_abandoned": abandoned,
+        }

@@ -1,0 +1,370 @@
+"""Telemetry export: OpenMetrics text exposition and JSONL snapshots.
+
+The :class:`~repro.obs.registry.MetricsRegistry` is an in-process store;
+this module makes it observable from *outside* the process, the missing
+half of a production telemetry plane:
+
+* :func:`render_openmetrics` — the Prometheus/OpenMetrics text exposition
+  of a registry. Counters gain the mandated ``_total`` suffix, histograms
+  render as cumulative ``_bucket{le="..."}`` series plus ``_sum``/
+  ``_count``, gauges render as-is, and the exposition terminates with the
+  ``# EOF`` marker OpenMetrics requires. Metric names are sanitized into
+  the ``[a-zA-Z_:][a-zA-Z0-9_:]*`` charset (``service.queue_depth`` →
+  ``repro_service_queue_depth``); label values are escaped per the spec.
+* :func:`validate_openmetrics` — a self-check used by tests and the CI
+  smoke job: syntax of every sample line, ``# TYPE`` before first sample,
+  counter samples suffixed ``_total``, cumulative non-decreasing buckets
+  ending in ``+Inf``, and the ``# EOF`` terminator.
+* :class:`MetricsHTTPServer` — a stdlib ``ThreadingHTTPServer`` exposing
+  ``GET /metrics`` (the scrape endpoint) and ``GET /healthz``; runs on a
+  daemon thread beside the query service.
+* :class:`TelemetrySnapshotWriter` — a periodic JSONL writer appending
+  ``{"ts", "metrics", ...extra}`` lines, the poor-man's remote-write for
+  environments without a scraper.
+
+Everything here *reads* the registry; nothing mutates it, so attaching an
+exporter to a loaded service changes no counters and contends only for
+the per-instrument snapshot locks (microseconds per scrape).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs import log as obs_log
+from repro.obs.registry import Histogram, MetricsRegistry
+
+_LOG = obs_log.logger("obs.export")
+
+__all__ = [
+    "CONTENT_TYPE",
+    "render_openmetrics",
+    "validate_openmetrics",
+    "MetricsHTTPServer",
+    "TelemetrySnapshotWriter",
+]
+
+#: The OpenMetrics content type served at /metrics.
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+#: Default prefix namespacing every exported metric.
+PREFIX = "repro"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[^ ]+)(?: [0-9.e+-]+)?$"
+)
+
+
+def _sanitize(name: str, prefix: str = PREFIX) -> str:
+    base = _NAME_OK.sub("_", name)
+    if prefix:
+        base = f"{prefix}_{base}"
+    if not re.match(r"[a-zA-Z_:]", base):
+        base = "_" + base
+    return base
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_NAME_OK.sub("_", k)}="{_escape_label(str(v))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "NaN"
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_openmetrics(registry: MetricsRegistry, prefix: str = PREFIX) -> str:
+    """The OpenMetrics text exposition of every instrument in ``registry``."""
+    families: Dict[str, Tuple[str, List[str]]] = {}
+    for kind, name, labels, instrument in registry.instruments():
+        metric = _sanitize(name, prefix)
+        family = families.setdefault(metric, (kind, []))
+        lines = family[1]
+        if kind == "counter":
+            lines.append(
+                f"{metric}_total{_labels_text(labels)} "
+                f"{_format_value(instrument.snapshot())}"
+            )
+        elif kind == "gauge":
+            value = instrument.snapshot()
+            if value is None:
+                continue  # a never-set gauge has no sample
+            lines.append(f"{metric}{_labels_text(labels)} {_format_value(value)}")
+        elif kind == "histogram":
+            assert isinstance(instrument, Histogram)
+            buckets, counts = instrument.bucket_counts()
+            snap = instrument.snapshot()
+            cumulative = 0
+            for upper, count in zip(buckets, counts):
+                cumulative += count
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = _format_value(float(upper))
+                lines.append(
+                    f"{metric}_bucket{_labels_text(bucket_labels)} {cumulative}"
+                )
+            total = cumulative + counts[len(buckets)]
+            inf_labels = dict(labels)
+            inf_labels["le"] = "+Inf"
+            lines.append(f"{metric}_bucket{_labels_text(inf_labels)} {total}")
+            lines.append(
+                f"{metric}_sum{_labels_text(labels)} {_format_value(snap['sum'])}"
+            )
+            lines.append(f"{metric}_count{_labels_text(labels)} {total}")
+    out: List[str] = []
+    for metric in sorted(families):
+        kind, lines = families[metric]
+        if not lines:
+            continue
+        out.append(f"# TYPE {metric} {kind}")
+        out.extend(lines)
+    out.append("# EOF")
+    return "\n".join(out) + "\n"
+
+
+def validate_openmetrics(text: str) -> List[str]:
+    """Schema/syntax check of an OpenMetrics exposition; [] means valid.
+
+    Not a full spec parser — it checks the invariants our renderer (and a
+    Prometheus scraper) relies on: the ``# EOF`` terminator, ``# TYPE``
+    metadata preceding samples, parseable sample lines, counter samples
+    suffixed ``_total``, and cumulative histogram buckets that are
+    non-decreasing and end at ``+Inf`` with the ``_count`` value.
+    """
+    problems: List[str] = []
+    lines = text.splitlines()
+    if not lines or lines[-1].strip() != "# EOF":
+        problems.append("missing '# EOF' terminator")
+    types: Dict[str, str] = {}
+    buckets: Dict[str, List[Tuple[float, float]]] = {}
+    counts: Dict[str, float] = {}
+    for i, line in enumerate(lines):
+        if not line.strip() or line.strip() == "# EOF":
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                name, kind = parts[2], parts[3]
+                if name in types:
+                    problems.append(f"line {i + 1}: duplicate TYPE for {name}")
+                types[name] = kind
+            elif len(parts) >= 2 and parts[1] in ("HELP", "UNIT"):
+                pass
+            else:
+                problems.append(f"line {i + 1}: malformed comment {line!r}")
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            problems.append(f"line {i + 1}: unparseable sample {line!r}")
+            continue
+        sample = match.group("name")
+        family = sample
+        for suffix in ("_total", "_bucket", "_sum", "_count"):
+            if sample.endswith(suffix) and sample[: -len(suffix)] in types:
+                family = sample[: -len(suffix)]
+                break
+        kind = types.get(family)
+        if kind is None:
+            problems.append(f"line {i + 1}: sample {sample!r} has no preceding TYPE")
+            continue
+        if kind == "counter" and not sample.endswith("_total"):
+            problems.append(
+                f"line {i + 1}: counter sample {sample!r} must end in _total"
+            )
+        try:
+            raw = match.group("value")
+            value = float("inf") if raw == "+Inf" else float(raw)
+        except ValueError:
+            problems.append(f"line {i + 1}: non-numeric value {match.group('value')!r}")
+            continue
+        if kind == "histogram" and sample.endswith("_bucket"):
+            labels = match.group("labels") or ""
+            le = re.search(r'le="([^"]*)"', labels)
+            if le is None:
+                problems.append(f"line {i + 1}: histogram bucket without le label")
+                continue
+            upper = float("inf") if le.group(1) == "+Inf" else float(le.group(1))
+            series = re.sub(r'le="[^"]*",?', "", labels)
+            buckets.setdefault(family + series, []).append((upper, value))
+        if kind == "histogram" and sample.endswith("_count"):
+            counts[family + (match.group("labels") or "")] = value
+    for series, entries in buckets.items():
+        ordered = sorted(entries)
+        values = [v for _, v in ordered]
+        if any(b < a for a, b in zip(values, values[1:])):
+            problems.append(f"{series}: bucket counts are not cumulative")
+        if not ordered or not math.isinf(ordered[-1][0]):
+            problems.append(f"{series}: no +Inf bucket")
+        elif series in counts and ordered[-1][1] != counts[series]:
+            problems.append(
+                f"{series}: +Inf bucket {ordered[-1][1]} != _count {counts[series]}"
+            )
+    return problems
+
+
+# -- the scrape endpoint -------------------------------------------------------
+
+
+class MetricsHTTPServer:
+    """``GET /metrics`` scrape endpoint over one registry.
+
+    A stdlib ``ThreadingHTTPServer`` on a daemon thread: zero new
+    dependencies, good enough for a scraper hitting it every few seconds,
+    and shares nothing with the query path beyond per-instrument snapshot
+    locks. ``/healthz`` answers 200 while the server is up.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        extra: Optional[Callable[[], Dict[str, Any]]] = None,
+    ):
+        self.registry = registry
+        self.extra = extra
+        outer = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt, *args):  # noqa: N802 - stdlib name
+                _LOG.debug("metrics http: " + fmt, *args)
+
+            def do_GET(self):  # noqa: N802 - stdlib name
+                if self.path.split("?")[0] == "/metrics":
+                    body = render_openmetrics(outer.registry).encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("Content-Type", CONTENT_TYPE)
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                elif self.path.split("?")[0] == "/healthz":
+                    payload: Dict[str, Any] = {"ok": True}
+                    if outer.extra is not None:
+                        try:
+                            payload.update(outer.extra())
+                        except Exception as exc:  # noqa: BLE001 - health must answer
+                            payload = {"ok": False, "error": str(exc)}
+                    body = json.dumps(payload).encode("utf-8")
+                    self.send_response(200 if payload.get("ok") else 500)
+                    self.send_header("Content-Type", "application/json")
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                else:
+                    self.send_response(404)
+                    self.end_headers()
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self.address: Tuple[str, int] = self._httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "MetricsHTTPServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                kwargs={"poll_interval": 0.2},
+                name="metrics-http",
+                daemon=True,
+            )
+            self._thread.start()
+            _LOG.info("serving /metrics on %s:%d", *self.address)
+        return self
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+class TelemetrySnapshotWriter:
+    """Append a JSONL telemetry line every ``interval_seconds``.
+
+    Each line is ``{"ts": <unix seconds>, "metrics": <registry snapshot>,
+    ...extra()}`` — a durable local record of qps, queue depth, governor
+    rung counts, shm bytes and prune skips that survives the process, for
+    environments without a scraper. ``close()`` writes one final line so
+    short-lived runs still leave evidence.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        path: str,
+        interval_seconds: float = 10.0,
+        extra: Optional[Callable[[], Dict[str, Any]]] = None,
+    ):
+        self.registry = registry
+        self.path = path
+        self.interval_seconds = max(0.05, float(interval_seconds))
+        self.extra = extra
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.lines_written = 0
+        self._lock = threading.Lock()
+
+    def _write_line(self) -> None:
+        record: Dict[str, Any] = {"ts": time.time()}
+        if self.extra is not None:
+            try:
+                record.update(self.extra())
+            except Exception as exc:  # noqa: BLE001 - telemetry must not kill
+                record["extra_error"] = str(exc)
+        record["metrics"] = self.registry.snapshot()
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+            self.lines_written += 1
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            try:
+                self._write_line()
+            except OSError as exc:
+                _LOG.error("telemetry snapshot write failed: %s", exc)
+                return
+
+    def start(self) -> "TelemetrySnapshotWriter":
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="telemetry-writer", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        try:
+            self._write_line()
+        except OSError as exc:
+            _LOG.error("final telemetry snapshot failed: %s", exc)

@@ -1,0 +1,297 @@
+"""The flight recorder: bounded per-query evidence, dumped on failure.
+
+When a production query is cancelled, degraded or errors out, the
+evidence — its spans, the governance decisions, the admission verdict,
+the pruning decisions — normally evaporates with the worker thread. The
+flight recorder keeps a bounded in-memory ring of the most recent
+queries' records, and on a bad ending writes a **postmortem bundle** to
+disk:
+
+* ``record.json`` — the query's identity, admission verdict, the
+  chronological decision trail (admission → governor downgrades →
+  governance ticket state → outcome), plan fingerprint, prune footer and
+  raw span buffer;
+* ``trace.json`` — the query's spans as a Chrome ``trace_event`` file,
+  loadable in Perfetto;
+* ``metrics.json`` — the registry snapshot at dump time.
+
+``repro postmortem <bundle>`` renders a bundle back into the span tree
+and decision trail (:func:`render_bundle`). Retention is bounded both in
+memory (``capacity`` ring entries) and on disk (``max_bundles``
+directories; oldest deleted first).
+
+The recorder is always cheap to keep on: a record is a small dict plus
+the span buffer the service already collects, and nothing is written to
+disk for queries that end well.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from repro.obs import log as obs_log
+from repro.obs import trace as obs_trace
+
+_LOG = obs_log.logger("obs.flight")
+
+__all__ = [
+    "QueryRecord",
+    "FlightRecorder",
+    "load_bundle",
+    "render_bundle",
+]
+
+#: Outcome prefixes that trigger a postmortem dump.
+DUMP_OUTCOMES = ("cancelled", "failed", "degraded")
+
+
+class QueryRecord:
+    """One query's in-flight evidence: identity, decisions, spans."""
+
+    __slots__ = (
+        "query_id", "created_ts", "_t0", "session", "tenant", "query", "mode",
+        "deadline_ms", "events", "spans", "plan_fingerprint", "governance",
+        "pruning", "outcome", "degraded", "_lock",
+    )
+
+    def __init__(self, query_id: int, session: str, tenant: str,
+                 query: str, mode: str, deadline_ms: Optional[float] = None):
+        self.query_id = query_id
+        self.created_ts = time.time()
+        self._t0 = time.monotonic()
+        self.session = session
+        self.tenant = tenant
+        self.query = query
+        self.mode = mode
+        self.deadline_ms = deadline_ms
+        #: Chronological decision trail: {"elapsed_ms", "layer", "kind", ...}.
+        self.events: List[Dict[str, Any]] = []
+        #: Raw span buffer (list of Span.to_dict() entries).
+        self.spans: List[dict] = []
+        self.plan_fingerprint: Optional[str] = None
+        #: Final governance-ticket state (deadline, budget, checks, ...).
+        self.governance: Optional[Dict[str, Any]] = None
+        #: ScanPrunePlan.summary() of the executed plan, when pruning ran.
+        self.pruning: Optional[Dict[str, Any]] = None
+        #: "served", "served.degraded", "cancelled.<reason>",
+        #: "rejected.<reason>", "failed".
+        self.outcome: Optional[str] = None
+        self.degraded: Optional[Dict[str, Any]] = None
+        self._lock = threading.Lock()
+
+    def note(self, layer: str, kind: str, **fields: Any) -> None:
+        """Append one decision to the trail (thread-safe, bounded cost)."""
+        event = {
+            "elapsed_ms": round((time.monotonic() - self._t0) * 1000.0, 3),
+            "layer": layer,
+            "kind": kind,
+        }
+        event.update(fields)
+        with self._lock:
+            self.events.append(event)
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            events = list(self.events)
+        return {
+            "query_id": self.query_id,
+            "created_ts": self.created_ts,
+            "session": self.session,
+            "tenant": self.tenant,
+            "query": self.query,
+            "mode": self.mode,
+            "deadline_ms": self.deadline_ms,
+            "outcome": self.outcome,
+            "degraded": self.degraded,
+            "plan_fingerprint": self.plan_fingerprint,
+            "governance": self.governance,
+            "pruning": self.pruning,
+            "events": events,
+            "spans": list(self.spans),
+        }
+
+
+class FlightRecorder:
+    """Bounded ring of recent query records plus the postmortem dumper."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        dump_dir: Optional[str] = None,
+        max_bundles: int = 16,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.dump_dir = dump_dir
+        self.max_bundles = max(1, int(max_bundles))
+        self._ring: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self.dumped = 0
+
+    # -- recording -------------------------------------------------------------
+    def record(self, session: str, tenant: str, query: str, mode: str,
+               deadline_ms: Optional[float] = None) -> QueryRecord:
+        with self._lock:
+            query_id = self._next_id
+            self._next_id += 1
+        record = QueryRecord(query_id, session, tenant, query, mode, deadline_ms)
+        with self._lock:
+            self._ring.append(record)
+        return record
+
+    def recent(self, n: Optional[int] = None) -> List[QueryRecord]:
+        with self._lock:
+            records = list(self._ring)
+        return records if n is None else records[-n:]
+
+    def find(self, query_id: int) -> Optional[QueryRecord]:
+        with self._lock:
+            for record in self._ring:
+                if record.query_id == query_id:
+                    return record
+        return None
+
+    # -- dumping ---------------------------------------------------------------
+    @staticmethod
+    def should_dump(outcome: Optional[str]) -> bool:
+        if not outcome:
+            return False
+        return outcome.startswith(DUMP_OUTCOMES) or outcome == "served.degraded"
+
+    def finish(self, record: QueryRecord, outcome: str,
+               metrics_snapshot: Optional[Dict[str, Any]] = None) -> Optional[str]:
+        """Set the record's outcome; dump a bundle when it ended badly.
+
+        Returns the bundle path when one was written.
+        """
+        record.outcome = outcome
+        record.note("service", "outcome", outcome=outcome)
+        if self.dump_dir is None or not self.should_dump(outcome):
+            return None
+        try:
+            return self.dump(record, metrics_snapshot)
+        except OSError as exc:
+            _LOG.error("postmortem dump failed for query %d: %s",
+                       record.query_id, exc)
+            return None
+
+    def dump(self, record: QueryRecord,
+             metrics_snapshot: Optional[Dict[str, Any]] = None) -> str:
+        """Write the postmortem bundle; returns the bundle directory."""
+        assert self.dump_dir is not None
+        reason = (record.outcome or "unknown").replace("/", "_")
+        bundle = os.path.join(
+            self.dump_dir, f"postmortem-{record.query_id:06d}-{reason}"
+        )
+        os.makedirs(bundle, exist_ok=True)
+        with open(os.path.join(bundle, "record.json"), "w", encoding="utf-8") as fh:
+            json.dump(record.to_dict(), fh, indent=2, sort_keys=True, default=str)
+        tracer = obs_trace.Tracer(name=f"postmortem-{record.query_id}")
+        tracer.adopt(record.spans)
+        with open(os.path.join(bundle, "trace.json"), "w", encoding="utf-8") as fh:
+            json.dump(tracer.to_chrome(), fh)
+        if metrics_snapshot is not None:
+            with open(
+                os.path.join(bundle, "metrics.json"), "w", encoding="utf-8"
+            ) as fh:
+                json.dump(metrics_snapshot, fh, indent=2, sort_keys=True,
+                          default=str)
+        with self._lock:
+            self.dumped += 1
+        self._enforce_retention()
+        _LOG.warning("wrote postmortem bundle %s (%s)", bundle, record.outcome)
+        return bundle
+
+    def _enforce_retention(self) -> None:
+        """Keep at most ``max_bundles`` bundle directories (oldest deleted)."""
+        assert self.dump_dir is not None
+        try:
+            entries = sorted(
+                e for e in os.listdir(self.dump_dir) if e.startswith("postmortem-")
+            )
+        except OSError:
+            return
+        for stale in entries[: max(0, len(entries) - self.max_bundles)]:
+            shutil.rmtree(os.path.join(self.dump_dir, stale), ignore_errors=True)
+
+
+# -- bundle rendering (the `repro postmortem` CLI) -----------------------------
+
+
+def load_bundle(path: str) -> Dict[str, Any]:
+    """Load a bundle directory (or a bare record.json) into a dict."""
+    record_path = path
+    if os.path.isdir(path):
+        record_path = os.path.join(path, "record.json")
+    with open(record_path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def render_bundle(path: str) -> str:
+    """Human rendering of a postmortem bundle: identity, decision trail,
+    governance ticket, prune footer and the full span tree."""
+    record = load_bundle(path)
+    lines: List[str] = []
+    deadline = record.get("deadline_ms")
+    lines.append(
+        f"postmortem: query {record['query']} [{record['mode']}] "
+        f"tenant={record['tenant']} session={record['session']} "
+        f"outcome={record.get('outcome', '?')}"
+    )
+    lines.append(
+        f"  query_id={record['query_id']}  "
+        f"deadline_ms={deadline if deadline is not None else '-'}  "
+        f"fingerprint={record.get('plan_fingerprint') or '-'}"
+    )
+    degraded = record.get("degraded")
+    if degraded:
+        ladder = " -> ".join(
+            f"{step['from']}->{step['to']}[{step['reason']}]"
+            for step in degraded.get("ladder", [])
+        )
+        lines.append(
+            f"  degraded: served at rung {degraded.get('rung')} "
+            f"({degraded.get('reason')}); ladder: {ladder or '-'}"
+        )
+    lines.append("")
+    lines.append("decision trail:")
+    for event in record.get("events", []):
+        extras = " ".join(
+            f"{k}={v}" for k, v in event.items()
+            if k not in ("elapsed_ms", "layer", "kind")
+        )
+        lines.append(
+            f"  +{event['elapsed_ms']:9.3f}ms  {event['layer']:<10} "
+            f"{event['kind']:<18} {extras}"
+        )
+    governance = record.get("governance")
+    if governance:
+        lines.append("")
+        lines.append("governance ticket:")
+        for key in sorted(governance):
+            lines.append(f"  {key} = {governance[key]}")
+    pruning = record.get("pruning")
+    if pruning:
+        lines.append("")
+        lines.append("prune footer:")
+        for key in sorted(pruning):
+            lines.append(f"  {key} = {pruning[key]}")
+    spans = record.get("spans") or []
+    lines.append("")
+    if spans:
+        tracer = obs_trace.Tracer(name="postmortem")
+        tracer.adopt(spans)
+        lines.append(f"span tree ({len(spans)} spans):")
+        tree = tracer.render_tree()
+        lines.extend("  " + line for line in tree.rstrip("\n").split("\n"))
+    else:
+        lines.append("span tree: (no spans recorded)")
+    return "\n".join(lines) + "\n"

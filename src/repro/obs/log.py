@@ -6,6 +6,14 @@ the stdlib contract for libraries — so importing the package never prints.
 The CLI's ``--log-level`` flag calls :func:`configure` to attach one stream
 handler at the chosen level; calling it again (e.g. in tests) replaces the
 handler instead of stacking duplicates.
+
+Worker propagation: process-pool workers must log at the same level as
+the parent, including workers created by pools that outlive a later
+``configure`` call. :func:`configured_level` reports the level the CLI
+chose (None when logging was never configured) so the fork payload can
+carry it across the process boundary, and :func:`apply_level` applies it
+idempotently on the worker side — a no-op when the hierarchy already
+agrees, a full :func:`configure` when it does not.
 """
 
 from __future__ import annotations
@@ -14,7 +22,7 @@ import logging
 import sys
 from typing import Optional
 
-__all__ = ["logger", "configure", "LEVELS"]
+__all__ = ["logger", "configure", "configured_level", "apply_level", "LEVELS"]
 
 LEVELS = ("debug", "info", "warning", "error")
 
@@ -23,6 +31,10 @@ _ROOT.addHandler(logging.NullHandler())
 
 #: Marker attribute identifying the handler :func:`configure` installed.
 _CONFIGURED_FLAG = "_repro_configured"
+
+#: The level name the last :func:`configure` call chose; None = never
+#: configured. Carried through the fork payload to process workers.
+_CONFIGURED_LEVEL: Optional[str] = None
 
 
 def logger(name: Optional[str] = None) -> logging.Logger:
@@ -49,4 +61,32 @@ def configure(level: str = "info", stream=None) -> logging.Logger:
     setattr(handler, _CONFIGURED_FLAG, True)
     _ROOT.addHandler(handler)
     _ROOT.setLevel(getattr(logging, level.upper()))
+    global _CONFIGURED_LEVEL
+    _CONFIGURED_LEVEL = level
     return _ROOT
+
+
+def configured_level() -> Optional[str]:
+    """The level :func:`configure` last installed; None when logging has
+    never been configured in this process."""
+    return _CONFIGURED_LEVEL
+
+
+def _has_configured_handler() -> bool:
+    return any(getattr(h, _CONFIGURED_FLAG, False) for h in _ROOT.handlers)
+
+
+def apply_level(level: Optional[str]) -> None:
+    """Worker-side application of a parent-propagated log level.
+
+    Idempotent: when the hierarchy already carries a configured handler at
+    ``level`` (the common fork case — children inherit the parent's
+    logging state by memory image) nothing changes; otherwise the worker
+    is configured to match the parent. ``None`` (parent never configured)
+    is a no-op either way.
+    """
+    if level is None:
+        return
+    if _CONFIGURED_LEVEL == level and _has_configured_handler():
+        return
+    configure(level)

@@ -27,7 +27,17 @@ instrument carries its own lock guarding mutation *and* snapshot. A bare
 ``+=`` is not atomic in CPython (the load/add/store bytecodes can
 interleave between threads, losing increments) — the query service drives
 one registry from many session worker threads concurrently, so updates
-must be exact, not merely non-crashing.
+must be exact, not merely non-crashing. The harvest boundary is equally
+exact: ``reset()`` drains each instrument atomically under its own lock
+(read-and-zero as one critical section), so an increment racing a harvest
+lands either in the returned snapshot or in the next one — never in both,
+never in neither.
+
+Label cardinality is bounded: per-tenant/per-node labels fed by a load
+generator could otherwise mint an unbounded number of label-sets per
+metric. Past ``max_labelsets_per_metric`` distinct label-sets, further
+novel label-sets collapse into a single ``{overflow="true"}`` bucket per
+metric and the ``registry.labelset_overflow`` counter records the spill.
 """
 
 from __future__ import annotations
@@ -37,7 +47,18 @@ import threading
 from bisect import bisect_left
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+from repro.obs import log as obs_log
+
+_LOG = obs_log.logger("obs.registry")
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "OVERFLOW_LABELS",
+]
 
 #: Default histogram buckets (seconds-oriented, exponential): good for both
 #: sub-millisecond operator timings and multi-second query wall clocks.
@@ -47,6 +68,10 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 )
 
 LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Label-set novel label-sets collapse into once a metric hits the
+#: cardinality cap.
+OVERFLOW_LABELS: Dict[str, str] = {"overflow": "true"}
 
 
 def _label_key(labels: Dict[str, Any]) -> LabelKey:
@@ -74,6 +99,13 @@ class Counter:
         with self._lock:
             self.value = 0.0
 
+    def drain(self) -> float:
+        """Atomically read-and-zero: the harvest boundary. An increment
+        racing the harvest lands in exactly one snapshot."""
+        with self._lock:
+            value, self.value = self.value, 0.0
+            return value
+
 
 class Gauge:
     """Last-set value (e.g. effective sampling rate, weight mass)."""
@@ -100,6 +132,11 @@ class Gauge:
     def reset(self) -> None:
         with self._lock:
             self.value = None
+
+    def drain(self) -> Optional[float]:
+        with self._lock:
+            value, self.value = self.value, None
+            return value
 
 
 class Histogram:
@@ -151,56 +188,121 @@ class Histogram:
         with self._lock:
             return self.total / self.count if self.count else None
 
+    def _snapshot_locked(self) -> dict:
+        out = {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.total / self.count if self.count else None,
+        }
+        if self.count:
+            out["p50"] = self._percentile_locked(0.50)
+            out["p95"] = self._percentile_locked(0.95)
+            out["p99"] = self._percentile_locked(0.99)
+        return out
+
     def snapshot(self) -> dict:
         with self._lock:
-            out = {
-                "count": self.count,
-                "sum": self.total,
-                "min": self.min,
-                "max": self.max,
-                "mean": self.total / self.count if self.count else None,
-            }
-            if self.count:
-                out["p50"] = self._percentile_locked(0.50)
-                out["p95"] = self._percentile_locked(0.95)
-                out["p99"] = self._percentile_locked(0.99)
-        return out
+            return self._snapshot_locked()
+
+    def bucket_counts(self) -> Tuple[Tuple[float, ...], List[int]]:
+        """(bucket upper bounds, per-bucket counts incl. overflow slot) —
+        the raw material of the OpenMetrics cumulative-bucket encoding."""
+        with self._lock:
+            return self.buckets, list(self.counts)
+
+    def _reset_locked(self) -> None:
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
 
     def reset(self) -> None:
         with self._lock:
-            self.counts = [0] * (len(self.buckets) + 1)
-            self.count = 0
-            self.total = 0.0
-            self.min = None
-            self.max = None
+            self._reset_locked()
+
+    def drain(self) -> dict:
+        with self._lock:
+            out = self._snapshot_locked()
+            self._reset_locked()
+            return out
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 
 
 class MetricsRegistry:
-    """Name+labels-keyed store of counters, gauges and histograms."""
+    """Name+labels-keyed store of counters, gauges and histograms.
 
-    def __init__(self):
+    ``max_labelsets_per_metric`` caps the distinct label-sets one metric
+    may hold; past the cap, novel label-sets collapse into a shared
+    ``{overflow="true"}`` bucket (counted in ``registry.labelset_overflow``)
+    so a hostile or merely enthusiastic label source cannot grow registry
+    memory without bound.
+    """
+
+    #: Name of the counter recording label-set spills, labeled by metric.
+    OVERFLOW_COUNTER = "registry.labelset_overflow"
+
+    def __init__(self, max_labelsets_per_metric: int = 512):
+        if max_labelsets_per_metric < 1:
+            raise ValueError("max_labelsets_per_metric must be positive")
+        self.max_labelsets_per_metric = int(max_labelsets_per_metric)
         self._lock = threading.Lock()
         self._instruments: Dict[Tuple[str, str, LabelKey], Any] = {}
+        #: Distinct label-sets per (kind, name) — the cardinality the cap
+        #: is held over.
+        self._labelset_counts: Dict[Tuple[str, str], int] = {}
+        self._overflow_warned: set = set()
 
     # -- get-or-create --------------------------------------------------------
     def _get(self, kind: str, name: str, labels: Dict[str, Any], **kwargs):
         key = (kind, name, _label_key(labels))
         instrument = self._instruments.get(key)
-        if instrument is None:
-            with self._lock:
-                instrument = self._instruments.get(key)
-                if instrument is None:
-                    existing_kinds = {k for k, n, _ in self._instruments if n == name}
-                    if existing_kinds and kind not in existing_kinds:
-                        raise ValueError(
-                            f"metric {name!r} already registered as "
-                            f"{sorted(existing_kinds)[0]}, cannot re-register as {kind}"
-                        )
+        if instrument is not None:
+            return instrument
+        overflowed = False
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                existing_kinds = {k for k, n, _ in self._instruments if n == name}
+                if existing_kinds and kind not in existing_kinds:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{sorted(existing_kinds)[0]}, cannot re-register as {kind}"
+                    )
+                count_key = (kind, name)
+                if (
+                    labels
+                    and labels != OVERFLOW_LABELS
+                    and name != self.OVERFLOW_COUNTER
+                    and self._labelset_counts.get(count_key, 0)
+                    >= self.max_labelsets_per_metric
+                ):
+                    # Cardinality cap hit: collapse into the overflow bucket.
+                    overflowed = True
+                    key = (kind, name, _label_key(OVERFLOW_LABELS))
+                    instrument = self._instruments.get(key)
+                    if instrument is None:
+                        instrument = _KINDS[kind](**kwargs)
+                        self._instruments[key] = instrument
+                else:
                     instrument = _KINDS[kind](**kwargs)
                     self._instruments[key] = instrument
+                    self._labelset_counts[count_key] = (
+                        self._labelset_counts.get(count_key, 0) + 1
+                    )
+        if overflowed:
+            self.counter(self.OVERFLOW_COUNTER, metric=name).inc()
+            if name not in self._overflow_warned:
+                self._overflow_warned.add(name)
+                _LOG.warning(
+                    "metric %r hit the label-cardinality cap (%d label-sets); "
+                    "further novel label-sets collapse into overflow=true",
+                    name, self.max_labelsets_per_metric,
+                )
         return instrument
 
     def counter(self, name: str, **labels: Any) -> Counter:
@@ -235,15 +337,44 @@ class MetricsRegistry:
         return out
 
     def reset(self) -> dict:
-        """Zero every instrument; returns the final pre-reset snapshot."""
-        final = self.snapshot()
+        """Zero every instrument; returns the final pre-reset snapshot.
+
+        Each instrument is *drained* — read and zeroed under its own lock
+        as one critical section — so an increment racing the harvest is
+        counted exactly once: either in the snapshot returned here or in
+        the next one. (A snapshot-then-zero sequence would lose increments
+        landing between the two steps.)
+        """
         with self._lock:
-            for instrument in self._instruments.values():
-                instrument.reset()
-        return final
+            items = list(self._instruments.items())
+        out: Dict[str, Dict[str, List[dict]]] = {}
+        for (kind, name, label_key), instrument in sorted(
+            items, key=lambda kv: (kv[0][0], kv[0][1], kv[0][2])
+        ):
+            entry = {"labels": dict(label_key)}
+            value = instrument.drain()
+            if isinstance(value, dict):
+                entry.update(value)
+            else:
+                entry["value"] = value
+            out.setdefault(kind, {}).setdefault(name, []).append(entry)
+        return out
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def instruments(self) -> List[Tuple[str, str, Dict[str, str], Any]]:
+        """Stable-ordered ``(kind, name, labels, instrument)`` rows — the
+        raw view the OpenMetrics exporter renders from (histograms expose
+        their bucket counts only through the live instrument)."""
+        with self._lock:
+            items = list(self._instruments.items())
+        return [
+            (kind, name, dict(label_key), instrument)
+            for (kind, name, label_key), instrument in sorted(
+                items, key=lambda kv: (kv[0][0], kv[0][1], kv[0][2])
+            )
+        ]
 
     # -- conveniences ---------------------------------------------------------
     def value(self, name: str, **labels: Any) -> Any:

@@ -36,6 +36,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.errors import PlanError, ReproError, TaskError
+from repro.obs import log as obs_log
 
 __all__ = [
     "WorkerPool",
@@ -44,10 +45,13 @@ __all__ = [
     "scrub_shared_segments",
 ]
 
-#: Fork-inherited payload for process workers: (work function, items).
-#: ``items`` is None when callers ship the argument over the pipe instead
-#: (the task scheduler's mode — arguments are small TaskSpecs, the work
-#: function still travels by fork image).
+#: Fork-inherited payload for process workers:
+#: (work function, items, parent log level). ``items`` is None when
+#: callers ship the argument over the pipe instead (the task scheduler's
+#: mode — arguments are small TaskSpecs, the work function still travels
+#: by fork image). The log level rides along so ``repro.*`` loggers agree
+#: across processes: a worker whose logging state diverged from the
+#: parent's ``--log-level`` re-configures itself before running the task.
 _PAYLOAD: Optional[tuple] = None
 
 #: Serializes process-mode use of the fork payload. Held for the lifetime
@@ -57,12 +61,14 @@ _PAYLOAD_LOCK = threading.Lock()
 
 
 def _run_index(index: int):
-    fn, items = _PAYLOAD
+    fn, items, log_level = _PAYLOAD
+    obs_log.apply_level(log_level)
     return fn(items[index])
 
 
 def _run_argument(argument):
-    fn, _ = _PAYLOAD
+    fn, _, log_level = _PAYLOAD
+    obs_log.apply_level(log_level)
     return fn(argument)
 
 
@@ -82,7 +88,7 @@ def fork_payload(fn: Callable, items: Optional[Sequence] = None):
             "pool mode 'thread' or 'inline' for nested/concurrent maps"
         )
     global _PAYLOAD
-    _PAYLOAD = (fn, items)
+    _PAYLOAD = (fn, items, obs_log.configured_level())
     try:
         yield
     finally:

@@ -21,6 +21,7 @@ from repro.service.admission import (
     REJECT_DRAINING,
     REJECT_QUOTA,
 )
+from repro.service.auditor import AuditorConfig, QueryAuditor
 from repro.service.client import QueryReply, ServiceClient
 from repro.service.governor import GovernorConfig, QueryGovernor, RUNGS, coarsen_samplers
 from repro.service.loadgen import LoadConfig, LoadReport, run_load
@@ -36,6 +37,8 @@ __all__ = [
     "REJECT_DEADLINE",
     "REJECT_DRAINING",
     "REJECT_QUOTA",
+    "AuditorConfig",
+    "QueryAuditor",
     "GovernorConfig",
     "QueryGovernor",
     "RUNGS",

@@ -98,7 +98,7 @@ class QueryTicket:
         "session", "tenant", "query_name", "mode", "deadline_at",
         "enqueued_at", "dispatched_at", "completed_at",
         "_done", "result", "error", "rejection", "queue_span", "queue_tracer",
-        "governance",
+        "governance", "flight",
     )
 
     def __init__(self, session, query_name: str, mode: str,
@@ -123,6 +123,9 @@ class QueryTicket:
         #: the tracer that opened it (the worker ends cross-thread).
         self.queue_span = None
         self.queue_tracer = None
+        #: Flight-recorder record (:class:`repro.obs.flight.QueryRecord`)
+        #: when the service runs one; every layer notes decisions into it.
+        self.flight = None
 
     # -- completion (worker side) -------------------------------------------
     def resolve(self, result: Any) -> None:
@@ -371,6 +374,11 @@ class AdmissionController:
         self._count_rejection(ticket, rejection.reason)
         _LOG.info("dropped %s for tenant %s: %s",
                   ticket.query_name, ticket.tenant, rejection)
+        if ticket.flight is not None:
+            ticket.flight.note(
+                "admission", "queued-drop",
+                reason=rejection.reason, detail=str(rejection),
+            )
         ticket.close_queue_span(status="cancelled", reason=rejection.reason)
         ticket.reject(rejection.reason, str(rejection))
 

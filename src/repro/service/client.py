@@ -135,6 +135,10 @@ class ServiceClient:
     def stats(self) -> Dict[str, Any]:
         return self._call("stats")["stats"]
 
+    def slo(self) -> Dict[str, Any]:
+        """The server's accuracy/SLO ledger report (calibration + burn)."""
+        return self._call("slo")["slo"]
+
     def shutdown(self) -> None:
         """Ask the server to stop (acknowledged before it goes down)."""
         self._call("shutdown")

@@ -66,6 +66,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.algebra.addressing import plan_fingerprint
 from repro.algebra.logical import LogicalNode, SamplerNode
 from repro.engine.governance import GovernanceContext
 from repro.errors import BudgetExceeded
@@ -264,6 +265,12 @@ class QueryGovernor:
         self.registry.counter(
             "service.governor.downgrades", rung=to_rung, reason=reason
         ).inc()
+        flight = getattr(ticket, "flight", None)
+        if flight is not None:
+            flight.note(
+                "governor", "downgrade",
+                from_rung=from_rung, to_rung=to_rung, reason=reason,
+            )
         _LOG.info(
             "downgrading %s (%s): %s -> %s [%s]",
             ticket.query_name, ticket.tenant, from_rung, to_rung, reason,
@@ -311,6 +318,13 @@ class QueryGovernor:
                 # planner memoizes); kept as a defensive typed failure.
                 raise BudgetExceeded(
                     f"no coarser plan available below rung {rung!r}"
+                )
+            flight = getattr(ticket, "flight", None)
+            if flight is not None:
+                flight.plan_fingerprint = plan_fingerprint(plan)
+                flight.note(
+                    "governor", "attempt",
+                    rung=rung, fingerprint=flight.plan_fingerprint[:12],
                 )
             ctx.selection_fraction = (
                 self.config.selection_fraction if rung == "quickr-select" else None

@@ -37,6 +37,9 @@ from repro.engine.table import Database
 from repro.errors import AdmissionRejected, GovernanceError, ProtocolError, ReproError
 from repro.obs import log as obs_log
 from repro.obs import trace as obs_trace
+from repro.obs.accuracy import AccuracyLedger
+from repro.obs.export import MetricsHTTPServer, TelemetrySnapshotWriter
+from repro.obs.flight import FlightRecorder
 from repro.obs.registry import MetricsRegistry
 from repro.optimizer.planner import QuickrPlanner
 from repro.service import protocol
@@ -46,6 +49,7 @@ from repro.service.admission import (
     QueryTicket,
     drain_worker,
 )
+from repro.service.auditor import AuditorConfig, QueryAuditor
 from repro.service.governor import GovernorConfig, QueryGovernor
 from repro.service.session import DEFAULT_TENANT, MODES, Session, SessionManager
 
@@ -77,6 +81,31 @@ class ServiceConfig:
     idle_timeout_seconds: Optional[float] = 300.0
     #: Per-connection frame-size cap (protocol robustness guard).
     max_frame_bytes: int = protocol.MAX_LINE_BYTES
+    # -- telemetry plane -----------------------------------------------------
+    #: Port of the ``/metrics`` + ``/healthz`` scrape endpoint; None
+    #: disables the HTTP exporter.
+    metrics_port: Optional[int] = None
+    metrics_host: str = "127.0.0.1"
+    #: Path of the periodic JSONL telemetry snapshot stream; None disables.
+    telemetry_path: Optional[str] = None
+    telemetry_interval_seconds: float = 10.0
+    #: Directory postmortem bundles are written into; None keeps the
+    #: flight-recorder ring in memory only (nothing touches disk).
+    postmortem_dir: Optional[str] = None
+    #: Flight-recorder ring size (recent queries kept in memory).
+    flight_capacity: int = 256
+    #: On-disk postmortem retention: oldest bundles deleted past this.
+    max_postmortems: int = 16
+    #: Background exact-replay accuracy auditor (off by default; the CLI's
+    #: ``--audit-fraction`` turns it on).
+    audit: AuditorConfig = field(
+        default_factory=lambda: AuditorConfig(enabled=False)
+    )
+    #: Per-tenant latency SLO fed to the accuracy/SLO ledger; None tracks
+    #: only cancellations as violations.
+    latency_slo_ms: Optional[float] = None
+    #: SLO target (0.99 = a 1% error budget).
+    slo_target: float = 0.99
 
 
 class QueryService:
@@ -114,6 +143,24 @@ class QueryService:
             from repro.workloads.tpcds import QUERY_BUILDERS
 
             self._query_builders = dict(QUERY_BUILDERS)
+        # Telemetry plane: flight recorder, accuracy/SLO ledger, auditor,
+        # and (lazily started) scrape endpoint + snapshot writer.
+        self.flight = FlightRecorder(
+            capacity=self.config.flight_capacity,
+            dump_dir=self.config.postmortem_dir,
+            max_bundles=self.config.max_postmortems,
+        )
+        self.ledger = AccuracyLedger(
+            self.registry,
+            latency_slo_ms=self.config.latency_slo_ms,
+            slo_target=self.config.slo_target,
+        )
+        self.auditor = QueryAuditor(
+            self.config.audit, self.planner, self.executor, self.admission,
+            self.ledger, self.registry, self._query_builders, self.database,
+        )
+        self._metrics_server: Optional[MetricsHTTPServer] = None
+        self._telemetry: Optional[TelemetrySnapshotWriter] = None
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> "QueryService":
@@ -130,8 +177,30 @@ class QueryService:
                 )
                 thread.start()
                 self._workers.append(thread)
+            self.auditor.start()
+            if self.config.metrics_port is not None and self._metrics_server is None:
+                self._metrics_server = MetricsHTTPServer(
+                    self.registry,
+                    host=self.config.metrics_host,
+                    port=self.config.metrics_port,
+                    extra=self._health_extra,
+                ).start()
+            if self.config.telemetry_path is not None and self._telemetry is None:
+                self._telemetry = TelemetrySnapshotWriter(
+                    self.registry,
+                    self.config.telemetry_path,
+                    interval_seconds=self.config.telemetry_interval_seconds,
+                    extra=self._health_extra,
+                ).start()
         _LOG.info("service started with %d workers", len(self._workers))
         return self
+
+    def _health_extra(self) -> Dict[str, Any]:
+        return {
+            "queue_depth": self.admission.queue_depth,
+            "draining": self.admission.draining,
+            "audit_backlog": self.auditor.backlog,
+        }
 
     def close(self) -> None:
         with self._lifecycle_lock:
@@ -141,6 +210,13 @@ class QueryService:
         self.admission.close()
         for thread in self._workers:
             thread.join(timeout=10.0)
+        self.auditor.close()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            self._metrics_server = None
+        if self._telemetry is not None:
+            self._telemetry.close()
+            self._telemetry = None
         _LOG.info("service closed")
 
     def drain(self, grace_seconds: Optional[float] = None) -> bool:
@@ -210,12 +286,19 @@ class QueryService:
         )
         session.record_submitted()
         self.registry.counter("service.requests", tenant=session.tenant).inc()
+        # Live traffic always outranks the background auditor: a replay in
+        # flight yields at its next engine checkpoint and requeues.
+        self.auditor.preempt()
         governance = (
             self.governor.governance_for(deadline_at)
             if self.config.governor.enabled else None
         )
         ticket = QueryTicket(
             session, query_name, resolved_mode, deadline_at, governance=governance
+        )
+        ticket.flight = self.flight.record(
+            session.session_id, session.tenant, query_name, resolved_mode,
+            deadline_ms=resolved_deadline,
         )
         tracer = obs_trace.current_tracer()
         admit_span = (
@@ -227,9 +310,14 @@ class QueryService:
             self.admission.submit(ticket)
         except AdmissionRejected as exc:
             session.record_rejected()
+            ticket.flight.note("admission", "rejected",
+                               reason=exc.reason, detail=str(exc))
+            self.flight.finish(ticket.flight, f"rejected.{exc.reason}")
             if admit_span is not None:
                 tracer.end(admit_span, status="rejected", reason=exc.reason)
             raise
+        ticket.flight.note("admission", "admitted",
+                           queue_depth=self.admission.queue_depth)
         if admit_span is not None:
             tracer.end(admit_span, queue_depth=self.admission.queue_depth)
         if tracer is not None:
@@ -268,12 +356,65 @@ class QueryService:
             raise ticket.error
         return ticket.result
 
+    def _capture_spans(self, ticket: QueryTicket, query_tracer, previous) -> None:
+        """End per-query span capture: pop the override, store the buffer
+        in the flight record, and splice it back into whatever tracer was
+        active before (so ``--trace`` output is unchanged)."""
+        obs_trace.pop_override(previous)
+        spans = query_tracer.buffer()
+        if ticket.flight is not None:
+            ticket.flight.spans = spans
+        target = obs_trace.current_tracer()
+        if target is not None and target is not query_tracer:
+            target.adopt(spans)
+
+    def _finish_query(self, ticket: QueryTicket, outcome: str,
+                      latency_seconds: Optional[float], cancelled: bool) -> None:
+        """Terminal bookkeeping of one dispatched query: feed the SLO
+        ledger, snapshot the governance ticket into the flight record, and
+        dump a postmortem bundle when the ending was bad."""
+        self.ledger.record_request(
+            ticket.tenant, latency_seconds, cancelled=cancelled
+        )
+        record = ticket.flight
+        if record is None:
+            return
+        ctx = ticket.governance
+        if ctx is not None:
+            record.governance = {
+                "checks": ctx.checks,
+                "peak_live_bytes": ctx.peak_live_bytes,
+                "memory_budget_bytes": ctx.memory_budget_bytes,
+                "deadline_at": ctx.deadline_at,
+                "cancelled": ctx.token.cancelled,
+                "cancel_reason": ctx.token.reason,
+            }
+        snapshot = (
+            self.registry.snapshot()
+            if self.flight.dump_dir is not None and self.flight.should_dump(outcome)
+            else None
+        )
+        self.flight.finish(record, outcome, snapshot)
+
     def _handle_ticket(self, ticket: QueryTicket) -> Optional[float]:
         """Worker-side execution of one admitted ticket."""
         ticket.close_queue_span(wait_seconds=round(ticket.queue_wait_seconds, 6))
         session = ticket.session
+        record = ticket.flight
+        if record is not None:
+            record.note(
+                "service", "dispatch",
+                queue_wait_ms=round(ticket.queue_wait_seconds * 1000.0, 3),
+            )
         t0 = time.perf_counter()
         degraded_info: Optional[Dict[str, Any]] = None
+        # Execution records into a private per-query tracer so the flight
+        # record gets exactly this query's spans even when several workers
+        # interleave; _capture_spans splices them back afterwards.
+        query_tracer = obs_trace.Tracer(
+            name=f"query-{record.query_id if record is not None else 0}"
+        )
+        previous = obs_trace.push_override(query_tracer)
         try:
             with obs_trace.maybe_span(
                 "service.execute", session=session.session_id, tenant=ticket.tenant,
@@ -291,16 +432,29 @@ class QueryService:
         except GovernanceError as exc:
             # The contract fired and nothing was salvageable: the query is
             # over, typed — never a hang, never a worker kept busy.
+            self._capture_spans(ticket, query_tracer, previous)
             session.record_cancelled()
             self.registry.counter(
                 "service.governor.cancelled", reason=exc.reason_code
             ).inc()
+            self._finish_query(
+                ticket, f"cancelled.{exc.reason_code}",
+                ticket.queue_wait_seconds + (time.perf_counter() - t0),
+                cancelled=True,
+            )
             ticket.fail(exc)
             return None
         except BaseException as exc:  # noqa: BLE001 - reported to the client
+            self._capture_spans(ticket, query_tracer, previous)
             session.record_failed()
+            self._finish_query(
+                ticket, "failed",
+                ticket.queue_wait_seconds + (time.perf_counter() - t0),
+                cancelled=True,
+            )
             ticket.fail(exc)
             return None
+        self._capture_spans(ticket, query_tracer, previous)
         execute_seconds = time.perf_counter() - t0
         self.registry.histogram(
             "service.execute_seconds", tenant=ticket.tenant
@@ -315,6 +469,27 @@ class QueryService:
         session.record_served(wire["digest"], result.table.num_rows, execute_seconds)
         if degraded_info is not None:
             session.record_degraded()
+        rung = (
+            degraded_info["rung"] if degraded_info is not None
+            else ("exact" if ticket.mode == "exact" else "quickr")
+        )
+        if record is not None:
+            record.degraded = degraded_info
+            if result.parallel is not None and result.parallel.pruning:
+                record.pruning = result.parallel.pruning
+            record.note(
+                "service", "served", rung=rung, rows=result.table.num_rows,
+                execute_ms=round(execute_seconds * 1000.0, 3),
+            )
+        self._finish_query(
+            ticket,
+            "served.degraded" if degraded_info is not None else "served",
+            ticket.queue_wait_seconds + execute_seconds,
+            cancelled=False,
+        )
+        self.auditor.maybe_enqueue(
+            ticket.query_name, ticket.mode, ticket.tenant, rung, result.table
+        )
         ticket.resolve({
             "query": ticket.query_name,
             "mode": ticket.mode,
@@ -332,6 +507,12 @@ class QueryService:
         return execute_seconds
 
     # -- introspection -------------------------------------------------------
+    @property
+    def metrics_address(self) -> Optional[Tuple[str, int]]:
+        """(host, port) of the running ``/metrics`` endpoint, if any."""
+        server = self._metrics_server
+        return server.address if server is not None else None
+
     def stats(self) -> Dict[str, Any]:
         return {
             "sessions": self.sessions.summary(),
@@ -353,7 +534,25 @@ class QueryService:
                     "service.governor.client_disconnects"
                 ),
             },
+            "auditor": self.auditor.summary(),
+            "flight": {
+                "recorded": len(self.flight.recent()),
+                "dumped": self.flight.dumped,
+                "dump_dir": self.flight.dump_dir,
+            },
         }
+
+    def slo_report(self) -> Dict[str, Any]:
+        """The ``repro slo`` payload: the ledger's calibration/burn report
+        plus auditor and flight-recorder state."""
+        report = self.ledger.report()
+        report["auditor"] = self.auditor.summary()
+        report["flight"] = {
+            "recorded": len(self.flight.recent()),
+            "dumped": self.flight.dumped,
+            "dump_dir": self.flight.dump_dir,
+        }
+        return report
 
 
 class QueryServer:
@@ -525,6 +724,11 @@ class _Connection:
                 return True
             if op == "stats":
                 self.respond(protocol.ok_response(request_id, stats=self.service.stats()))
+                return True
+            if op == "slo":
+                self.respond(protocol.ok_response(
+                    request_id, slo=self.service.slo_report()
+                ))
                 return True
             if op == "close":
                 self.respond(protocol.ok_response(request_id, closed=True))

@@ -1,0 +1,67 @@
+"""Round-trip tests for the unified bench JSON envelope."""
+
+import json
+
+import pytest
+
+from repro.experiments.report import BENCH_SCHEMA, bench_envelope, load_bench
+
+
+class TestEnvelope:
+    def test_shape(self):
+        payload = bench_envelope("prune", {"skip": 0.5}, scale=2.0, seed=7)
+        assert payload["meta"]["schema"] == BENCH_SCHEMA
+        assert payload["meta"]["bench"] == "prune"
+        assert payload["meta"]["scale"] == 2.0 and payload["meta"]["seed"] == 7
+        assert payload["series"] == {"skip": 0.5}
+
+    def test_meta_none_values_are_dropped(self):
+        payload = bench_envelope("transport", {}, degree=None, scale=1.0)
+        assert "degree" not in payload["meta"]
+        assert payload["meta"]["scale"] == 1.0
+
+    def test_series_not_copied_into_meta(self):
+        series = {"runs": [1, 2, 3]}
+        payload = bench_envelope("governor", series)
+        assert payload["series"] is series
+
+
+class TestLoadBench:
+    def test_enveloped_file_passes_through(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        original = bench_envelope("prune", {"skip": 0.25}, seed=3)
+        path.write_text(json.dumps(original))
+        loaded = load_bench(str(path))
+        assert loaded == original
+
+    def test_legacy_file_is_wrapped(self, tmp_path):
+        path = tmp_path / "BENCH_service.json"
+        path.write_text(json.dumps({"qps": 10.0, "served": 5}))
+        loaded = load_bench(str(path))
+        assert loaded["meta"]["schema"] == BENCH_SCHEMA
+        assert loaded["meta"]["bench"] == "legacy"
+        assert loaded["meta"]["path"].endswith("BENCH_service.json")
+        assert loaded["series"] == {"qps": 10.0, "served": 5}
+
+    def test_future_minor_schema_still_passes_through(self, tmp_path):
+        path = tmp_path / "BENCH_future.json"
+        payload = bench_envelope("x", {"a": 1})
+        payload["meta"]["schema"] = "repro-bench/2"
+        path.write_text(json.dumps(payload))
+        assert load_bench(str(path))["meta"]["schema"] == "repro-bench/2"
+
+    def test_round_trip_through_writers(self, tmp_path):
+        # What bench_governor does on its second pass: load, mutate the
+        # series, rewrite — the envelope must survive unchanged.
+        path = tmp_path / "BENCH_governor.json"
+        path.write_text(json.dumps(bench_envelope("governor", {"runs": {}})))
+        payload = load_bench(str(path))
+        payload["series"]["selection_attribution"] = {"rungs": {}}
+        path.write_text(json.dumps(payload))
+        again = load_bench(str(path))
+        assert again["meta"]["bench"] == "governor"
+        assert set(again["series"]) == {"runs", "selection_attribution"}
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_bench(str(tmp_path / "absent.json"))

@@ -1,0 +1,176 @@
+"""Tests for the OpenMetrics exporter, scrape endpoint and JSONL writer."""
+
+import json
+import urllib.request
+
+from repro.obs.export import (
+    CONTENT_TYPE,
+    MetricsHTTPServer,
+    TelemetrySnapshotWriter,
+    render_openmetrics,
+    validate_openmetrics,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("service.admitted", tenant="ads").inc(7)
+    registry.counter("service.admitted", tenant="search").inc(2)
+    registry.gauge("service.queue_depth").set(3)
+    hist = registry.histogram("query.latency_seconds", buckets=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.05, 0.5, 5.0):
+        hist.observe(value)
+    return registry
+
+
+class TestRenderer:
+    def test_counter_gains_total_suffix_and_labels(self):
+        text = render_openmetrics(populated_registry())
+        assert "# TYPE repro_service_admitted counter" in text
+        assert 'repro_service_admitted_total{tenant="ads"} 7' in text
+        assert 'repro_service_admitted_total{tenant="search"} 2' in text
+
+    def test_gauge_renders_bare(self):
+        text = render_openmetrics(populated_registry())
+        assert "# TYPE repro_service_queue_depth gauge" in text
+        assert "repro_service_queue_depth 3" in text
+
+    def test_unset_gauge_has_no_sample(self):
+        registry = MetricsRegistry()
+        registry.gauge("never.set")
+        text = render_openmetrics(registry)
+        assert "never_set" not in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = render_openmetrics(populated_registry())
+        assert "# TYPE repro_query_latency_seconds histogram" in text
+        assert 'repro_query_latency_seconds_bucket{le="0.01"} 1' in text
+        assert 'repro_query_latency_seconds_bucket{le="0.1"} 3' in text
+        assert 'repro_query_latency_seconds_bucket{le="1"} 4' in text
+        assert 'repro_query_latency_seconds_bucket{le="+Inf"} 5' in text
+        assert "repro_query_latency_seconds_count 5" in text
+
+    def test_terminates_with_eof(self):
+        assert render_openmetrics(populated_registry()).endswith("# EOF\n")
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("m", q='say "hi"\nback\\slash').inc()
+        text = render_openmetrics(registry)
+        assert '\\"hi\\"' in text and "\\n" in text and "\\\\" in text
+        assert validate_openmetrics(text) == []
+
+    def test_exposition_passes_own_validator(self):
+        assert validate_openmetrics(render_openmetrics(populated_registry())) == []
+
+    def test_empty_registry_is_valid(self):
+        text = render_openmetrics(MetricsRegistry())
+        assert validate_openmetrics(text) == []
+
+
+class TestValidator:
+    def test_missing_eof_flagged(self):
+        problems = validate_openmetrics("# TYPE x counter\nx_total 1\n")
+        assert any("EOF" in p for p in problems)
+
+    def test_counter_without_total_suffix_flagged(self):
+        text = "# TYPE x counter\nx 1\n# EOF\n"
+        assert any("_total" in p for p in validate_openmetrics(text))
+
+    def test_sample_without_type_flagged(self):
+        text = "mystery_metric 1\n# EOF\n"
+        assert any("no preceding TYPE" in p for p in validate_openmetrics(text))
+
+    def test_non_cumulative_buckets_flagged(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="1"} 3\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_count 3\n"
+            "# EOF\n"
+        )
+        assert any("not cumulative" in p for p in validate_openmetrics(text))
+
+    def test_missing_inf_bucket_flagged(self):
+        text = "# TYPE h histogram\n" 'h_bucket{le="0.1"} 5\n' "# EOF\n"
+        assert any("+Inf" in p for p in validate_openmetrics(text))
+
+
+class TestScrapeEndpoint:
+    def test_metrics_and_healthz_over_http(self):
+        registry = populated_registry()
+        server = MetricsHTTPServer(
+            registry, port=0, extra=lambda: {"queue_depth": 4}
+        ).start()
+        host, port = server.address
+        try:
+            with urllib.request.urlopen(f"http://{host}:{port}/metrics") as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"] == CONTENT_TYPE
+                body = resp.read().decode("utf-8")
+            assert validate_openmetrics(body) == []
+            assert "repro_service_admitted_total" in body
+
+            with urllib.request.urlopen(f"http://{host}:{port}/healthz") as resp:
+                health = json.load(resp)
+            assert health["ok"] is True and health["queue_depth"] == 4
+        finally:
+            server.close()
+
+    def test_unknown_path_is_404(self):
+        server = MetricsHTTPServer(MetricsRegistry(), port=0).start()
+        host, port = server.address
+        try:
+            try:
+                urllib.request.urlopen(f"http://{host}:{port}/nope")
+                raise AssertionError("expected HTTP 404")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 404
+        finally:
+            server.close()
+
+    def test_scrape_does_not_mutate_registry(self):
+        registry = populated_registry()
+        before = registry.snapshot()
+        render_openmetrics(registry)
+        assert registry.snapshot() == before
+
+
+class TestTelemetryWriter:
+    def test_periodic_lines_plus_final_on_close(self, tmp_path):
+        registry = populated_registry()
+        path = tmp_path / "telemetry.jsonl"
+        writer = TelemetrySnapshotWriter(
+            registry, str(path), interval_seconds=0.05,
+            extra=lambda: {"queue_depth": 1},
+        ).start()
+        try:
+            import time
+
+            deadline = time.monotonic() + 5.0
+            while writer.lines_written < 2 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            writer.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) >= 3  # two periodic + the final close() line
+        for line in lines:
+            record = json.loads(line)
+            assert record["queue_depth"] == 1
+            assert "ts" in record and "metrics" in record
+            assert "counter" in record["metrics"]
+
+    def test_extra_failure_never_kills_the_line(self, tmp_path):
+        def boom():
+            raise RuntimeError("extra exploded")
+
+        path = tmp_path / "telemetry.jsonl"
+        writer = TelemetrySnapshotWriter(
+            MetricsRegistry(), str(path), interval_seconds=60.0, extra=boom
+        )
+        writer.close()  # close writes the final line even if never started
+        record = json.loads(path.read_text().strip().splitlines()[-1])
+        assert "extra exploded" in record["extra_error"]
+        assert "metrics" in record

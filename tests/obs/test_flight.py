@@ -1,0 +1,134 @@
+"""Tests for the flight recorder and postmortem bundles."""
+
+import json
+import os
+
+from repro.obs import trace as obs_trace
+from repro.obs.flight import FlightRecorder, load_bundle, render_bundle
+
+
+def spans_for(record):
+    """A tiny two-span tree captured the way the service captures them."""
+    tracer = obs_trace.Tracer(name=f"query-{record.query_id}")
+    with tracer.span("execute", query=record.query):
+        with tracer.span("scan", rows=100):
+            pass
+    return tracer.buffer()
+
+
+def finished_record(recorder, outcome="cancelled.deadline", **notes):
+    record = recorder.record("s-1", "ads", "q07", "quickr", deadline_ms=50.0)
+    record.note("admission", "admitted", queue_depth=0)
+    record.note("governor", "attempt", rung="quickr", fingerprint="ab12cd34ef56")
+    record.note("governor", "downgrade", from_rung="quickr",
+                to_rung="quickr-coarse", reason="deadline")
+    record.plan_fingerprint = "ab12cd34ef56" * 4
+    record.governance = {"checks": 17, "cancelled": True,
+                         "cancel_reason": "deadline"}
+    record.pruning = {"partitions_total": 8, "partitions_pruned": 5}
+    record.spans = spans_for(record)
+    return record, recorder.finish(record, outcome, **notes)
+
+
+class TestRecording:
+    def test_ring_is_bounded(self):
+        recorder = FlightRecorder(capacity=3)
+        for i in range(5):
+            recorder.record("s", "t", f"q{i:02d}", "quickr")
+        recent = recorder.recent()
+        assert len(recent) == 3
+        assert [r.query for r in recent] == ["q02", "q03", "q04"]
+
+    def test_query_ids_are_monotonic(self):
+        recorder = FlightRecorder(capacity=8)
+        ids = [recorder.record("s", "t", "q01", "quickr").query_id
+               for _ in range(4)]
+        assert ids == sorted(ids) and len(set(ids)) == 4
+        assert recorder.find(ids[2]).query_id == ids[2]
+
+    def test_events_carry_elapsed_and_extras(self):
+        recorder = FlightRecorder()
+        record = recorder.record("s", "t", "q01", "quickr")
+        record.note("admission", "admitted", queue_depth=2)
+        [event] = record.events
+        assert event["layer"] == "admission" and event["kind"] == "admitted"
+        assert event["queue_depth"] == 2 and event["elapsed_ms"] >= 0
+
+
+class TestDumping:
+    def test_should_dump_semantics(self):
+        should = FlightRecorder.should_dump
+        assert should("cancelled.deadline") and should("failed")
+        assert should("served.degraded") and should("rejected.queue-full") is False
+        assert not should("served") and not should(None)
+
+    def test_served_never_touches_disk(self, tmp_path):
+        recorder = FlightRecorder(dump_dir=str(tmp_path))
+        record = recorder.record("s", "t", "q01", "quickr")
+        assert recorder.finish(record, "served") is None
+        assert list(tmp_path.iterdir()) == []
+        assert record.outcome == "served"
+        # finish() appended the outcome to the decision trail regardless.
+        assert record.events[-1]["kind"] == "outcome"
+
+    def test_bad_ending_writes_full_bundle(self, tmp_path):
+        recorder = FlightRecorder(dump_dir=str(tmp_path))
+        record, bundle = finished_record(
+            recorder, metrics_snapshot={"counter": {"x": []}}
+        )
+        assert bundle is not None and os.path.isdir(bundle)
+        names = sorted(os.listdir(bundle))
+        assert names == ["metrics.json", "record.json", "trace.json"]
+
+        loaded = load_bundle(bundle)
+        assert loaded["query"] == "q07" and loaded["outcome"] == "cancelled.deadline"
+        assert loaded["governance"]["cancel_reason"] == "deadline"
+        assert len(loaded["spans"]) == 2
+
+        with open(os.path.join(bundle, "trace.json")) as fh:
+            events = json.load(fh)
+        assert obs_trace.validate_chrome_trace(events) == []
+
+    def test_no_dump_dir_keeps_everything_in_memory(self):
+        recorder = FlightRecorder(dump_dir=None)
+        record = recorder.record("s", "t", "q01", "quickr")
+        assert recorder.finish(record, "cancelled.deadline") is None
+        assert recorder.dumped == 0
+
+    def test_retention_deletes_oldest(self, tmp_path):
+        recorder = FlightRecorder(dump_dir=str(tmp_path), max_bundles=2)
+        for _ in range(4):
+            finished_record(recorder)
+        bundles = sorted(e for e in os.listdir(tmp_path)
+                         if e.startswith("postmortem-"))
+        assert len(bundles) == 2
+        # The newest two survive: ids 3 and 4.
+        assert bundles == ["postmortem-000003-cancelled.deadline",
+                           "postmortem-000004-cancelled.deadline"]
+
+
+class TestRendering:
+    def test_render_covers_trail_ticket_footer_and_spans(self, tmp_path):
+        recorder = FlightRecorder(dump_dir=str(tmp_path))
+        _, bundle = finished_record(recorder)
+        text = render_bundle(bundle)
+        assert "postmortem: query q07 [quickr] tenant=ads" in text
+        assert "outcome=cancelled.deadline" in text
+        assert "decision trail:" in text
+        assert "downgrade" in text and "to_rung=quickr-coarse" in text
+        assert "governance ticket:" in text and "cancel_reason = deadline" in text
+        assert "prune footer:" in text and "partitions_pruned = 5" in text
+        assert "span tree (2 spans):" in text
+        assert "execute" in text and "scan" in text
+
+    def test_render_from_bare_record_json(self, tmp_path):
+        recorder = FlightRecorder(dump_dir=str(tmp_path))
+        _, bundle = finished_record(recorder)
+        text = render_bundle(os.path.join(bundle, "record.json"))
+        assert "postmortem: query q07" in text
+
+    def test_render_without_spans(self, tmp_path):
+        recorder = FlightRecorder(dump_dir=str(tmp_path))
+        record = recorder.record("s", "t", "q01", "quickr")
+        bundle = recorder.finish(record, "failed")
+        assert "span tree: (no spans recorded)" in render_bundle(bundle)

@@ -1,0 +1,188 @@
+"""Harvest-boundary correctness: increments racing reset() are conserved.
+
+The registry's contract (DESIGN §15): ``reset()`` *drains* each
+instrument — read-and-zero as one critical section — so an increment
+racing a harvest lands in exactly one snapshot: either the one the racing
+``reset()`` returns, or a later one. These tests hammer that boundary
+from many threads and assert exact conservation; the pre-fix
+snapshot-then-zero implementation loses increments here reliably.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.registry import Counter, Histogram, MetricsRegistry
+
+WRITERS = 4
+INCREMENTS = 25_000
+
+
+def _conserved_total(snapshots, final, name):
+    total = 0.0
+    for snap in snapshots + [final]:
+        for entry in snap.get("counter", {}).get(name, []):
+            total += entry["value"]
+    return total
+
+
+class TestCounterConservation:
+    def test_increments_racing_reset_land_exactly_once(self):
+        registry = MetricsRegistry()
+        registry.counter("hammer")  # pre-create: the race is on mutation
+        start = threading.Barrier(WRITERS + 1)
+        done = threading.Event()
+
+        def writer():
+            counter = registry.counter("hammer")
+            start.wait()
+            for _ in range(INCREMENTS):
+                counter.inc()
+
+        threads = [threading.Thread(target=writer) for _ in range(WRITERS)]
+        for t in threads:
+            t.start()
+
+        harvests = []
+
+        def harvester():
+            start.wait()
+            while not done.is_set():
+                harvests.append(registry.reset())
+
+        h = threading.Thread(target=harvester)
+        h.start()
+        for t in threads:
+            t.join()
+        done.set()
+        h.join()
+
+        assert len(harvests) > 1, "harvester never raced the writers"
+        total = _conserved_total(harvests, registry.snapshot(), "hammer")
+        assert total == WRITERS * INCREMENTS
+
+    def test_drain_is_atomic_under_direct_hammer(self):
+        counter = Counter()
+        start = threading.Barrier(WRITERS + 1)
+        done = threading.Event()
+        drained = []
+
+        def writer():
+            start.wait()
+            for _ in range(INCREMENTS):
+                counter.inc()
+
+        def drainer():
+            start.wait()
+            while not done.is_set():
+                drained.append(counter.drain())
+
+        threads = [threading.Thread(target=writer) for _ in range(WRITERS)]
+        d = threading.Thread(target=drainer)
+        for t in threads:
+            t.start()
+        d.start()
+        for t in threads:
+            t.join()
+        done.set()
+        d.join()
+        assert sum(drained) + counter.snapshot() == WRITERS * INCREMENTS
+
+
+class TestHistogramConservation:
+    def test_observation_count_conserved_across_resets(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(0.01, 0.1, 1.0))
+        start = threading.Barrier(WRITERS + 1)
+        done = threading.Event()
+        observations = 5_000
+
+        def writer(value):
+            hist = registry.histogram("lat", buckets=(0.01, 0.1, 1.0))
+            start.wait()
+            for _ in range(observations):
+                hist.observe(value)
+
+        threads = [
+            threading.Thread(target=writer, args=(0.005 * (i + 1),))
+            for i in range(WRITERS)
+        ]
+        for t in threads:
+            t.start()
+
+        harvests = []
+
+        def harvester():
+            start.wait()
+            while not done.is_set():
+                harvests.append(registry.reset())
+
+        h = threading.Thread(target=harvester)
+        h.start()
+        for t in threads:
+            t.join()
+        done.set()
+        h.join()
+
+        count = 0
+        for snap in harvests + [registry.snapshot()]:
+            for entry in snap.get("histogram", {}).get("lat", []):
+                count += entry["count"]
+        assert count == WRITERS * observations
+
+    def test_histogram_drain_resets_buckets(self):
+        hist = Histogram(buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(5.0)
+        snap = hist.drain()
+        assert snap["count"] == 2
+        assert hist.snapshot()["count"] == 0
+        assert hist.bucket_counts()[1] == [0, 0, 0]
+
+
+class TestExecutorHarvest:
+    """The boundary as the service actually drives it: a shared executor
+    registry reset between bursts of concurrent query traffic."""
+
+    def test_reset_between_concurrent_bursts_conserves_queries(self, tiny_tpcds):
+        from repro.engine.executor import Executor
+        from repro.optimizer.planner import QuickrPlanner
+        from repro.workloads.tpcds import query_by_name
+
+        # One shared executor driven from several threads — the query
+        # service's configuration of the registry.
+        executor = Executor(tiny_tpcds)
+        plan = QuickrPlanner(tiny_tpcds).plan(
+            query_by_name(tiny_tpcds, "q01")
+        ).plan
+        executor.execute(plan)  # warm the compile cache
+        executor.reset_metrics()  # measured phase starts from zero
+
+        runs_per_thread = 4
+        start = threading.Barrier(3)
+
+        def burst():
+            start.wait()
+            for _ in range(runs_per_thread):
+                executor.execute(plan)
+
+        threads = [threading.Thread(target=burst) for _ in range(2)]
+        for t in threads:
+            t.start()
+
+        harvests = []
+
+        def harvester():
+            start.wait()
+            for _ in range(50):
+                harvests.append(executor.reset_metrics()["metrics"])
+
+        h = threading.Thread(target=harvester)
+        h.start()
+        for t in threads:
+            t.join()
+        h.join()
+
+        final = executor.reset_metrics()["metrics"]
+        total = _conserved_total(harvests, final, "executor.queries")
+        assert total == 2 * runs_per_thread

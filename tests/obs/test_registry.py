@@ -4,7 +4,12 @@ import json
 
 import pytest
 
-from repro.obs.registry import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    OVERFLOW_LABELS,
+    Histogram,
+    MetricsRegistry,
+)
 
 
 class TestInstruments:
@@ -103,3 +108,62 @@ class TestHarvest:
         assert len(registry) == 2
         assert registry.value("queries") == 0.0
         assert registry.snapshot()["histogram"]["seconds"][0]["count"] == 0
+
+
+class TestCardinalityGuard:
+    def test_overflow_collapses_past_the_cap(self):
+        registry = MetricsRegistry(max_labelsets_per_metric=4)
+        for i in range(10):
+            registry.counter("queries", tenant=f"t{i}").inc()
+        # 4 real label-sets plus one shared overflow bucket.
+        names = [
+            (name, labels)
+            for kind, name, labels, _ in registry.instruments()
+            if name == "queries"
+        ]
+        assert len(names) == 5
+        assert ("queries", OVERFLOW_LABELS) in names
+        assert registry.value("queries", **OVERFLOW_LABELS) == 6.0
+        assert registry.total("queries") == 10.0
+
+    def test_overflow_counter_records_spills_per_metric(self):
+        registry = MetricsRegistry(max_labelsets_per_metric=2)
+        for i in range(5):
+            registry.counter("a", t=f"{i}").inc()
+            registry.counter("b", t=f"{i}").inc()
+        assert registry.value(
+            MetricsRegistry.OVERFLOW_COUNTER, metric="a"
+        ) == 3.0
+        assert registry.value(
+            MetricsRegistry.OVERFLOW_COUNTER, metric="b"
+        ) == 3.0
+
+    def test_existing_labelsets_still_resolve_after_cap(self):
+        registry = MetricsRegistry(max_labelsets_per_metric=2)
+        first = registry.counter("m", t="0")
+        registry.counter("m", t="1")
+        registry.counter("m", t="2")  # overflows
+        assert registry.counter("m", t="0") is first
+
+    def test_unlabeled_metrics_never_overflow(self):
+        registry = MetricsRegistry(max_labelsets_per_metric=1)
+        registry.counter("plain").inc()
+        registry.counter("labeled", t="a").inc()
+        registry.counter("labeled", t="b").inc()  # overflow
+        # The bare (no-label) instrument is exempt from the cap.
+        registry.counter("plain").inc()
+        assert registry.value("plain") == 2.0
+
+    def test_overflowed_exposition_stays_valid_openmetrics(self):
+        from repro.obs.export import render_openmetrics, validate_openmetrics
+
+        registry = MetricsRegistry(max_labelsets_per_metric=2)
+        for i in range(6):
+            registry.counter("queries", tenant=f"t{i}").inc()
+        text = render_openmetrics(registry)
+        assert validate_openmetrics(text) == []
+        assert 'overflow="true"' in text
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(max_labelsets_per_metric=0)

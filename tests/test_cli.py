@@ -87,3 +87,112 @@ class TestObservabilityCommands:
     def test_log_level_flag_emits_planner_logs(self, capsys):
         assert main(["plan", "q02", "--scale", "0.08", "--log-level", "debug"]) == 0
         assert "repro." in capsys.readouterr().err
+
+
+class TestBenchReportCommand:
+    def test_enveloped_and_legacy_files(self, capsys, tmp_path):
+        import json
+
+        from repro.experiments.report import bench_envelope
+
+        enveloped = tmp_path / "BENCH_prune.json"
+        enveloped.write_text(json.dumps(bench_envelope(
+            "prune",
+            {"selective_skip_fraction": 0.61,
+             "machine_hours_credit_total": 1.25},
+            scale=0.08,
+        )))
+        legacy = tmp_path / "BENCH_service.json"
+        legacy.write_text(json.dumps({"qps": 42.5, "served": 120}))
+
+        assert main(["bench-report", str(enveloped), str(legacy)]) == 0
+        out = capsys.readouterr().out
+        assert "prune" in out and "repro-bench/1" in out
+        assert "selective skip 61%" in out
+        assert "legacy" in out and "qps=42.5" in out
+
+    def test_unreadable_file_fails(self, capsys, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{not json")
+        assert main(["bench-report", str(bad)]) == 1
+        assert "ERROR" in capsys.readouterr().out
+
+    def test_no_files_found(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench-report"]) == 1
+        assert "no BENCH_*.json artifacts" in capsys.readouterr().out
+
+
+class TestPostmortemCommand:
+    @pytest.fixture()
+    def dump_dir(self, tmp_path):
+        from repro.obs.flight import FlightRecorder
+
+        recorder = FlightRecorder(dump_dir=str(tmp_path))
+        for name in ("q03", "q07"):
+            record = recorder.record("s-1", "ads", name, "quickr")
+            record.note("admission", "admitted", queue_depth=0)
+            recorder.finish(record, "cancelled.deadline")
+        return tmp_path
+
+    def test_renders_newest_bundle_by_default(self, capsys, dump_dir):
+        assert main(["postmortem", str(dump_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "rendering newest of 2 bundle(s)" in out
+        assert "postmortem: query q07" in out
+
+    def test_list_enumerates_bundles(self, capsys, dump_dir):
+        assert main(["postmortem", str(dump_dir), "--list"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("postmortem-") == 2
+
+    def test_direct_bundle_path(self, capsys, dump_dir):
+        import os
+
+        bundle = sorted(
+            e for e in os.listdir(dump_dir) if e.startswith("postmortem-")
+        )[0]
+        assert main(["postmortem", str(dump_dir / bundle)]) == 0
+        assert "postmortem: query q03" in capsys.readouterr().out
+
+    def test_missing_path_fails(self, capsys, tmp_path):
+        assert main(["postmortem", str(tmp_path / "nope")]) == 1
+
+
+class TestSloCommand:
+    def test_against_live_service(self, capsys, tiny_tpcds):
+        import json
+
+        from repro.service import QueryServer, ServiceClient, ServiceConfig
+        from repro.service.auditor import AuditorConfig
+        from repro.service.server import QueryService
+
+        config = ServiceConfig(
+            num_workers=2,
+            audit=AuditorConfig(enabled=True, sample_fraction=1.0),
+            latency_slo_ms=60_000.0,
+        )
+        service = QueryService(tiny_tpcds, config)
+        server = QueryServer(service, port=0).start()
+        try:
+            host, port = server.address
+            with ServiceClient(host, port, timeout=60.0) as client:
+                client.hello(tenant="ads")
+                client.query("q02")
+            assert service.auditor.wait_drained(timeout=60.0)
+
+            assert main(["slo", "--port", str(port), "--json"]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["auditor"]["completed"] >= 1
+
+            assert main(["slo", "--port", str(port)]) == 0
+            out = capsys.readouterr().out
+            assert "CI calibration" in out
+            assert "latency SLO" in out and "ads" in out
+        finally:
+            server.stop()
+
+    def test_connection_refused(self, capsys):
+        assert main(["slo", "--port", "1"]) == 1
+        captured = capsys.readouterr()
+        assert "cannot connect" in (captured.out + captured.err).lower()
